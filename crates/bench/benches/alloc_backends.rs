@@ -1,0 +1,54 @@
+//! E5 (timed side): allocation-backend comparison on *real* memory — the
+//! fault-in cost and a page-granular strided read under each policy. The
+//! kernel-verification side lives in the `backend_matrix` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rflash_hugepages::{MmapRegion, PageSize, Policy};
+
+fn bench_fault_in(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_fault_in_128MiB");
+    group.sample_size(10);
+    for policy in [
+        Policy::None,
+        Policy::Thp,
+        Policy::HugeTlbFs(PageSize::Huge2M),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(policy), |b| {
+            b.iter(|| {
+                let mut r = MmapRegion::new(128 << 20, policy).unwrap();
+                black_box(r.fault_in())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_page_strided_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_strided_read_128MiB");
+    for policy in [
+        Policy::None,
+        Policy::Thp,
+        Policy::HugeTlbFs(PageSize::Huge2M),
+    ] {
+        let mut r = MmapRegion::new(128 << 20, policy).unwrap();
+        r.fault_in();
+        group.bench_function(BenchmarkId::from_parameter(policy), |b| {
+            let s = r.as_slice();
+            b.iter(|| {
+                let mut acc = 0u8;
+                // One read per 4 KiB page + offset to dodge the prefetcher:
+                // pure TLB exercise, the paper's phenomenon on real silicon.
+                let mut i = 0;
+                while i < s.len() {
+                    acc = acc.wrapping_add(s[i]);
+                    i += 4096 + 64;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_in, bench_page_strided_read);
+criterion_main!(benches);

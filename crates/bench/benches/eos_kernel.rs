@@ -1,0 +1,63 @@
+//! E8: EOS kernel cost — the paper's Arm MAP observation that "FLASH spent
+//! considerable time in the routines for the EOS". Compares per-zone costs
+//! of the gamma-law and Helmholtz EOS (table lookup + Newton inversion) and
+//! the exact Fermi–Dirac solve the table caches.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rflash_eos::{electron, Eos, EosMode, EosState, GammaLaw, Helmholtz, TableConfig};
+use rflash_hugepages::Policy;
+
+fn states(n: usize) -> Vec<EosState> {
+    // A spread of supernova-like conditions (deterministic).
+    (0..n)
+        .map(|i| {
+            let f = i as f64 / n as f64;
+            EosState::co_wd(10f64.powf(4.0 + 5.0 * f), 10f64.powf(7.0 + 2.0 * f))
+        })
+        .collect()
+}
+
+fn bench_eos(c: &mut Criterion) {
+    let helm = Helmholtz::build(TableConfig::default(), Policy::None).unwrap();
+    let gamma = GammaLaw::new(5.0 / 3.0);
+    let mut group = c.benchmark_group("eos_per_zone");
+    group.throughput(criterion::Throughput::Elements(256));
+
+    group.bench_function("gamma_dens_temp", |b| {
+        let mut zs = states(256);
+        b.iter(|| {
+            for s in zs.iter_mut() {
+                gamma.call(EosMode::DensTemp, black_box(s)).unwrap();
+            }
+        })
+    });
+    group.bench_function("helmholtz_dens_temp", |b| {
+        let mut zs = states(256);
+        b.iter(|| {
+            for s in zs.iter_mut() {
+                helm.call(EosMode::DensTemp, black_box(s)).unwrap();
+            }
+        })
+    });
+    group.bench_function("helmholtz_dens_ei_newton", |b| {
+        let mut zs = states(256);
+        for s in zs.iter_mut() {
+            helm.call(EosMode::DensTemp, s).unwrap();
+        }
+        b.iter(|| {
+            for s in zs.iter_mut() {
+                s.temp *= 1.5; // stale guess, forces Newton work
+                helm.call(EosMode::DensEi, black_box(s)).unwrap();
+            }
+        })
+    });
+    group.bench_function("exact_fermi_dirac_solve", |b| {
+        b.iter(|| {
+            black_box(electron::electron_state(black_box(1e7), black_box(1e8)).unwrap());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eos);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E6: the `unk` layout ablation — the paper's §I.C motivation. DTLB misses
+//! (modeled) and real sweep time for the FLASH layout (`VarFirst`,
+//! var-interleaved) versus SoA (`VarLast`), under base and huge frames.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rflash_hugepages::Policy;
+use rflash_mesh::{Layout, UnkStorage};
+use rflash_tlbsim::{FrameSizing, Tlb, TlbConfig};
+
+const NXB: usize = 16;
+const BLOCKS: usize = 128;
+
+fn sweep_var_real(unk: &mut UnkStorage, var: usize) -> f64 {
+    // Real memory traffic: read one variable over every interior zone of
+    // every block (the paper's strided pattern).
+    let mut acc = 0.0;
+    for blk in 0..BLOCKS {
+        for k in unk.interior_k() {
+            for j in unk.interior() {
+                for i in unk.interior() {
+                    acc += unk.get(var, i, j, k, blk);
+                }
+            }
+        }
+    }
+    acc
+}
+
+fn bench_layout_real_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unk_layout_sweep_time");
+    group.throughput(criterion::Throughput::Elements(
+        (BLOCKS * NXB * NXB * NXB) as u64,
+    ));
+    for layout in [Layout::VarFirst, Layout::VarLast] {
+        for policy in [Policy::None, Policy::HugeTlbFs(rflash_hugepages::PageSize::Huge2M)] {
+            let mut unk = UnkStorage::new(3, NXB, 4, 11, BLOCKS, layout, policy);
+            let name = format!("{layout:?}/{policy}");
+            group.bench_function(BenchmarkId::new("dens_sweep", name), |b| {
+                b.iter(|| black_box(sweep_var_real(&mut unk, 0)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_layout_modeled_misses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unk_layout_modeled_dtlb");
+    group.sample_size(10);
+    for layout in [Layout::VarFirst, Layout::VarLast] {
+        for (fname, sizing) in [
+            ("base", FrameSizing::Base),
+            ("huge2M", FrameSizing::huge(2 << 20)),
+        ] {
+            let unk = UnkStorage::new(3, NXB, 4, 11, BLOCKS, layout, Policy::None);
+            let geom = unk.geom();
+            group.bench_function(BenchmarkId::new(fname, format!("{layout:?}")), |b| {
+                b.iter(|| {
+                    let mut tlb = Tlb::new(TlbConfig::a64fx_like());
+                    tlb.map_region(unk.base_addr(), unk.bytes(), sizing);
+                    for blk in 0..BLOCKS {
+                        for k in unk.interior_k() {
+                            for j in unk.interior() {
+                                geom.pencil_pattern(0, 0, j, k, blk).replay(&mut tlb);
+                            }
+                        }
+                    }
+                    black_box(tlb.stats().walks)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout_real_time, bench_layout_modeled_misses);
+criterion_main!(benches);

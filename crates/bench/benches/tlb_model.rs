@@ -1,0 +1,75 @@
+//! E7: TLB-model microbenchmarks — the mechanism behind Figure 1.
+//!
+//! `tlb_reach_crossover` sweeps the working set across the A64FX-like TLB
+//! reach for base and 2 MiB frames: the miss-count crossover explains both
+//! paper ratios (EOS footprint ≈ huge reach ⇒ ratio ≈ 0; the paper's
+//! multi-GB 3-d hydro footprint ≫ huge reach ⇒ ratio ≈ 0.3).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rflash_tlbsim::{FrameSizing, Tlb, TlbConfig};
+
+fn strided_walk(tlb: &mut Tlb, base: usize, len: usize, stride: usize) -> u64 {
+    let mut addr = base;
+    while addr < base + len {
+        tlb.touch(addr);
+        addr += stride;
+    }
+    tlb.stats().walks
+}
+
+fn bench_reach_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_reach_crossover");
+    group.sample_size(10);
+    for mib in [1usize, 4, 16, 64] {
+        let len = mib << 20;
+        for (label, sizing) in [
+            ("base", FrameSizing::Base),
+            ("huge2M", FrameSizing::huge(2 << 20)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{mib}MiB")),
+                &len,
+                |b, &len| {
+                    b.iter(|| {
+                        let mut tlb = Tlb::new(TlbConfig::a64fx_like());
+                        tlb.map_region(0, len, sizing);
+                        strided_walk(&mut tlb, 0, len, 88); // warm
+                        black_box(strided_walk(&mut tlb, 0, len, 88))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_touch_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_touch_throughput");
+    group.throughput(criterion::Throughput::Elements(1 << 16));
+    group.bench_function("sequential_64k_touches", |b| {
+        let mut tlb = Tlb::new(TlbConfig::a64fx_like());
+        tlb.map_region(0, 1 << 30, FrameSizing::Base);
+        b.iter(|| {
+            for i in 0..(1usize << 16) {
+                tlb.touch(black_box(i * 64));
+            }
+        })
+    });
+    group.bench_function("random_64k_touches", |b| {
+        let mut tlb = Tlb::new(TlbConfig::a64fx_like());
+        tlb.map_region(0, 1 << 30, FrameSizing::Base);
+        let mut state = 0x243F6A8885A308D3u64;
+        b.iter(|| {
+            for _ in 0..(1 << 16) {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                tlb.touch(black_box((state as usize) & ((1 << 30) - 1)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reach_crossover, bench_touch_throughput);
+criterion_main!(benches);

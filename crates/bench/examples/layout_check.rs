@@ -1,0 +1,28 @@
+//! E6 companion: one-shot modeled DTLB miss counts for the `unk` layout
+//! ablation (see `benches/layout_ablation.rs` for the timed version).
+//! Sweeps one variable over 128 3-d blocks twice, exactly the §I.C access.
+
+use rflash_hugepages::Policy;
+use rflash_mesh::{Layout, UnkStorage};
+use rflash_tlbsim::{FrameSizing, Tlb, TlbConfig};
+
+fn main() {
+    for layout in [Layout::VarFirst, Layout::VarLast] {
+        for (name, sizing) in [("base", FrameSizing::Base), ("huge", FrameSizing::huge(2 << 20))] {
+            let unk = UnkStorage::new(3, 16, 4, 11, 128, layout, Policy::None);
+            let geom = unk.geom();
+            let mut tlb = Tlb::new(TlbConfig::a64fx_like());
+            tlb.map_region(unk.base_addr(), unk.bytes(), sizing);
+            for _rep in 0..2 {
+                for blk in 0..128 {
+                    for k in unk.interior_k() {
+                        for j in unk.interior() {
+                            geom.pencil_pattern(0, 0, j, k, blk).replay(&mut tlb);
+                        }
+                    }
+                }
+            }
+            println!("{layout:?}/{name}: walks={} accesses={}", tlb.stats().walks, tlb.stats().accesses);
+        }
+    }
+}

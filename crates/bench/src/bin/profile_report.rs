@@ -1,0 +1,64 @@
+//! The paper's §II profiling step, reproduced: "our MAP study indicated
+//! that FLASH spent considerable time in the routines for the EOS" — run
+//! the supernova workload and print the per-unit timer breakdown, plus the
+//! same for the Sedov workload (where hydro dominates instead).
+
+use rflash_bench::RunScale;
+use rflash_core::setups::sedov::SedovSetup;
+use rflash_core::setups::supernova::SupernovaSetup;
+use rflash_core::RuntimeParams;
+use rflash_hugepages::Policy;
+
+fn breakdown(name: &str, timers: &rflash_perfmon::Timers) {
+    let labels = ["hydro", "eos", "flame", "gravity", "regrid", "dt"];
+    let total: f64 = labels.iter().map(|l| timers.seconds(l)).sum();
+    println!("\n{name}: unit share of step time (total {total:.2} s)");
+    for l in labels {
+        let s = timers.seconds(l);
+        if s == 0.0 {
+            continue;
+        }
+        let pct = s / total * 100.0;
+        println!("  {l:<8} {s:>8.2} s  {pct:>5.1}%  |{}", "#".repeat(pct.round() as usize / 2));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = RunScale::from_args(&args);
+    let steps = if scale.steps == 0 { 25 } else { scale.steps };
+
+    let setup = SupernovaSetup {
+        max_refine: scale.max_refine,
+        max_blocks: scale.max_blocks,
+        coarse_table: scale.coarse_table,
+        ..SupernovaSetup::default()
+    };
+    let mut sim = setup.build(RuntimeParams {
+        policy: Policy::None,
+        pattern_every: 0,
+        gather_every: 0,
+        ..RuntimeParams::with_mesh(setup.mesh_config())
+    });
+    sim.evolve(steps);
+    breakdown("2-d supernova (the paper's EOS-dominated case)", &sim.timers);
+    let eos_share = sim.timers.seconds("eos")
+        / (sim.timers.seconds("eos") + sim.timers.seconds("hydro")).max(1e-12);
+    println!("  -> EOS fraction of (hydro+eos): {:.0}%", eos_share * 100.0);
+
+    let setup = SedovSetup {
+        ndim: 3,
+        nxb: 8,
+        max_refine: scale.max_refine,
+        max_blocks: scale.max_blocks,
+        ..SedovSetup::default()
+    };
+    let mut sim = setup.build(RuntimeParams {
+        policy: Policy::None,
+        pattern_every: 0,
+        gather_every: 0,
+        ..RuntimeParams::with_mesh(setup.mesh_config())
+    });
+    sim.evolve(steps.min(30));
+    breakdown("3-d Sedov (hydro-dominated)", &sim.timers);
+}

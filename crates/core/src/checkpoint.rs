@@ -1,0 +1,384 @@
+//! Checkpoint / restart.
+//!
+//! FLASH writes HDF5 checkpoint files holding the block tree and every
+//! leaf's solution data; a run can restart bit-exactly. This module does
+//! the same with a self-describing container: a JSON header (runtime
+//! parameters, tree topology, time/step) followed by the leaf blocks' raw
+//! f64 slabs (little-endian), one per leaf in Morton order.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use rflash_mesh::{BlockId, Domain, MortonKey};
+use serde::{Deserialize, Serialize};
+
+use crate::params::RuntimeParams;
+
+/// JSON header of a checkpoint file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckpointHeader {
+    /// Format magic/version.
+    pub format: String,
+    pub params: RuntimeParams,
+    pub time: f64,
+    pub step: u64,
+    pub energy_released: f64,
+    /// Leaf keys in the order their slabs follow the header.
+    pub leaves: Vec<MortonKey>,
+    /// Doubles per block slab (consistency check on restore).
+    pub per_block: usize,
+}
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::Format(m) => write!(f, "checkpoint format: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Write a checkpoint of the simulation state.
+pub fn write_checkpoint(
+    path: &Path,
+    domain: &Domain,
+    params: &RuntimeParams,
+    time: f64,
+    step: u64,
+    energy_released: f64,
+) -> Result<(), CheckpointError> {
+    let leaves = domain.tree.leaves();
+    let header = CheckpointHeader {
+        format: "rflash-checkpoint-v1".into(),
+        params: *params,
+        time,
+        step,
+        energy_released,
+        leaves: leaves.iter().map(|id| domain.tree.block(*id).key).collect(),
+        per_block: domain.unk.per_block(),
+    };
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    let header_json = serde_json::to_string(&header)
+        .map_err(|e| CheckpointError::Format(e.to_string()))?;
+    // Length-prefixed header, then raw slabs.
+    w.write_all(&(header_json.len() as u64).to_le_bytes())?;
+    w.write_all(header_json.as_bytes())?;
+    let mut buf = Vec::with_capacity(domain.unk.per_block() * 8);
+    for id in &leaves {
+        buf.clear();
+        for &v in domain.unk.block_slab(id.idx()) {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// State restored from a checkpoint.
+pub struct RestoredState {
+    pub domain: Domain,
+    pub params: RuntimeParams,
+    pub time: f64,
+    pub step: u64,
+    pub energy_released: f64,
+}
+
+/// Restore a checkpoint: rebuild the tree topology (re-refining from the
+/// roots to match the stored leaf set) and load every leaf slab.
+pub fn read_checkpoint(path: &Path) -> Result<RestoredState, CheckpointError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut len_bytes = [0u8; 8];
+    r.read_exact(&mut len_bytes)?;
+    let header_len = u64::from_le_bytes(len_bytes) as usize;
+    if header_len > 1 << 30 {
+        return Err(CheckpointError::Format("unreasonable header length".into()));
+    }
+    let mut header_json = vec![0u8; header_len];
+    r.read_exact(&mut header_json)?;
+    let header: CheckpointHeader = serde_json::from_slice(&header_json)
+        .map_err(|e| CheckpointError::Format(e.to_string()))?;
+    if header.format != "rflash-checkpoint-v1" {
+        return Err(CheckpointError::Format(format!(
+            "unknown format {:?}",
+            header.format
+        )));
+    }
+
+    let mut domain = Domain::new(header.params.mesh, header.params.policy);
+    if domain.unk.per_block() != header.per_block {
+        return Err(CheckpointError::Format(format!(
+            "slab size mismatch: file {} vs mesh {}",
+            header.per_block,
+            domain.unk.per_block()
+        )));
+    }
+    rebuild_topology(&mut domain, &header.leaves)?;
+
+    // Map keys to the rebuilt block ids and stream the slabs in.
+    let mut slab = vec![0u8; header.per_block * 8];
+    for key in &header.leaves {
+        let id = domain
+            .tree
+            .find(*key)
+            .ok_or_else(|| CheckpointError::Format(format!("missing block {key:?}")))?;
+        r.read_exact(&mut slab)?;
+        let dst = domain.unk.block_slab_mut(id.idx());
+        for (i, chunk) in slab.chunks_exact(8).enumerate() {
+            dst[i] = f64::from_le_bytes(chunk.try_into().unwrap());
+        }
+    }
+
+    Ok(RestoredState {
+        domain,
+        params: header.params,
+        time: header.time,
+        step: header.step,
+        energy_released: header.energy_released,
+    })
+}
+
+/// Refine the fresh root tree until exactly the stored leaf set exists:
+/// every stored leaf's ancestors get refined, deepest-first via repeated
+/// passes.
+fn rebuild_topology(domain: &mut Domain, leaves: &[MortonKey]) -> Result<(), CheckpointError> {
+    let max_level = leaves.iter().map(|k| k.level).max().unwrap_or(0);
+    for _pass in 0..=max_level {
+        let mut refined_any = false;
+        for key in leaves {
+            // Walk up to the deepest existing ancestor; refine it if it is
+            // a leaf shallower than the target.
+            let mut anc = *key;
+            let target_level = key.level;
+            let existing: Option<(BlockId, MortonKey)> = loop {
+                if let Some(id) = domain.tree.find(anc) {
+                    break Some((id, anc));
+                }
+                match anc.parent() {
+                    Some(p) => anc = p,
+                    None => break None,
+                }
+            };
+            let Some((id, anc_key)) = existing else {
+                return Err(CheckpointError::Format(format!(
+                    "leaf {key:?} has no ancestor in the root grid"
+                )));
+            };
+            if anc_key.level < target_level && domain.tree.block(id).is_leaf() {
+                domain.tree.refine_block(id, &mut domain.unk);
+                refined_any = true;
+            }
+        }
+        if !refined_any {
+            break;
+        }
+    }
+    // Verify exact topology.
+    for key in leaves {
+        match domain.tree.find(*key) {
+            Some(id) if domain.tree.block(id).is_leaf() => {}
+            _ => {
+                return Err(CheckpointError::Format(format!(
+                    "could not rebuild leaf {key:?}"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience wrappers on [`crate::Simulation`].
+impl crate::Simulation {
+    /// Write this simulation's state to `path`.
+    pub fn checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
+        write_checkpoint(
+            path,
+            &self.domain,
+            &self.params,
+            self.time,
+            self.step,
+            self.energy_released,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eos_choice::{Composition, EosChoice};
+    use crate::sim::Simulation;
+    use rflash_eos::GammaLaw;
+    use rflash_hugepages::Policy;
+    use rflash_mesh::tree::MeshConfig;
+    use rflash_mesh::vars;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rflash-ckpt-{}-{name}", std::process::id()))
+    }
+
+    fn toy_sim() -> Simulation {
+        let cfg = MeshConfig::test_2d();
+        let params = crate::RuntimeParams {
+            policy: Policy::None,
+            use_hw: false,
+            ..crate::RuntimeParams::with_mesh(cfg)
+        };
+        let mut domain = Domain::new(cfg, Policy::None);
+        // Irregular topology + distinctive data.
+        let root = domain.tree.leaves()[0];
+        let children = domain.tree.refine_block(root, &mut domain.unk);
+        domain.tree.refine_block(children[2], &mut domain.unk);
+        for (n, id) in domain.tree.leaves().into_iter().enumerate() {
+            for j in domain.unk.interior() {
+                for i in domain.unk.interior() {
+                    domain
+                        .unk
+                        .set(vars::DENS, i, j, 0, id.idx(), (n * 1000 + i * 10 + j) as f64);
+                }
+            }
+        }
+        let mut sim = Simulation::assemble(
+            domain,
+            EosChoice::Gamma(GammaLaw::new(1.4)),
+            Composition::ideal(),
+            params,
+        );
+        sim.time = 0.125;
+        sim.step = 17;
+        sim.energy_released = 3.5e40;
+        sim
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let sim = toy_sim();
+        let path = scratch("roundtrip");
+        sim.checkpoint(&path).unwrap();
+        let restored = read_checkpoint(&path).unwrap();
+        assert_eq!(restored.time, 0.125);
+        assert_eq!(restored.step, 17);
+        assert_eq!(restored.energy_released, 3.5e40);
+        // Topology.
+        let orig: Vec<MortonKey> = sim
+            .domain
+            .tree
+            .leaves()
+            .iter()
+            .map(|id| sim.domain.tree.block(*id).key)
+            .collect();
+        let back: Vec<MortonKey> = restored
+            .domain
+            .tree
+            .leaves()
+            .iter()
+            .map(|id| restored.domain.tree.block(*id).key)
+            .collect();
+        assert_eq!(orig, back);
+        // Bit-exact data on every leaf.
+        for key in &orig {
+            let a = sim.domain.tree.find(*key).unwrap();
+            let b = restored.domain.tree.find(*key).unwrap();
+            assert_eq!(
+                sim.domain.unk.block_slab(a.idx()),
+                restored.domain.unk.block_slab(b.idx()),
+                "slab mismatch at {key:?}"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn restart_continues_a_real_run_identically() {
+        // Evolve, checkpoint, evolve more; restore and evolve the same
+        // number of steps: states must agree bit-for-bit (deterministic
+        // driver, same policy).
+        use crate::setups::sedov::SedovSetup;
+        let setup = SedovSetup {
+            ndim: 2,
+            nxb: 8,
+            max_refine: 2,
+            max_blocks: 256,
+            ..SedovSetup::default()
+        };
+        let params = crate::RuntimeParams {
+            policy: Policy::None,
+            use_hw: false,
+            pattern_every: 0,
+            gather_every: 0,
+            ..crate::RuntimeParams::with_mesh(setup.mesh_config())
+        };
+        let mut sim = setup.build(params);
+        sim.evolve(5);
+        let path = scratch("restart");
+        sim.checkpoint(&path).unwrap();
+        sim.evolve(5);
+
+        let restored = read_checkpoint(&path).unwrap();
+        let mut sim2 = Simulation::assemble(
+            restored.domain,
+            EosChoice::Gamma(GammaLaw::new(setup.gamma)),
+            Composition::ideal(),
+            restored.params,
+        );
+        sim2.time = restored.time;
+        sim2.step = restored.step;
+        sim2.evolve(5);
+
+        assert_eq!(sim.step, sim2.step);
+        assert!((sim.time - sim2.time).abs() < 1e-15 * sim.time);
+        for id in sim.domain.tree.leaves() {
+            let key = sim.domain.tree.block(id).key;
+            let id2 = sim2.domain.tree.find(key).expect("same topology");
+            for j in sim.domain.unk.interior() {
+                for i in sim.domain.unk.interior() {
+                    let a = sim.domain.unk.get(vars::DENS, i, j, 0, id.idx());
+                    let b = sim2.domain.unk.get(vars::DENS, i, j, 0, id2.idx());
+                    assert_eq!(a, b, "restart must be bit-exact at ({i},{j}) of {key:?}");
+                }
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_header_is_a_typed_error() {
+        let path = scratch("corrupt");
+        std::fs::write(&path, b"\x10\x00\x00\x00\x00\x00\x00\x00not json at all!").unwrap();
+        match read_checkpoint(&path) {
+            Err(CheckpointError::Format(_)) => {}
+            Err(other) => panic!("expected format error, got {other}"),
+            Ok(_) => panic!("expected format error, got Ok"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let sim = toy_sim();
+        let path = scratch("truncated");
+        sim.checkpoint(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 100]).unwrap();
+        match read_checkpoint(&path) {
+            Err(CheckpointError::Io(_)) => {}
+            Err(other) => panic!("expected io error, got {other}"),
+            Ok(_) => panic!("expected io error, got Ok"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,230 @@
+//! Instrumentation wiring: registering the big buffers with the TLB model
+//! and the instrumented `Eos_wrapped` pass.
+
+use rflash_eos::{EosMode, EosState};
+use rflash_hugepages::BackingReport;
+use rflash_mesh::{vars, Domain};
+use rflash_perfmon::PerfSession;
+use rflash_tlbsim::{AccessPattern, FrameSizing};
+
+use crate::eos_choice::{Composition, EosChoice};
+use crate::params::RuntimeParams;
+
+/// Translate a *verified* kernel backing into the TLB model's frame sizing.
+/// Never trust the request: the paper's GNU/Cray binaries requested huge
+/// pages and silently did not get them — we model what the kernel actually
+/// granted (smaps), falling back to base pages.
+pub fn frame_sizing_from(report: &BackingReport) -> FrameSizing {
+    if report.verified_huge() {
+        let size = if report.kernel_page_size > 4096 {
+            report.kernel_page_size as usize
+        } else {
+            2 * 1024 * 1024 // THP grants PMD-size frames
+        };
+        FrameSizing::huge(size.next_power_of_two())
+    } else if report.huge_fraction > 0.0 {
+        FrameSizing::huge(2 * 1024 * 1024)
+    } else {
+        FrameSizing::Base
+    }
+}
+
+/// Register the `unk` container and (when present) the Helmholtz table with
+/// a session's TLB model.
+pub fn register_buffers(session: &mut PerfSession, domain: &Domain, eos: &EosChoice) {
+    let unk_report = domain.unk.backing_report();
+    session.map_region(
+        domain.unk.base_addr(),
+        domain.unk.bytes(),
+        frame_sizing_from(&unk_report),
+    );
+    if let Some(h) = eos.helmholtz() {
+        let t = h.table();
+        session.map_region(
+            t.base_addr(),
+            t.bytes(),
+            frame_sizing_from(&t.backing_report()),
+        );
+    }
+}
+
+/// The instrumented EOS pass: `Eos_wrapped(MODE_DENS_EI)` over every
+/// interior zone of every leaf — the routine set the paper's "EOS"
+/// experiment wraps with PAPI. Records unk row patterns and EOS-table
+/// gathers (sampled) into the session's TLB model.
+pub fn eos_pass(
+    domain: &mut Domain,
+    eos: &EosChoice,
+    comp: Composition,
+    params: &RuntimeParams,
+    session: &mut PerfSession,
+) {
+    session.start_region();
+    let geom = domain.unk.geom();
+    let gather_every = params.gather_every;
+    let pattern_every = params.pattern_every;
+
+    let probes = domain.par_leaf_update(params.nranks, |_tree, id, slab, probe| {
+        let ng = geom.nguard;
+        let nxb = geom.nxb;
+        let kr = if geom.ndim == 3 { ng..ng + nxb } else { 0..1 };
+        let mut zone_counter = 0usize;
+        let mut gather_buf: Vec<usize> = Vec::with_capacity(48);
+        let mut row_counter = 0usize;
+
+        for k in kr {
+            for j in ng..ng + nxb {
+                // Row access patterns (reads then writes), sampled.
+                if pattern_every > 0 {
+                    if row_counter.is_multiple_of(pattern_every) {
+                        for v in [vars::DENS, vars::EINT, vars::TEMP] {
+                            probe.record(AccessPattern::Strided {
+                                base: geom.addr(v, ng, j, k, id.idx()),
+                                stride: geom.dir_stride(0),
+                                count: nxb,
+                                elem: 8,
+                            });
+                        }
+                        for v in [vars::PRES, vars::TEMP, vars::GAMC, vars::GAME] {
+                            probe.record_write(AccessPattern::Strided {
+                                base: geom.addr(v, ng, j, k, id.idx()),
+                                stride: geom.dir_stride(0),
+                                count: nxb,
+                                elem: 8,
+                            });
+                        }
+                    }
+                    row_counter += 1;
+                }
+
+                for i in ng..ng + nxb {
+                    let dens = slab[geom.slab_idx(vars::DENS, i, j, k)];
+                    let eint = slab[geom.slab_idx(vars::EINT, i, j, k)];
+                    let temp = slab[geom.slab_idx(vars::TEMP, i, j, k)];
+                    let mut state = EosState {
+                        dens,
+                        temp,
+                        abar: comp.abar,
+                        zbar: comp.zbar,
+                        pres: 0.0,
+                        eint,
+                        entr: 0.0,
+                        gamc: 0.0,
+                        game: 0.0,
+                        cs: 0.0,
+                        cv: 0.0,
+                    };
+                    eos.call(EosMode::DensEi, comp, &mut state)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "EOS pass failed at zone ({i},{j},{k}) of block {}: \
+                                 dens={dens:e} eint={eint:e} temp={temp:e}: {e}",
+                                id.idx()
+                            )
+                        });
+                    slab[geom.slab_idx(vars::PRES, i, j, k)] = state.pres;
+                    slab[geom.slab_idx(vars::TEMP, i, j, k)] = state.temp;
+                    slab[geom.slab_idx(vars::GAMC, i, j, k)] = state.gamc;
+                    slab[geom.slab_idx(vars::GAME, i, j, k)] = state.game;
+                    probe.stats.eos_calls += 1;
+                    probe.stats.zones += 1;
+                    // A Helmholtz evaluation is ~300 lane ops of
+                    // interpolation arithmetic (plus Newton iterations).
+                    probe.stats.add_vec(300);
+
+                    // Table gather pattern, sampled.
+                    if gather_every > 0 && zone_counter.is_multiple_of(gather_every) {
+                        if let Some(h) = eos.helmholtz() {
+                            gather_buf.clear();
+                            let rho_ye = dens * comp.zbar / comp.abar;
+                            if h.table()
+                                .gather_indices(rho_ye, state.temp, &mut gather_buf)
+                                .is_ok()
+                            {
+                                probe.record(AccessPattern::Gather {
+                                    base: h.table().base_addr(),
+                                    elem: 8,
+                                    indices: gather_buf.clone(),
+                                });
+                            }
+                        }
+                    }
+                    zone_counter += 1;
+                }
+            }
+        }
+    });
+    for probe in probes {
+        session.absorb(probe);
+    }
+    session.stop_region();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rflash_eos::GammaLaw;
+    use rflash_hugepages::Policy;
+    use rflash_mesh::tree::MeshConfig;
+    use rflash_perfmon::SessionConfig;
+
+    #[test]
+    fn frame_sizing_honors_verification() {
+        let base = BackingReport {
+            policy: Policy::Thp,
+            requested: "THP".into(),
+            fell_back: None,
+            rss_bytes: 1 << 20,
+            huge_bytes: 0,
+            kernel_page_size: 4096,
+            huge_fraction: 0.0,
+        };
+        assert_eq!(frame_sizing_from(&base), FrameSizing::Base);
+        let huge = BackingReport {
+            huge_bytes: 1 << 21,
+            huge_fraction: 1.0,
+            ..base.clone()
+        };
+        assert_eq!(
+            frame_sizing_from(&huge),
+            FrameSizing::huge(2 * 1024 * 1024)
+        );
+        let hugetlb = BackingReport {
+            kernel_page_size: 512 * 1024 * 1024,
+            huge_bytes: 1 << 29,
+            huge_fraction: 1.0,
+            ..base
+        };
+        assert_eq!(
+            frame_sizing_from(&hugetlb),
+            FrameSizing::huge(512 * 1024 * 1024)
+        );
+    }
+
+    #[test]
+    fn eos_pass_updates_thermo_and_counts() {
+        let mut domain = Domain::new(MeshConfig::test_2d(), Policy::None);
+        let id = domain.tree.leaves()[0];
+        for j in domain.unk.interior() {
+            for i in domain.unk.interior() {
+                domain.unk.set(vars::DENS, i, j, 0, id.idx(), 1.0);
+                domain.unk.set(vars::EINT, i, j, 0, id.idx(), 1e12);
+            }
+        }
+        let eos = EosChoice::Gamma(GammaLaw::new(1.4));
+        let params = RuntimeParams::with_mesh(*domain.tree.config());
+        let mut session = PerfSession::new(SessionConfig {
+            use_hw: false,
+            ..SessionConfig::default()
+        });
+        register_buffers(&mut session, &domain, &eos);
+        eos_pass(&mut domain, &eos, Composition::ideal(), &params, &mut session);
+
+        let pres = domain.unk.get(vars::PRES, 5, 5, 0, id.idx());
+        assert!((pres - 0.4 * 1e12).abs() / pres < 1e-12, "P=(γ−1)ρe");
+        let m = session.measures(1.0);
+        assert!(m.time_s > 0.0);
+        assert!(session.tlb_stats().accesses > 0, "patterns were replayed");
+        assert_eq!(session.stats_mut().eos_calls, 64);
+    }
+}

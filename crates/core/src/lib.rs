@@ -1,0 +1,30 @@
+//! The FLASH-like simulation driver.
+//!
+//! Ties every substrate together the way FLASH's Driver unit does: the
+//! PARAMESH mesh ([`rflash_mesh`]), split PPM hydro ([`rflash_hydro`]), the
+//! Helmholtz/gamma-law EOS ([`rflash_eos`]), the ADR model flame
+//! ([`rflash_flame`]), monopole gravity ([`rflash_gravity`]) — with the
+//! huge-page policy ([`rflash_hugepages`]) governing the big allocations
+//! and the PAPI-like instrumentation ([`rflash_perfmon`]) wrapped around
+//! the paper's two regions of interest:
+//!
+//! * the **"EOS" region** — `Eos_wrapped(MODE_DENS_EI)` passes after every
+//!   sweep (Table I instruments these during a 2-d supernova run);
+//! * the **"Hydro" region** — the directional PPM sweeps (Table II
+//!   instruments these during a 3-d Sedov run).
+//!
+//! The two paper problems are provided as setups:
+//! [`setups::sedov::SedovSetup`] and [`setups::supernova::SupernovaSetup`].
+
+pub mod checkpoint;
+pub mod eos_choice;
+pub mod instrument;
+pub mod output;
+pub mod params;
+pub mod setups;
+pub mod sim;
+pub mod wd;
+
+pub use eos_choice::{Composition, EosChoice};
+pub use params::RuntimeParams;
+pub use sim::Simulation;

@@ -1,0 +1,79 @@
+//! Runtime parameters — FLASH's `flash.par`, as a serde-able struct.
+
+use rflash_hugepages::Policy;
+use rflash_mesh::MeshConfig;
+use serde::{Deserialize, Serialize};
+
+/// Everything a run needs beyond the setup-specific initial conditions.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RuntimeParams {
+    /// Mesh geometry and AMR limits.
+    pub mesh: MeshConfig,
+    /// Huge-page backing policy for the big allocations (`unk`, EOS table).
+    pub policy: Policy,
+    /// CFL number.
+    pub cfl: f64,
+    /// Density floor (`smlrho`).
+    pub dens_floor: f64,
+    /// Specific-internal-energy floor (`smalle`).
+    pub eint_floor: f64,
+    /// Simulated MPI ranks (threads).
+    pub nranks: usize,
+    /// Re-run the Löhner estimator + adapt every N steps (`nrefs`).
+    pub regrid_every: u64,
+    /// Recompute the gravity field every N steps.
+    pub gravity_every: u64,
+    /// Record one unk access pattern per N pencils/rows (0 disables).
+    pub pattern_every: usize,
+    /// Record one EOS-table gather per N zones (0 disables).
+    pub gather_every: usize,
+    /// Replay one in N recorded patterns into the TLB model.
+    pub tlb_sample_every: u32,
+    /// Try hardware counters alongside the model.
+    pub use_hw: bool,
+}
+
+impl RuntimeParams {
+    /// Defaults shared by both setups; the mesh field still needs
+    /// per-problem dimensions.
+    pub fn with_mesh(mesh: MeshConfig) -> RuntimeParams {
+        RuntimeParams {
+            mesh,
+            policy: Policy::None,
+            cfl: 0.3,
+            dens_floor: 1e-30,
+            eint_floor: 1e-30,
+            nranks: 1,
+            regrid_every: 4,
+            gravity_every: 2,
+            pattern_every: 4,
+            gather_every: 4,
+            tlb_sample_every: 1,
+            use_hw: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rflash_mesh::tree::MeshConfig;
+
+    #[test]
+    fn serde_round_trip() {
+        let p = RuntimeParams::with_mesh(MeshConfig::test_2d());
+        let json = serde_json::to_string_pretty(&p).unwrap();
+        let back: RuntimeParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cfl, p.cfl);
+        assert_eq!(back.mesh.nxb, p.mesh.nxb);
+        assert_eq!(back.policy, p.policy);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = RuntimeParams::with_mesh(MeshConfig::test_2d());
+        assert!(p.cfl > 0.0 && p.cfl < 1.0);
+        assert!(p.regrid_every >= 1);
+        assert!(p.tlb_sample_every >= 1);
+    }
+}

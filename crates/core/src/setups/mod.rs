@@ -1,0 +1,5 @@
+//! The paper's two test problems as FLASH-style setups.
+
+pub mod sedov;
+pub mod sod;
+pub mod supernova;

@@ -1,0 +1,247 @@
+//! The simulation driver (FLASH's `Driver_evolveFlash`).
+
+use rflash_flame::AdrFlame;
+use rflash_gravity::{apply_gravity, GravityField, MonopoleSolver};
+use rflash_hydro::{compute_dt, sweep_direction, SweepConfig, NFLUX};
+use rflash_mesh::flux::FluxRegister;
+use rflash_mesh::refine::{lohner_marks, LohnerConfig};
+use rflash_mesh::{guardcell, vars, Domain};
+use rflash_perfmon::{Measures, PerfSession, SessionConfig, Timers};
+
+use crate::eos_choice::{Composition, EosChoice};
+use crate::instrument::{eos_pass, register_buffers};
+use crate::params::RuntimeParams;
+
+/// Gravity configuration for a run.
+pub struct GravityConfig {
+    pub field: GravityField,
+    /// Rebuild the monopole profile every `gravity_every` steps when set.
+    pub monopole: Option<MonopoleSolver>,
+}
+
+impl GravityConfig {
+    /// No gravity at all.
+    pub fn none() -> GravityConfig {
+        GravityConfig {
+            field: GravityField::None,
+            monopole: None,
+        }
+    }
+}
+
+/// One assembled run: mesh + physics + instrumentation.
+pub struct Simulation {
+    pub domain: Domain,
+    pub eos: EosChoice,
+    pub comp: Composition,
+    pub flame: Option<AdrFlame>,
+    pub gravity: GravityConfig,
+    pub params: RuntimeParams,
+    pub timers: Timers,
+    /// Instrumented "Hydro" region (Table II).
+    pub hydro_session: PerfSession,
+    /// Instrumented "EOS" region (Table I).
+    pub eos_session: PerfSession,
+    reg: FluxRegister,
+    pub time: f64,
+    pub step: u64,
+    pub energy_released: f64,
+    /// Variables fed to the refinement estimator.
+    pub refine_vars: Vec<usize>,
+    pub lohner: LohnerConfig,
+}
+
+impl Simulation {
+    /// Assemble a simulation from an initialized domain. Sessions get the
+    /// big buffers registered with frame sizes the kernel *actually*
+    /// granted (verified via smaps).
+    pub fn assemble(
+        domain: Domain,
+        eos: EosChoice,
+        comp: Composition,
+        params: RuntimeParams,
+    ) -> Simulation {
+        let session_config = SessionConfig {
+            sample_every: params.tlb_sample_every,
+            // Kernels record one pattern per `pattern_every` pencils/rows;
+            // scale the model's counters back to full coverage.
+            coverage_scale: params.pattern_every.max(1) as f64,
+            use_hw: params.use_hw,
+            ..SessionConfig::default()
+        };
+        let mut hydro_session = PerfSession::new(session_config);
+        let mut eos_session = PerfSession::new(session_config);
+        register_buffers(&mut hydro_session, &domain, &eos);
+        register_buffers(&mut eos_session, &domain, &eos);
+        let cfg = domain.tree.config();
+        let reg = FluxRegister::new(cfg.ndim, cfg.nxb, NFLUX, cfg.max_blocks);
+        Simulation {
+            reg,
+            domain,
+            eos,
+            comp,
+            flame: None,
+            gravity: GravityConfig::none(),
+            params,
+            timers: Timers::new(),
+            hydro_session,
+            eos_session,
+            time: 0.0,
+            step: 0,
+            energy_released: 0.0,
+            refine_vars: vec![vars::DENS, vars::PRES],
+            lohner: LohnerConfig::default(),
+        }
+    }
+
+    /// Run the EOS everywhere (used at init and after regrids).
+    pub fn eos_everywhere(&mut self) {
+        eos_pass(
+            &mut self.domain,
+            &self.eos,
+            self.comp,
+            &self.params,
+            &mut self.eos_session,
+        );
+    }
+
+    /// One time step: dt → split sweeps (each followed by the instrumented
+    /// EOS pass) → flame → gravity → optional regrid.
+    pub fn step(&mut self) -> f64 {
+        let ndim = self.domain.tree.config().ndim;
+        self.timers.start("step");
+
+        self.timers.start("dt");
+        let dt = compute_dt(&self.domain, self.params.cfl);
+        self.timers.stop("dt");
+
+        let sweep_cfg = SweepConfig {
+            nranks: self.params.nranks,
+            dens_floor: self.params.dens_floor,
+            eint_floor: self.params.eint_floor,
+            pattern_every: self.params.pattern_every,
+        };
+        // The sweep defers thermodynamics to the instrumented EOS pass.
+        let defer_eos = |_s: &mut rflash_eos::EosState,
+                         _p: &mut rflash_perfmon::Probe|
+         -> Result<bool, rflash_eos::EosError> { Ok(false) };
+
+        // Reverse the sweep order on odd steps (Strang-like alternation).
+        let dirs: Vec<usize> = if self.step.is_multiple_of(2) {
+            (0..ndim).collect()
+        } else {
+            (0..ndim).rev().collect()
+        };
+        for dir in dirs {
+            self.timers.start("hydro");
+            self.hydro_session.start_region();
+            let probes = sweep_direction(
+                &mut self.domain,
+                &defer_eos,
+                dir,
+                dt,
+                &mut self.reg,
+                &sweep_cfg,
+            );
+            for probe in probes {
+                self.hydro_session.absorb(probe);
+            }
+            self.hydro_session.stop_region();
+            self.timers.stop("hydro");
+
+            self.timers.start("eos");
+            self.eos_everywhere();
+            self.timers.stop("eos");
+        }
+
+        if let Some(flame) = &self.flame {
+            self.timers.start("flame");
+            guardcell::fill_guardcells(&self.domain.tree, &mut self.domain.unk);
+            let (probes, released) = flame.advance(&mut self.domain, dt);
+            for probe in probes {
+                self.hydro_session.absorb(probe);
+            }
+            self.energy_released += released;
+            self.timers.stop("flame");
+            self.timers.start("eos");
+            self.eos_everywhere();
+            self.timers.stop("eos");
+        }
+
+        if !matches!(self.gravity.field, GravityField::None) || self.gravity.monopole.is_some() {
+            self.timers.start("gravity");
+            if let Some(solver) = &self.gravity.monopole {
+                if self.step.is_multiple_of(self.params.gravity_every) {
+                    self.gravity.field = GravityField::Monopole(solver.solve(&self.domain));
+                }
+            }
+            apply_gravity(&mut self.domain, &self.gravity.field, dt);
+            self.timers.stop("gravity");
+        }
+
+        self.step += 1;
+        self.time += dt;
+
+        if self.params.regrid_every > 0 && self.step.is_multiple_of(self.params.regrid_every) {
+            self.timers.start("regrid");
+            guardcell::fill_guardcells(&self.domain.tree, &mut self.domain.unk);
+            let marks = lohner_marks(
+                &self.domain.tree,
+                &self.domain.unk,
+                &self.refine_vars,
+                &self.lohner,
+            );
+            self.domain.tree.adapt(&mut self.domain.unk, &marks);
+            self.timers.stop("regrid");
+        }
+
+        self.timers.stop("step");
+        dt
+    }
+
+    /// Evolve `nsteps` steps under the "evolution" timer (the paper's
+    /// "FLASH Timer").
+    pub fn evolve(&mut self, nsteps: u64) {
+        self.timers.start("evolution");
+        for _ in 0..nsteps {
+            self.step();
+        }
+        self.timers.stop("evolution");
+    }
+
+    /// Total wall time of the evolution loop — the "FLASH Timer (s)" row.
+    pub fn flash_timer(&self) -> f64 {
+        self.timers.seconds("evolution")
+    }
+
+    /// Paper-style measures for the EOS region (Table I column).
+    pub fn eos_measures(&self) -> Measures {
+        self.eos_session.measures(self.flash_timer())
+    }
+
+    /// Paper-style measures for the Hydro region (Table II column).
+    pub fn hydro_measures(&self) -> Measures {
+        self.hydro_session.measures(self.flash_timer())
+    }
+
+    /// Total mass on the mesh (conservation checks).
+    pub fn total_mass(&self) -> f64 {
+        let cfg = self.domain.tree.config();
+        let mut m = 0.0;
+        for id in self.domain.tree.leaves() {
+            let dx = self.domain.tree.cell_size(id);
+            for k in self.domain.unk.interior_k() {
+                for j in self.domain.unk.interior() {
+                    for i in self.domain.unk.interior() {
+                        let x = self.domain.tree.cell_center(id, i, j, k);
+                        let lo = [x[0] - 0.5 * dx[0], x[1] - 0.5 * dx[1], x[2] - 0.5 * dx[2]];
+                        let hi = [x[0] + 0.5 * dx[0], x[1] + 0.5 * dx[1], x[2] + 0.5 * dx[2]];
+                        let dv = cfg.geometry.cell_volume(lo, hi, cfg.ndim);
+                        m += self.domain.unk.get(vars::DENS, i, j, k, id.idx()) * dv;
+                    }
+                }
+            }
+        }
+        m
+    }
+}

@@ -1,0 +1,180 @@
+//! Ideal-gas gamma-law EOS — FLASH's default for pure-hydro test problems
+//! like the Sedov explosion (the paper's "3-d Hydro" test).
+
+use crate::consts::{K_B, N_A};
+use crate::{Eos, EosError, EosMode, EosState};
+
+/// P = (γ−1) ρ e, with temperature defined through the ideal-gas specific
+/// heat c_v = Nₐ k / (Ā (γ−1)).
+#[derive(Clone, Copy, Debug)]
+pub struct GammaLaw {
+    gamma: f64,
+}
+
+impl GammaLaw {
+    /// # Panics
+    /// `gamma` must exceed 1 (otherwise c_v and the sound speed are
+    /// undefined).
+    pub fn new(gamma: f64) -> GammaLaw {
+        assert!(gamma > 1.0, "gamma-law EOS requires gamma > 1");
+        GammaLaw { gamma }
+    }
+
+    /// The adiabatic index.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    fn cv(&self, abar: f64) -> f64 {
+        N_A * K_B / (abar * (self.gamma - 1.0))
+    }
+}
+
+impl Default for GammaLaw {
+    /// The monatomic-gas 5/3 used by the FLASH Sedov setup.
+    fn default() -> Self {
+        GammaLaw::new(5.0 / 3.0)
+    }
+}
+
+impl Eos for GammaLaw {
+    fn call(&self, mode: EosMode, s: &mut EosState) -> Result<(), EosError> {
+        if !(s.dens > 0.0) || !s.dens.is_finite() {
+            return Err(EosError::BadInput {
+                what: "dens",
+                value: s.dens,
+            });
+        }
+        let cv = self.cv(s.abar);
+        match mode {
+            EosMode::DensTemp => {
+                if !(s.temp > 0.0) {
+                    return Err(EosError::BadInput {
+                        what: "temp",
+                        value: s.temp,
+                    });
+                }
+                s.eint = cv * s.temp;
+            }
+            EosMode::DensEi => {
+                if !(s.eint > 0.0) {
+                    return Err(EosError::BadInput {
+                        what: "eint",
+                        value: s.eint,
+                    });
+                }
+                s.temp = s.eint / cv;
+            }
+            EosMode::DensPres => {
+                if !(s.pres > 0.0) {
+                    return Err(EosError::BadInput {
+                        what: "pres",
+                        value: s.pres,
+                    });
+                }
+                s.eint = s.pres / ((self.gamma - 1.0) * s.dens);
+                s.temp = s.eint / cv;
+            }
+        }
+        s.pres = (self.gamma - 1.0) * s.dens * s.eint;
+        s.cv = cv;
+        s.gamc = self.gamma;
+        s.entr = cv * (s.temp.max(f64::MIN_POSITIVE).ln()
+            - (self.gamma - 1.0) * s.dens.ln());
+        s.finish_derived();
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "gamma-law"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> EosState {
+        let mut s = EosState::co_wd(1.0, 0.0);
+        s.abar = 1.0;
+        s.zbar = 1.0;
+        s
+    }
+
+    #[test]
+    fn dens_temp_gives_ideal_gas_pressure() {
+        let eos = GammaLaw::default();
+        let mut s = state();
+        s.temp = 1e6;
+        eos.call(EosMode::DensTemp, &mut s).unwrap();
+        let expect = s.dens * N_A * K_B * s.temp / s.abar;
+        assert!((s.pres - expect).abs() / expect < 1e-12);
+        assert!((s.game - eos.gamma()).abs() < 1e-12);
+        assert!(s.cs > 0.0);
+    }
+
+    #[test]
+    fn modes_round_trip() {
+        let eos = GammaLaw::new(1.4);
+        let mut s = state();
+        s.temp = 3e7;
+        eos.call(EosMode::DensTemp, &mut s).unwrap();
+        let (p0, e0, t0) = (s.pres, s.eint, s.temp);
+
+        // Perturb temp, recover it from energy.
+        s.temp = 0.0;
+        eos.call(EosMode::DensEi, &mut s).unwrap();
+        assert!((s.temp - t0).abs() / t0 < 1e-12);
+
+        // Recover from pressure.
+        s.temp = 0.0;
+        s.eint = 0.0;
+        s.pres = p0;
+        eos.call(EosMode::DensPres, &mut s).unwrap();
+        assert!((s.eint - e0).abs() / e0 < 1e-12);
+        assert!((s.temp - t0).abs() / t0 < 1e-12);
+    }
+
+    #[test]
+    fn sound_speed_formula() {
+        let eos = GammaLaw::default();
+        let mut s = state();
+        s.dens = 2.0;
+        s.temp = 1e6;
+        eos.call(EosMode::DensTemp, &mut s).unwrap();
+        let expect = (eos.gamma() * s.pres / s.dens).sqrt();
+        assert!((s.cs - expect).abs() / expect < 1e-14);
+    }
+
+    #[test]
+    fn entropy_increases_with_temperature() {
+        let eos = GammaLaw::default();
+        let mut a = state();
+        a.temp = 1e6;
+        eos.call(EosMode::DensTemp, &mut a).unwrap();
+        let mut b = state();
+        b.temp = 1e7;
+        eos.call(EosMode::DensTemp, &mut b).unwrap();
+        assert!(b.entr > a.entr);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let eos = GammaLaw::default();
+        let mut s = state();
+        s.dens = -1.0;
+        assert!(eos.call(EosMode::DensTemp, &mut s).is_err());
+        let mut s = state();
+        s.temp = 0.0;
+        assert!(eos.call(EosMode::DensTemp, &mut s).is_err());
+        let mut s = state();
+        s.eint = -5.0;
+        assert!(eos.call(EosMode::DensEi, &mut s).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma > 1")]
+    fn gamma_must_exceed_one() {
+        let _ = GammaLaw::new(1.0);
+    }
+}

@@ -1,0 +1,544 @@
+//! The full Helmholtz-style EOS: tabulated electrons/positrons + ideal ions
+//! + radiation, with the FLASH call modes.
+
+use crate::consts::{A_RAD, H_PLANCK, K_B, N_A};
+use crate::table::{ElecPoint, HelmTable, TableConfig};
+use crate::{Eos, EosError, EosMode, EosState};
+
+use rflash_hugepages::Policy;
+
+/// The white-dwarf-matter EOS of the paper's supernova simulations.
+pub struct Helmholtz {
+    table: HelmTable,
+    /// Include the photon gas (on in FLASH; switchable for tests).
+    pub include_radiation: bool,
+    /// Include the ideal ion gas.
+    pub include_ions: bool,
+    /// Include ion Coulomb corrections (FLASH's `coulomb_mult`):
+    /// Debye–Hückel in the weak-coupling limit, the Slattery–Doolen–DeWitt
+    /// one-component-plasma fit beyond. **Off by default**: the liquid OCP
+    /// fit is only valid below crystallization (Γ ≲ 175); enabling it is
+    /// appropriate for runs confined to the fluid regime (the supernova
+    /// interior), where it is a ~1–3 % negative correction. Over the full
+    /// table domain — which reaches solid carbon — no fluid correction is
+    /// thermodynamically consistent, which is also why FLASH ships
+    /// bomb-proofing cutoffs for it.
+    pub include_coulomb: bool,
+}
+
+/// Intermediate full evaluation at (ρ, T).
+#[derive(Clone, Copy, Debug, Default)]
+struct Eval {
+    pres: f64,
+    eint: f64, // specific, erg/g
+    entr: f64, // specific, erg/(g K)
+    cv: f64,   // specific
+    dpdt: f64,
+    dpdr: f64,
+}
+
+impl Helmholtz {
+    /// Build with a freshly computed table under the given huge-page policy.
+    pub fn build(config: TableConfig, policy: Policy) -> Result<Helmholtz, EosError> {
+        Ok(Helmholtz {
+            table: HelmTable::build(config, policy)?,
+            include_radiation: true,
+            include_ions: true,
+            include_coulomb: false,
+        })
+    }
+
+    /// Build with a disk-cached table (FLASH's `helm_table.dat` pattern):
+    /// loads `cache` when its geometry matches, else computes and caches.
+    pub fn build_cached(
+        config: TableConfig,
+        policy: Policy,
+        cache: &std::path::Path,
+    ) -> Result<Helmholtz, EosError> {
+        Ok(Helmholtz {
+            table: HelmTable::build_or_load(config, policy, cache)?,
+            include_radiation: true,
+            include_ions: true,
+            include_coulomb: false,
+        })
+    }
+
+    /// Access the underlying table (harness: TLB registration, backing audit).
+    pub fn table(&self) -> &HelmTable {
+        &self.table
+    }
+
+    fn evaluate(&self, dens: f64, temp: f64, abar: f64, zbar: f64) -> Result<Eval, EosError> {
+        let rho_ye = dens * zbar / abar;
+        let ele: ElecPoint = self.table.interp(rho_ye, temp)?;
+        let mut ev = Eval {
+            pres: ele.pres,
+            eint: ele.ener / dens,
+            entr: ele.entr / dens,
+            cv: ele.ener / dens / temp * ele.dlne_dlnt,
+            dpdt: ele.pres / temp * ele.dlnp_dlnt,
+            // ρYₑ ∝ ρ at fixed composition, so ∂lnP/∂lnρ = dlnp_dlnr.
+            dpdr: ele.pres / dens * ele.dlnp_dlnr,
+        };
+        if self.include_radiation {
+            let prad = A_RAD * temp.powi(4) / 3.0;
+            ev.pres += prad;
+            ev.eint += 3.0 * prad / dens;
+            ev.entr += 4.0 * prad / (dens * temp); // s_rad = 4aT³/(3ρ) = 4P_rad/(ρT)
+            ev.cv += 12.0 * prad / (dens * temp); // d(3aT⁴/ρ)/dT = 12aT³/ρ
+            ev.dpdt += 4.0 * prad / temp;
+        }
+        if self.include_ions {
+            let nkt = dens * N_A * K_B * temp / abar; // ion ideal pressure
+            ev.pres += nkt;
+            ev.eint += 1.5 * nkt / dens;
+            ev.cv += 1.5 * N_A * K_B / abar;
+            ev.dpdt += nkt / temp;
+            ev.dpdr += nkt / dens;
+            ev.entr += sackur_tetrode(dens, temp, abar);
+            if self.include_coulomb {
+                add_coulomb(&mut ev, dens, temp, abar, zbar);
+            }
+        }
+        Ok(ev)
+    }
+
+    fn apply(&self, s: &mut EosState, ev: Eval) {
+        s.pres = ev.pres;
+        s.eint = ev.eint;
+        s.entr = ev.entr;
+        s.cv = ev.cv;
+        // Γ₁ = ρ/P · (∂P/∂ρ|T + T (∂P/∂T|ρ)² / (ρ² c_v)).
+        let chi = ev.dpdr + s.temp * ev.dpdt * ev.dpdt / (s.dens * s.dens * ev.cv);
+        s.gamc = (chi * s.dens / ev.pres).max(1.01);
+        s.finish_derived();
+    }
+
+    /// Temperature bounds of the table domain.
+    fn temp_bounds(&self) -> (f64, f64) {
+        let (lo, hi) = self.table.config().log_temp;
+        (10f64.powf(lo), 10f64.powf(hi))
+    }
+
+    /// Invert `target(T) = goal` by safeguarded Newton in ln T.
+    fn invert<F>(&self, s: &EosState, goal: f64, mode: &'static str, f: F) -> Result<(f64, Eval), EosError>
+    where
+        F: Fn(&Eval) -> (f64, f64), // (value, d(value)/dT)
+    {
+        let (tmin, tmax) = self.temp_bounds();
+        let mut t = s.temp.clamp(tmin * 1.0001, tmax * 0.9999);
+        if !t.is_finite() || t <= 0.0 {
+            t = (tmin * tmax).sqrt();
+        }
+        let (mut lo, mut hi) = (tmin, tmax);
+        let mut best: Option<(f64, f64, Eval)> = None; // (|resid|, t, eval)
+        let mut prev_resid = f64::INFINITY;
+        for iter in 0..160 {
+            let ev = self.evaluate(s.dens, t, s.abar, s.zbar)?;
+            let (value, dvdt) = f(&ev);
+            let resid = (value - goal) / goal.abs().max(f64::MIN_POSITIVE);
+            if best.as_ref().is_none_or(|(r, _, _)| resid.abs() < *r) {
+                best = Some((resid.abs(), t, ev));
+            }
+            if resid.abs() < 1e-10 {
+                return Ok((t, ev));
+            }
+            if value > goal {
+                hi = hi.min(t);
+            } else {
+                lo = lo.max(t);
+            }
+            // The bicubic interpolant can be locally non-monotone (pair
+            // region, patch boundaries); once the bracket has collapsed the
+            // best point is as converged as the table permits.
+            if hi / lo < 1.0 + 1e-14 {
+                break;
+            }
+            // Newton only while it actually improves; otherwise guarantee
+            // progress with log-space bisection (the bracket always
+            // shrinks because t is strictly inside (lo, hi)).
+            let newton = t - (value - goal) / dvdt;
+            let newton_ok = newton.is_finite()
+                && newton > lo
+                && newton < hi
+                && (iter < 8 || resid.abs() < 0.5 * prev_resid);
+            t = if newton_ok { newton } else { (lo * hi).sqrt() };
+            prev_resid = resid.abs();
+        }
+        // Accept the bracket-collapse plateau: when the (bicubic) e(T) or
+        // P(T) interpolant is locally non-monotone, the bisection limit IS
+        // the table's accuracy — a coarse table can leave ~1e-3-level
+        // residuals at the jump. FLASH's helmholtz accepts comparable
+        // Newton plateaus with a warning counter.
+        let (best_resid, best_t, best_ev) = best.expect("at least one evaluation");
+        // Goal below/above the physically representable range (e.g. a
+        // rarefaction cooled matter below the table's temperature floor):
+        // pin to the table edge, FLASH-style.
+        let edge_pinned = best_t < tmin * 1.01 || best_t > tmax * 0.99;
+        if best_resid < 1e-2 || (edge_pinned && best_resid < 0.5) {
+            Ok((best_t, best_ev))
+        } else {
+            Err(EosError::NoConvergence {
+                mode,
+                residual: best_resid,
+            })
+        }
+    }
+}
+
+/// Ion Coulomb corrections for a one-component plasma.
+///
+/// Coupling parameter Γ = Z²e²/(a·kT) with the ion-sphere radius
+/// a = (3/4πn_i)^{1/3}. Internal energy per ion in kT units:
+/// * weak coupling: Debye–Hückel, u = −(√3/2)·Γ^{3/2};
+/// * liquid OCP: Slattery, Doolen & DeWitt (1982) fit
+///   u = AΓ + BΓ^{1/4} + CΓ^{−1/4} + D.
+///
+/// The two expressions cross at Γ ≈ 0.1821, which is where we switch —
+/// u(Γ) is then continuous by construction.
+///
+/// The virial theorem gives P_C = n_i kT·u/3. Derivatives follow from
+/// Γ ∝ n_i^{1/3}/T analytically.
+fn add_coulomb(ev: &mut Eval, dens: f64, temp: f64, abar: f64, zbar: f64) {
+    const E2: f64 = 2.3070775e-19; // e² in CGS (esu²)
+    const A: f64 = -0.897744;
+    const B: f64 = 0.95043;
+    const C: f64 = 0.18956;
+    const D: f64 = -0.81487;
+
+    let n_ion = dens * N_A / abar;
+    let a_ion = (3.0 / (4.0 * std::f64::consts::PI * n_ion)).cbrt();
+    let kt = K_B * temp;
+    let gamma = zbar * zbar * E2 / (a_ion * kt);
+    if !(gamma > 0.0) || !gamma.is_finite() {
+        return;
+    }
+
+    // u = U/(N kT) and Γ·du/dΓ. Branches cross at Γ ≈ 0.1821.
+    const GAMMA_SWITCH: f64 = 0.18214891338532474;
+    let (u, gdudg) = if gamma < GAMMA_SWITCH {
+        let u = -0.75f64.sqrt() * gamma.powf(1.5);
+        (u, 1.5 * u)
+    } else {
+        let u = A * gamma + B * gamma.powf(0.25) + C * gamma.powf(-0.25) + D;
+        let g = A * gamma + 0.25 * B * gamma.powf(0.25) - 0.25 * C * gamma.powf(-0.25);
+        (u, g)
+    };
+
+    let nkt = n_ion * kt;
+    let p_c = nkt * u / 3.0;
+    // FLASH-style "bomb-proofing", smoothed: when the Coulomb term grows
+    // toward ~10% of the total pressure the fluid OCP fit is leaving its
+    // regime (solid carbon at low T, Γ ≫ Γ_melt), so the correction is
+    // tapered off. A *smooth* taper (rather than FLASH's hard cutoff)
+    // keeps e(T) and P(T) continuous so the Newton inversions stay well
+    // posed. In the regimes the supernova application visits the taper is
+    // ≈1 and the correction is a small negative term.
+    let ratio = p_c.abs() / (0.1 * ev.pres).max(f64::MIN_POSITIVE);
+    let taper = 1.0 / (1.0 + ratio * ratio * ratio * ratio);
+    let p_c = p_c * taper;
+    let u = u * taper;
+    let gdudg = gdudg * taper;
+    ev.pres += p_c;
+    ev.eint += nkt * u / dens;
+    // Γ ∝ T⁻¹ at fixed ρ: d(nkT·u)/dT = n k (u + T du/dT) = n k (u − Γu').
+    ev.cv += n_ion * K_B * (u - gdudg) / dens;
+    ev.dpdt += n_ion * K_B * (u - gdudg) / 3.0;
+    // Γ ∝ ρ^{1/3} at fixed T: dP_C/dρ = (P_C/ρ)(1 + (1/3)Γu'/u) — expand:
+    // P_C = (kT/3)(N_A/abar)ρ·u(Γ(ρ)), dP_C/dρ = (P_C/ρ) + (kT N_A/3abar)·(Γu')/3.
+    ev.dpdr += p_c / dens + kt * N_A / (3.0 * abar) * gdudg / 3.0;
+}
+
+/// Sackur–Tetrode specific entropy for the ideal ion gas, erg/(g·K).
+fn sackur_tetrode(dens: f64, temp: f64, abar: f64) -> f64 {
+    let m_ion = abar / N_A; // grams per ion
+    let n_ion = dens * N_A / abar; // cm⁻³
+    let n_q = (2.0 * std::f64::consts::PI * m_ion * K_B * temp / (H_PLANCK * H_PLANCK)).powf(1.5);
+    (N_A * K_B / abar) * ((n_q / n_ion).max(f64::MIN_POSITIVE).ln() + 2.5)
+}
+
+impl Eos for Helmholtz {
+    fn call(&self, mode: EosMode, s: &mut EosState) -> Result<(), EosError> {
+        if !(s.dens > 0.0) || !s.dens.is_finite() {
+            return Err(EosError::BadInput {
+                what: "dens",
+                value: s.dens,
+            });
+        }
+        if !(s.abar > 0.0) || !(s.zbar > 0.0) {
+            return Err(EosError::BadInput {
+                what: "abar/zbar",
+                value: s.abar,
+            });
+        }
+        match mode {
+            EosMode::DensTemp => {
+                let ev = self.evaluate(s.dens, s.temp, s.abar, s.zbar)?;
+                self.apply(s, ev);
+            }
+            EosMode::DensEi => {
+                let goal = s.eint;
+                if !(goal > 0.0) {
+                    return Err(EosError::BadInput {
+                        what: "eint",
+                        value: goal,
+                    });
+                }
+                let (t, ev) = self.invert(s, goal, "DensEi", |ev| (ev.eint, ev.cv))?;
+                s.temp = t;
+                self.apply(s, ev);
+                s.eint = goal; // preserve the conserved quantity exactly
+                s.finish_derived();
+            }
+            EosMode::DensPres => {
+                let goal = s.pres;
+                if !(goal > 0.0) {
+                    return Err(EosError::BadInput {
+                        what: "pres",
+                        value: goal,
+                    });
+                }
+                let (t, ev) = self.invert(s, goal, "DensPres", |ev| (ev.pres, ev.dpdt))?;
+                s.temp = t;
+                self.apply(s, ev);
+                s.pres = goal;
+                s.finish_derived();
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "helmholtz"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::electron::cold_pressure;
+    use rflash_hugepages::Policy;
+    use std::sync::OnceLock;
+
+    /// Build the (coarse) test table once for the whole module.
+    fn eos() -> &'static Helmholtz {
+        static EOS: OnceLock<Helmholtz> = OnceLock::new();
+        EOS.get_or_init(|| Helmholtz::build(TableConfig::coarse(), Policy::None).unwrap())
+    }
+
+    #[test]
+    fn ideal_regime_matches_two_ideal_gases() {
+        // Warm, dilute hydrogen-like matter: ions + electrons, each n k T.
+        let mut s = EosState {
+            abar: 1.0,
+            zbar: 1.0,
+            ..EosState::co_wd(1e-3, 1e6)
+        };
+        eos().call(EosMode::DensTemp, &mut s).unwrap();
+        let nkt = s.dens * N_A * K_B * s.temp / s.abar;
+        assert!(
+            (s.pres - 2.0 * nkt).abs() / (2.0 * nkt) < 0.05,
+            "P={:e} 2nkT={:e}",
+            s.pres,
+            2.0 * nkt
+        );
+    }
+
+    #[test]
+    fn wd_core_is_degeneracy_dominated() {
+        let mut s = EosState::co_wd(2e9, 5e7);
+        eos().call(EosMode::DensTemp, &mut s).unwrap();
+        let cold = cold_pressure(s.dens * s.ye() * N_A);
+        assert!(
+            (s.pres - cold).abs() / cold < 0.05,
+            "P={:e} cold={cold:e}",
+            s.pres
+        );
+        // Γ₁ between 4/3 (relativistic) and 5/3.
+        assert!(s.gamc > 1.3 && s.gamc < 1.7, "gamc={}", s.gamc);
+        // Sound speed below c.
+        assert!(s.cs < 3e10);
+    }
+
+    #[test]
+    fn radiation_dominated_gamma_is_four_thirds() {
+        // 1e8 K: hot enough for radiation to dwarf the dilute matter,
+        // cool enough that e± pair creation (which physically drives
+        // gamma_1 below 4/3, the pair-instability effect) is absent.
+        let mut s = EosState::co_wd(2e-4, 1e8);
+        eos().call(EosMode::DensTemp, &mut s).unwrap();
+        let prad = A_RAD * s.temp.powi(4) / 3.0;
+        assert!(prad / s.pres > 0.9, "radiation fraction {}", prad / s.pres);
+        assert!((s.gamc - 4.0 / 3.0).abs() < 0.05, "gamc={}", s.gamc);
+    }
+
+    #[test]
+    fn pair_creation_region_softens_gamma() {
+        // The physical counterpart of the case above: at 1e9 K and low
+        // density, pair creation acts like an ionization zone and drives
+        // gamma_1 below 4/3 (pair instability).
+        let mut s = EosState::co_wd(2e-4, 1e9);
+        eos().call(EosMode::DensTemp, &mut s).unwrap();
+        assert!(s.gamc < 4.0 / 3.0, "gamc={}", s.gamc);
+        assert!(s.gamc > 1.0);
+    }
+
+    #[test]
+    fn dens_ei_round_trip() {
+        for (dens, temp) in [(1e7, 1e8), (2e9, 5e7), (1e5, 3e9), (1e2, 1e7)] {
+            let mut s = EosState::co_wd(dens, temp);
+            eos().call(EosMode::DensTemp, &mut s).unwrap();
+            let t_true = s.temp;
+            s.temp = 1e6; // bad guess
+            eos().call(EosMode::DensEi, &mut s).unwrap();
+            assert!(
+                (s.temp - t_true).abs() / t_true < 1e-6,
+                "dens={dens:e}: T={:e} vs {t_true:e}",
+                s.temp
+            );
+        }
+    }
+
+    #[test]
+    fn dens_pres_round_trip() {
+        for (dens, temp) in [(1e7, 1e8), (1e3, 1e8)] {
+            let mut s = EosState::co_wd(dens, temp);
+            eos().call(EosMode::DensTemp, &mut s).unwrap();
+            let t_true = s.temp;
+            s.temp = 1e9;
+            eos().call(EosMode::DensPres, &mut s).unwrap();
+            assert!(
+                (s.temp - t_true).abs() / t_true < 1e-5,
+                "dens={dens:e}: T={:e} vs {t_true:e}",
+                s.temp
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_pressure_insensitive_to_temperature() {
+        // The WD-core property that makes thermonuclear runaways possible:
+        // heating barely changes pressure.
+        let mut cold = EosState::co_wd(2e9, 1e7);
+        eos().call(EosMode::DensTemp, &mut cold).unwrap();
+        let mut hot = EosState::co_wd(2e9, 1e9);
+        eos().call(EosMode::DensTemp, &mut hot).unwrap();
+        assert!(
+            (hot.pres - cold.pres) / cold.pres < 0.05,
+            "ΔP/P = {}",
+            (hot.pres - cold.pres) / cold.pres
+        );
+    }
+
+    #[test]
+    fn cv_positive_and_entropy_rises_with_t() {
+        let mut a = EosState::co_wd(1e6, 1e7);
+        eos().call(EosMode::DensTemp, &mut a).unwrap();
+        let mut b = EosState::co_wd(1e6, 1e9);
+        eos().call(EosMode::DensTemp, &mut b).unwrap();
+        assert!(a.cv > 0.0 && b.cv > 0.0);
+        assert!(b.entr > a.entr);
+        assert!(b.eint > a.eint);
+    }
+
+    #[test]
+    fn bad_inputs_and_domain() {
+        let mut s = EosState::co_wd(-1.0, 1e7);
+        assert!(matches!(
+            eos().call(EosMode::DensTemp, &mut s),
+            Err(EosError::BadInput { .. })
+        ));
+        let mut s = EosState::co_wd(1e20, 1e7); // above table domain
+        assert!(matches!(
+            eos().call(EosMode::DensTemp, &mut s),
+            Err(EosError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn name_is_helmholtz() {
+        assert_eq!(eos().name(), "helmholtz");
+    }
+}
+
+#[cfg(test)]
+mod coulomb_tests {
+    use super::*;
+    use rflash_hugepages::Policy;
+    use std::sync::OnceLock;
+
+    fn pair() -> &'static (Helmholtz, Helmholtz) {
+        static EOS: OnceLock<(Helmholtz, Helmholtz)> = OnceLock::new();
+        EOS.get_or_init(|| {
+            let mut with = Helmholtz::build(TableConfig::coarse(), Policy::None).unwrap();
+            with.include_coulomb = true;
+            let without = Helmholtz::build(TableConfig::coarse(), Policy::None).unwrap();
+            (with, without)
+        })
+    }
+
+    #[test]
+    fn coulomb_correction_is_negative_and_small_at_wd_core() {
+        let (with, without) = pair();
+        let mut a = EosState::co_wd(2e9, 5e7);
+        with.call(EosMode::DensTemp, &mut a).unwrap();
+        let mut b = EosState::co_wd(2e9, 5e7);
+        without.call(EosMode::DensTemp, &mut b).unwrap();
+        // Binding lowers both pressure and energy…
+        assert!(a.pres < b.pres);
+        assert!(a.eint < b.eint);
+        // …by a small fraction of the (degeneracy-dominated) total.
+        let dp = (b.pres - a.pres) / b.pres;
+        assert!(dp > 1e-5 && dp < 0.05, "ΔP/P = {dp}");
+    }
+
+    #[test]
+    fn coulomb_negligible_when_weakly_coupled() {
+        // Hot and dilute: Γ ≪ 1, the correction must all but vanish.
+        let (with, without) = pair();
+        let mut a = EosState::co_wd(1.0, 1e9);
+        with.call(EosMode::DensTemp, &mut a).unwrap();
+        let mut b = EosState::co_wd(1.0, 1e9);
+        without.call(EosMode::DensTemp, &mut b).unwrap();
+        assert!(((b.pres - a.pres) / b.pres).abs() < 1e-4);
+    }
+
+    #[test]
+    fn coulomb_branch_is_continuous_at_the_switch() {
+        // The switch point is the crossing of the two fits, so u(Γ) is
+        // continuous there to rounding.
+        let g = 0.18214891338532474f64;
+        let dh = -0.75f64.sqrt() * g.powf(1.5);
+        let ocp = -0.897744 * g + 0.95043 * g.powf(0.25) + 0.18956 * g.powf(-0.25) - 0.81487;
+        assert!((dh - ocp).abs() < 1e-12, "branch mismatch: {dh} vs {ocp}");
+    }
+
+    #[test]
+    fn coulomb_pressure_is_continuous_across_the_switch() {
+        // Vary density through the Γ-switch at fixed T and check P(ρ) has
+        // no visible jump (successive relative steps stay smooth).
+        let (with, _) = pair();
+        let mut prev: Option<f64> = None;
+        for i in 0..40 {
+            let dens = 10f64.powf(-2.0 + i as f64 * 0.1);
+            let mut s = EosState::co_wd(dens, 1e7);
+            with.call(EosMode::DensTemp, &mut s).unwrap();
+            if let Some(p_prev) = prev {
+                let step = s.pres / p_prev;
+                assert!(step > 1.0 && step < 4.0, "P jump at dens={dens:e}: ×{step}");
+            }
+            prev = Some(s.pres);
+        }
+    }
+
+    #[test]
+    fn inversions_still_round_trip_with_coulomb() {
+        let (with, _) = pair();
+        let mut s = EosState::co_wd(2e9, 5e7);
+        with.call(EosMode::DensTemp, &mut s).unwrap();
+        let t_true = s.temp;
+        s.temp = 1e9;
+        with.call(EosMode::DensEi, &mut s).unwrap();
+        assert!((s.temp - t_true).abs() / t_true < 1e-5, "{:e}", s.temp);
+    }
+}

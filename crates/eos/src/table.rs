@@ -1,0 +1,666 @@
+//! The tabulated electron/positron EOS.
+//!
+//! FLASH's Helmholtz EOS interpolates a pre-computed table instead of
+//! solving the Fermi–Dirac system per zone — that table (a few MB, accessed
+//! by data-dependent indices from every zone of every block) is the main
+//! DTLB-pressure source of the paper's "EOS" experiment. We build the table
+//! from the exact [`crate::electron`] physics at startup and store it in a
+//! [`PageBuffer`] so its memory backing follows the huge-page policy.
+//!
+//! Layout mirrors FLASH's `helm_table.dat` structure: separate planes per
+//! quantity and derivative (value, ∂/∂x, ∂/∂y, ∂²/∂x∂y for each of log P,
+//! log E, log S), so one interpolation gathers 48 doubles scattered over
+//! 12 planes — the access signature the TLB model replays.
+
+use rflash_hugepages::{PageBuffer, Policy};
+use serde::{Deserialize, Serialize};
+
+use crate::electron::electron_state_with_guess;
+use crate::EosError;
+
+/// Quantities stored in the table (log10 of each).
+const N_QUANT: usize = 3; // p, e, s
+/// Derivative planes per quantity: value, d/dx, d/dy, d²/dxdy.
+const N_DERIV: usize = 4;
+
+/// Table geometry and domain.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TableConfig {
+    /// Grid points along log10(ρYₑ).
+    pub n_rho: usize,
+    /// Grid points along log10(T).
+    pub n_temp: usize,
+    /// log10(ρYₑ) domain, g/cm³.
+    pub log_rho_ye: (f64, f64),
+    /// log10(T) domain, K.
+    pub log_temp: (f64, f64),
+}
+
+impl Default for TableConfig {
+    /// Production default: spans white-dwarf conditions with FLASH-like
+    /// resolution (≈ 0.05 dex in density, 0.08 dex in temperature).
+    fn default() -> Self {
+        TableConfig {
+            n_rho: 241,
+            n_temp: 101,
+            log_rho_ye: (-4.0, 10.0),
+            log_temp: (3.5, 11.5),
+        }
+    }
+}
+
+impl TableConfig {
+    /// A coarse table for fast construction in tests/examples.
+    pub fn coarse() -> TableConfig {
+        TableConfig {
+            n_rho: 41,
+            n_temp: 33,
+            ..TableConfig::default()
+        }
+    }
+}
+
+/// Interpolated electron-gas quantities at one (ρYₑ, T) point.
+///
+/// Derivative slopes are logarithmic: `dlnp_dlnr` = ∂lnP/∂ln(ρYₑ) at fixed
+/// T, `dlnp_dlnt` = ∂lnP/∂lnT at fixed ρYₑ; likewise for energy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ElecPoint {
+    /// Pressure, erg/cm³.
+    pub pres: f64,
+    /// Energy density, erg/cm³.
+    pub ener: f64,
+    /// Entropy density, erg/(cm³·K).
+    pub entr: f64,
+    pub dlnp_dlnr: f64,
+    pub dlnp_dlnt: f64,
+    pub dlne_dlnr: f64,
+    pub dlne_dlnt: f64,
+}
+
+/// The tabulated electron/positron EOS.
+pub struct HelmTable {
+    config: TableConfig,
+    /// 12 planes of n_temp × n_rho doubles, plane-major:
+    /// `data[((q*N_DERIV + d) * n_temp + it) * n_rho + ir]`.
+    data: PageBuffer<f64>,
+    dx: f64, // log10 rho_ye spacing
+    dy: f64, // log10 T spacing
+}
+
+impl HelmTable {
+    /// Build the table by solving the exact electron gas at every node.
+    pub fn build(config: TableConfig, policy: Policy) -> Result<HelmTable, EosError> {
+        assert!(config.n_rho >= 4 && config.n_temp >= 4, "table too small");
+        let (x0, x1) = config.log_rho_ye;
+        let (y0, y1) = config.log_temp;
+        assert!(x1 > x0 && y1 > y0, "degenerate table domain");
+        let dx = (x1 - x0) / (config.n_rho - 1) as f64;
+        let dy = (y1 - y0) / (config.n_temp - 1) as f64;
+
+        let plane = config.n_rho * config.n_temp;
+        let mut data = PageBuffer::<f64>::zeroed(plane * N_QUANT * N_DERIV, policy)
+            .expect("table allocation");
+
+        // Pass 1: values (log10 of p, e, s) at every node, warm-starting the
+        // η solve along each density sweep.
+        for it in 0..config.n_temp {
+            let temp = 10f64.powf(y0 + it as f64 * dy);
+            let mut eta_guess = None;
+            for ir in 0..config.n_rho {
+                let rho_ye = 10f64.powf(x0 + ir as f64 * dx);
+                let st = electron_state_with_guess(rho_ye, temp, eta_guess)?;
+                eta_guess = Some(st.eta);
+                let node = it * config.n_rho + ir;
+                data[Self::index_of(config, 0, 0, node)] = st.pres.log10();
+                data[Self::index_of(config, 1, 0, node)] = st.ener.log10();
+                data[Self::index_of(config, 2, 0, node)] = st.entr.max(1e-300).log10();
+            }
+        }
+
+        // Pass 2: finite-difference derivative planes from the value planes.
+        for q in 0..N_QUANT {
+            Self::fill_derivatives(config, &mut data, q, dx, dy);
+        }
+
+        Ok(HelmTable {
+            config,
+            data,
+            dx,
+            dy,
+        })
+    }
+
+    #[inline]
+    fn index_of(config: TableConfig, q: usize, d: usize, node: usize) -> usize {
+        ((q * N_DERIV + d) * config.n_temp * config.n_rho) + node
+    }
+
+    fn fill_derivatives(config: TableConfig, data: &mut PageBuffer<f64>, q: usize, dx: f64, dy: f64) {
+        let nr = config.n_rho;
+        let nt = config.n_temp;
+        let val = |data: &PageBuffer<f64>, it: usize, ir: usize| {
+            data[Self::index_of(config, q, 0, it * nr + ir)]
+        };
+        // Fritsch–Carlson limiting: log P, log E, log S are physically
+        // non-decreasing in both log ρYₑ and log T, and a cubic Hermite
+        // stays monotone when each node slope is within [0, 3·min(adjacent
+        // secants)]. Unlimited central differences overshoot at the sharp
+        // pair-creation/degeneracy transitions, producing non-monotone
+        // interpolants that break the Newton inversions.
+        let limit = |d: f64, sec_lo: Option<f64>, sec_hi: Option<f64>| -> f64 {
+            let cap = 3.0
+                * sec_lo
+                    .unwrap_or(f64::INFINITY)
+                    .min(sec_hi.unwrap_or(f64::INFINITY))
+                    .max(0.0);
+            d.clamp(0.0, cap)
+        };
+        // d/dx (density direction), one-sided at edges.
+        for it in 0..nt {
+            for ir in 0..nr {
+                let sec_lo = (ir > 0).then(|| (val(data, it, ir) - val(data, it, ir - 1)) / dx);
+                let sec_hi =
+                    (ir + 1 < nr).then(|| (val(data, it, ir + 1) - val(data, it, ir)) / dx);
+                let d = match (sec_lo, sec_hi) {
+                    (Some(a), Some(b)) => 0.5 * (a + b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => 0.0,
+                };
+                data[Self::index_of(config, q, 1, it * nr + ir)] = limit(d, sec_lo, sec_hi);
+            }
+        }
+        // d/dy (temperature direction).
+        for it in 0..nt {
+            for ir in 0..nr {
+                let sec_lo = (it > 0).then(|| (val(data, it, ir) - val(data, it - 1, ir)) / dy);
+                let sec_hi =
+                    (it + 1 < nt).then(|| (val(data, it + 1, ir) - val(data, it, ir)) / dy);
+                let d = match (sec_lo, sec_hi) {
+                    (Some(a), Some(b)) => 0.5 * (a + b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => 0.0,
+                };
+                data[Self::index_of(config, q, 2, it * nr + ir)] = limit(d, sec_lo, sec_hi);
+            }
+        }
+        // d²/dxdy from the d/dx plane differentiated in y.
+        let dvx = |data: &PageBuffer<f64>, it: usize, ir: usize| {
+            data[Self::index_of(config, q, 1, it * nr + ir)]
+        };
+        for it in 0..nt {
+            for ir in 0..nr {
+                let d = if it == 0 {
+                    (dvx(data, 1, ir) - dvx(data, 0, ir)) / dy
+                } else if it == nt - 1 {
+                    (dvx(data, nt - 1, ir) - dvx(data, nt - 2, ir)) / dy
+                } else {
+                    (dvx(data, it + 1, ir) - dvx(data, it - 1, ir)) / (2.0 * dy)
+                };
+                data[Self::index_of(config, q, 3, it * nr + ir)] = d;
+            }
+        }
+    }
+
+    /// Table configuration.
+    pub fn config(&self) -> &TableConfig {
+        &self.config
+    }
+
+    /// Base address of the underlying buffer (for TLB-model registration).
+    pub fn base_addr(&self) -> usize {
+        self.data.base_addr()
+    }
+
+    /// Size of the underlying buffer in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// How the kernel actually backs the table.
+    pub fn backing_report(&self) -> rflash_hugepages::BackingReport {
+        self.data.backing_report()
+    }
+
+    /// Domain check + cell/fraction location for a (ρYₑ, T) pair.
+    #[inline]
+    fn locate(&self, rho_ye: f64, temp: f64) -> Result<(usize, usize, f64, f64), EosError> {
+        let x = rho_ye.log10();
+        let y = temp.log10();
+        let (x0, x1) = self.config.log_rho_ye;
+        let (y0, y1) = self.config.log_temp;
+        if !(x >= x0 && x <= x1) {
+            return Err(EosError::OutOfRange {
+                what: "log10(rho*Ye)",
+                value: x,
+                lo: x0,
+                hi: x1,
+            });
+        }
+        if !(y >= y0 && y <= y1) {
+            return Err(EosError::OutOfRange {
+                what: "log10(T)",
+                value: y,
+                lo: y0,
+                hi: y1,
+            });
+        }
+        let fx = (x - x0) / self.dx;
+        let fy = (y - y0) / self.dy;
+        let ir = (fx as usize).min(self.config.n_rho - 2);
+        let it = (fy as usize).min(self.config.n_temp - 2);
+        Ok((ir, it, fx - ir as f64, fy - it as f64))
+    }
+
+    /// Interpolate the electron gas at (ρYₑ [g/cm³], T \[K\]).
+    pub fn interp(&self, rho_ye: f64, temp: f64) -> Result<ElecPoint, EosError> {
+        let (ir, it, tx, ty) = self.locate(rho_ye, temp)?;
+        let nr = self.config.n_rho;
+        let corners = [
+            it * nr + ir,
+            it * nr + ir + 1,
+            (it + 1) * nr + ir,
+            (it + 1) * nr + ir + 1,
+        ];
+
+        // Hermite basis in each direction.
+        let hx = hermite_basis(tx);
+        let hy = hermite_basis(ty);
+
+        let mut out = [0.0f64; N_QUANT]; // interpolated log10 values
+        let mut out_dx = [0.0f64; N_QUANT]; // d(log10 v)/d(log10 rho)
+        let mut out_dy = [0.0f64; N_QUANT];
+        let dhx = hermite_basis_deriv(tx);
+        let dhy = hermite_basis_deriv(ty);
+
+        for q in 0..N_QUANT {
+            // Gather the 16 Hermite coefficients: v, vx, vy, vxy at 4 corners.
+            let mut acc = 0.0;
+            let mut acc_dx = 0.0;
+            let mut acc_dy = 0.0;
+            for (c, &node) in corners.iter().enumerate() {
+                let cx = c % 2; // 0: left corner in x, 1: right
+                let cy = c / 2;
+                let v = self.data[Self::index_of(self.config, q, 0, node)];
+                let vx = self.data[Self::index_of(self.config, q, 1, node)] * self.dx;
+                let vy = self.data[Self::index_of(self.config, q, 2, node)] * self.dy;
+                let vxy = self.data[Self::index_of(self.config, q, 3, node)] * self.dx * self.dy;
+                let (bx_v, bx_d) = (hx[cx * 2], hx[cx * 2 + 1]);
+                let (by_v, by_d) = (hy[cy * 2], hy[cy * 2 + 1]);
+                let (dbx_v, dbx_d) = (dhx[cx * 2], dhx[cx * 2 + 1]);
+                let (dby_v, dby_d) = (dhy[cy * 2], dhy[cy * 2 + 1]);
+                acc += v * bx_v * by_v + vx * bx_d * by_v + vy * bx_v * by_d + vxy * bx_d * by_d;
+                acc_dx += v * dbx_v * by_v
+                    + vx * dbx_d * by_v
+                    + vy * dbx_v * by_d
+                    + vxy * dbx_d * by_d;
+                acc_dy += v * bx_v * dby_v
+                    + vx * bx_d * dby_v
+                    + vy * bx_v * dby_d
+                    + vxy * bx_d * dby_d;
+            }
+            out[q] = acc;
+            out_dx[q] = acc_dx / self.dx; // back to per-log10(rho_ye)
+            out_dy[q] = acc_dy / self.dy;
+        }
+
+        Ok(ElecPoint {
+            pres: 10f64.powf(out[0]),
+            ener: 10f64.powf(out[1]),
+            entr: 10f64.powf(out[2]),
+            // d(log10 P)/d(log10 r) equals dlnP/dlnr.
+            dlnp_dlnr: out_dx[0],
+            dlnp_dlnt: out_dy[0],
+            dlne_dlnr: out_dx[1],
+            dlne_dlnt: out_dy[1],
+        })
+    }
+
+    /// Append the element indices (into the underlying buffer) that one
+    /// interpolation at (ρYₑ, T) gathers — 48 scattered loads across the 12
+    /// planes. Used by the harness to drive the TLB model with the real
+    /// access signature.
+    pub fn gather_indices(
+        &self,
+        rho_ye: f64,
+        temp: f64,
+        out: &mut Vec<usize>,
+    ) -> Result<(), EosError> {
+        let (ir, it, _, _) = self.locate(rho_ye, temp)?;
+        let nr = self.config.n_rho;
+        for q in 0..N_QUANT {
+            for d in 0..N_DERIV {
+                for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    out.push(Self::index_of(
+                        self.config,
+                        q,
+                        d,
+                        (it + di) * nr + ir + dj,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Cubic Hermite basis at parameter t: [h00, h10, h01, h11] arranged as
+/// (value@0, slope@0, value@1, slope@1).
+#[inline]
+fn hermite_basis(t: f64) -> [f64; 4] {
+    let t2 = t * t;
+    let t3 = t2 * t;
+    [
+        2.0 * t3 - 3.0 * t2 + 1.0, // h00: value at left corner
+        t3 - 2.0 * t2 + t,         // h10: slope at left corner
+        -2.0 * t3 + 3.0 * t2,      // h01: value at right corner
+        t3 - t2,                   // h11: slope at right corner
+    ]
+}
+
+#[inline]
+fn hermite_basis_deriv(t: f64) -> [f64; 4] {
+    let t2 = t * t;
+    [
+        6.0 * t2 - 6.0 * t,
+        3.0 * t2 - 4.0 * t + 1.0,
+        -6.0 * t2 + 6.0 * t,
+        3.0 * t2 - 2.0 * t,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::electron::electron_state;
+
+    fn test_table() -> HelmTable {
+        HelmTable::build(TableConfig::coarse(), Policy::None).unwrap()
+    }
+
+    #[test]
+    fn hermite_basis_partitions_unity() {
+        for t in [0.0, 0.3, 0.7, 1.0] {
+            let h = hermite_basis(t);
+            assert!((h[0] + h[2] - 1.0).abs() < 1e-14);
+        }
+        // Interpolation conditions at the endpoints.
+        let h0 = hermite_basis(0.0);
+        assert_eq!(h0, [1.0, 0.0, 0.0, 0.0]);
+        let h1 = hermite_basis(1.0);
+        assert_eq!(h1, [0.0, 0.0, 1.0, 0.0]);
+        let d0 = hermite_basis_deriv(0.0);
+        assert_eq!(d0[1], 1.0);
+        let d1 = hermite_basis_deriv(1.0);
+        assert_eq!(d1[3], 1.0);
+    }
+
+    #[test]
+    fn interp_matches_exact_physics_off_grid() {
+        let table = test_table();
+        // Off-grid points across the domain, compared with the exact solver.
+        // The last point sits at pair-creation onset, the most strongly
+        // curved region of the surface; the coarse test grid (0.35 dex
+        // cells) resolves it to ~1%, the production grid to much better.
+        for (rho_ye, temp, tol) in [
+            (3.3e2, 2.7e7, 2e-3),
+            (7.7e5, 6.1e8, 2e-3),
+            (2.2e8, 4.4e7, 2e-3),
+            (5.0, 3.0e9, 1.5e-2),
+        ] {
+            let exact = electron_state(rho_ye, temp).unwrap();
+            let got = table.interp(rho_ye, temp).unwrap();
+            let perr = (got.pres - exact.pres).abs() / exact.pres;
+            let eerr = (got.ener - exact.ener).abs() / exact.ener;
+            assert!(perr < tol, "P rel err {perr:e} at ({rho_ye:e},{temp:e})");
+            assert!(eerr < tol, "E rel err {eerr:e} at ({rho_ye:e},{temp:e})");
+        }
+    }
+
+    #[test]
+    fn interp_is_exact_on_grid_nodes() {
+        let table = test_table();
+        let cfg = *table.config();
+        let (x0, _) = cfg.log_rho_ye;
+        let (y0, _) = cfg.log_temp;
+        let rho_ye = 10f64.powf(x0 + 5.0 * table.dx);
+        let temp = 10f64.powf(y0 + 7.0 * table.dy);
+        let exact = electron_state(rho_ye, temp).unwrap();
+        let got = table.interp(rho_ye, temp).unwrap();
+        assert!((got.pres - exact.pres).abs() / exact.pres < 1e-9);
+    }
+
+    #[test]
+    fn slopes_match_polytropic_limits() {
+        let table = test_table();
+        // Non-relativistic degenerate: dlnP/dlnρ → 5/3.
+        let p = table.interp(1e2, 1e5).unwrap();
+        assert!((p.dlnp_dlnr - 5.0 / 3.0).abs() < 0.05, "{}", p.dlnp_dlnr);
+        // Relativistic degenerate: → 4/3.
+        let p = table.interp(1e9, 1e6).unwrap();
+        assert!((p.dlnp_dlnr - 4.0 / 3.0).abs() < 0.05, "{}", p.dlnp_dlnr);
+        // Non-degenerate ideal (cool enough that e± pairs are absent —
+        // at 1e9 K pair creation makes dlnP/dlnT ≫ 1): dlnP/dlnT → 1.
+        let p = table.interp(1e-2, 1e7).unwrap();
+        assert!((p.dlnp_dlnt - 1.0).abs() < 0.1, "{}", p.dlnp_dlnt);
+    }
+
+    #[test]
+    fn out_of_domain_is_typed() {
+        let table = test_table();
+        assert!(matches!(
+            table.interp(1e20, 1e7),
+            Err(EosError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            table.interp(1.0, 1.0),
+            Err(EosError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn gather_indices_shape() {
+        let table = test_table();
+        let mut idx = Vec::new();
+        table.gather_indices(1e5, 1e8, &mut idx).unwrap();
+        assert_eq!(idx.len(), 48);
+        // All in-bounds and distinct-ish (4 corners × 12 planes).
+        let max = table.data.len();
+        assert!(idx.iter().all(|&i| i < max));
+        let planes = N_QUANT * N_DERIV;
+        let plane_size = table.config.n_rho * table.config.n_temp;
+        let distinct_planes: std::collections::HashSet<usize> =
+            idx.iter().map(|&i| i / plane_size).collect();
+        assert_eq!(distinct_planes.len(), planes);
+    }
+
+    #[test]
+    fn table_bytes_and_addr() {
+        let table = test_table();
+        assert_eq!(
+            table.bytes(),
+            41 * 33 * 12 * 8,
+            "coarse table is 41×33×12 doubles"
+        );
+        assert!(table.base_addr() != 0);
+    }
+
+    #[test]
+    fn domain_edges_are_inclusive() {
+        let table = test_table();
+        let cfg = *table.config();
+        let lo = table
+            .interp(10f64.powf(cfg.log_rho_ye.0), 10f64.powf(cfg.log_temp.0))
+            .unwrap();
+        assert!(lo.pres > 0.0);
+        let hi = table
+            .interp(10f64.powf(cfg.log_rho_ye.1), 10f64.powf(cfg.log_temp.1))
+            .unwrap();
+        assert!(hi.pres > lo.pres);
+    }
+}
+
+// ---- disk persistence (FLASH's `helm_table.dat` analog) -----------------
+
+impl HelmTable {
+    /// Write the table to disk: a length-prefixed JSON header (config +
+    /// spacings) followed by the raw little-endian f64 planes. FLASH ships
+    /// its Helmholtz table as a data file (`helm_table.dat`) for exactly
+    /// this reason — rebuilding from the Fermi–Dirac integrals at every
+    /// startup is wasteful.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        #[derive(serde::Serialize)]
+        struct Header<'a> {
+            format: &'a str,
+            config: TableConfig,
+        }
+        let header = serde_json::to_string(&Header {
+            format: "rflash-helm-table-v1",
+            config: self.config,
+        })
+        .map_err(std::io::Error::other)?;
+        w.write_all(&(header.len() as u64).to_le_bytes())?;
+        w.write_all(header.as_bytes())?;
+        let mut buf = Vec::with_capacity(self.data.len() * 8);
+        for &v in self.data.iter() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+        w.flush()
+    }
+
+    /// Load a table previously written by [`HelmTable::save`], placing the
+    /// planes in a buffer backed by `policy`.
+    pub fn load(path: &std::path::Path, policy: Policy) -> std::io::Result<HelmTable> {
+        use std::io::Read;
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut len_bytes = [0u8; 8];
+        r.read_exact(&mut len_bytes)?;
+        let header_len = u64::from_le_bytes(len_bytes) as usize;
+        if header_len > 1 << 20 {
+            return Err(std::io::Error::other("unreasonable header length"));
+        }
+        let mut header_json = vec![0u8; header_len];
+        r.read_exact(&mut header_json)?;
+        #[derive(serde::Deserialize)]
+        struct Header {
+            format: String,
+            config: TableConfig,
+        }
+        let header: Header =
+            serde_json::from_slice(&header_json).map_err(std::io::Error::other)?;
+        if header.format != "rflash-helm-table-v1" {
+            return Err(std::io::Error::other(format!(
+                "unknown table format {:?}",
+                header.format
+            )));
+        }
+        let config = header.config;
+        let n = config.n_rho * config.n_temp * N_QUANT * N_DERIV;
+        let mut data =
+            PageBuffer::<f64>::zeroed(n, policy).map_err(|e| std::io::Error::other(e.to_string()))?;
+        let mut bytes = vec![0u8; n * 8];
+        r.read_exact(&mut bytes)?;
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            data[i] = f64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        let (x0, x1) = config.log_rho_ye;
+        let (y0, y1) = config.log_temp;
+        Ok(HelmTable {
+            config,
+            data,
+            dx: (x1 - x0) / (config.n_rho - 1) as f64,
+            dy: (y1 - y0) / (config.n_temp - 1) as f64,
+        })
+    }
+
+    /// Load a matching cached table from `path`, or build one and cache it.
+    /// A stale cache (different geometry/domain) is rebuilt and overwritten.
+    pub fn build_or_load(
+        config: TableConfig,
+        policy: Policy,
+        path: &std::path::Path,
+    ) -> Result<HelmTable, EosError> {
+        if let Ok(table) = Self::load(path, policy) {
+            let c = table.config;
+            let same = c.n_rho == config.n_rho
+                && c.n_temp == config.n_temp
+                && c.log_rho_ye == config.log_rho_ye
+                && c.log_temp == config.log_temp;
+            if same {
+                return Ok(table);
+            }
+        }
+        let table = Self::build(config, policy)?;
+        let _ = table.save(path); // cache write failure is not fatal
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rflash-helm-{}-{name}.dat", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_exact() {
+        let table = HelmTable::build(
+            TableConfig {
+                n_rho: 12,
+                n_temp: 9,
+                ..TableConfig::coarse()
+            },
+            Policy::None,
+        )
+        .unwrap();
+        let path = scratch("roundtrip");
+        table.save(&path).unwrap();
+        let loaded = HelmTable::load(&path, Policy::None).unwrap();
+        assert_eq!(table.data.as_slice(), loaded.data.as_slice());
+        assert_eq!(table.dx, loaded.dx);
+        // Interpolation agrees exactly.
+        let a = table.interp(1e5, 1e8).unwrap();
+        let b = loaded.interp(1e5, 1e8).unwrap();
+        assert_eq!(a.pres, b.pres);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn build_or_load_uses_and_refreshes_the_cache() {
+        let cfg = TableConfig {
+            n_rho: 10,
+            n_temp: 8,
+            ..TableConfig::coarse()
+        };
+        let path = scratch("cache");
+        let _ = std::fs::remove_file(&path);
+        let t1 = HelmTable::build_or_load(cfg, Policy::None, &path).unwrap();
+        assert!(path.exists(), "cache written");
+        let t2 = HelmTable::build_or_load(cfg, Policy::None, &path).unwrap();
+        assert_eq!(t1.data.as_slice(), t2.data.as_slice());
+        // A different geometry invalidates the cache.
+        let other = TableConfig {
+            n_rho: 14,
+            n_temp: 8,
+            ..TableConfig::coarse()
+        };
+        let t3 = HelmTable::build_or_load(other, Policy::None, &path).unwrap();
+        assert_eq!(t3.config.n_rho, 14);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = scratch("garbage");
+        std::fs::write(&path, b"\x08\x00\x00\x00\x00\x00\x00\x00garbage!").unwrap();
+        assert!(HelmTable::load(&path, Policy::None).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of EOS invariants over the full table domain.
+
+use proptest::prelude::*;
+use rflash_eos::{Eos, EosMode, EosState, GammaLaw, Helmholtz, TableConfig};
+use rflash_hugepages::Policy;
+use std::sync::OnceLock;
+
+fn helm() -> &'static Helmholtz {
+    static EOS: OnceLock<Helmholtz> = OnceLock::new();
+    EOS.get_or_init(|| Helmholtz::build(TableConfig::coarse(), Policy::None).unwrap())
+}
+
+/// Interior of the coarse table domain (avoiding the clamped edges).
+fn arb_state() -> impl Strategy<Value = (f64, f64)> {
+    ((-3.0f64..9.0), (4.0f64..11.0)).prop_map(|(lr, lt)| {
+        // rho_ye -> dens for Ye = 0.5.
+        (2.0 * 10f64.powf(lr), 10f64.powf(lt))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DensTemp → DensEi round-trips the temperature.
+    #[test]
+    fn dens_ei_round_trip((dens, temp) in arb_state()) {
+        let mut s = EosState::co_wd(dens, temp);
+        helm().call(EosMode::DensTemp, &mut s).unwrap();
+        let t_true = s.temp;
+        s.temp = 1e6; // stale guess
+        helm().call(EosMode::DensEi, &mut s).unwrap();
+        prop_assert!((s.temp - t_true).abs() / t_true < 1e-3,
+            "T={:e} vs {:e} at dens={dens:e}", s.temp, t_true);
+    }
+
+    /// Thermodynamic sanity on every evaluation: positive P, e, cv, and
+    /// gamc in a physical window; sound speed below c.
+    #[test]
+    fn outputs_are_physical((dens, temp) in arb_state()) {
+        let mut s = EosState::co_wd(dens, temp);
+        helm().call(EosMode::DensTemp, &mut s).unwrap();
+        prop_assert!(s.pres > 0.0);
+        prop_assert!(s.eint > 0.0);
+        prop_assert!(s.cv > 0.0);
+        prop_assert!(s.gamc > 1.0 && s.gamc < 3.0, "gamc={}", s.gamc);
+        prop_assert!(s.cs > 0.0 && s.cs.is_finite(), "cs={:e}", s.cs);
+        // Newtonian hydro (like FLASH's) only bounds cs < c where the
+        // rest-mass density dominates the inertia; the radiation-dominated
+        // low-density corner formally exceeds c in any Newtonian code.
+        let c_light = 2.9979e10f64;
+        if s.pres < 0.1 * dens * c_light * c_light {
+            prop_assert!(s.cs < c_light, "cs={:e} at dens={dens:e}", s.cs);
+        }
+        prop_assert!(s.game > 1.0);
+    }
+
+    /// Pressure increases with density at fixed temperature — up to table
+    /// interpolation tolerance: at pair-creation onset the physical
+    /// dP/dρ|T is nearly zero (pairs dominate and don't care about ρYₑ),
+    /// so coarse-table wiggles (up to percent-level there: 0.35-dex cells
+    /// across the exp(−2/β) pair turn-on) can flip the sign of a tiny
+    /// difference. The robust property is monotone-within-tolerance.
+    #[test]
+    fn pressure_monotone_in_density((dens, temp) in arb_state()) {
+        let mut a = EosState::co_wd(dens, temp);
+        helm().call(EosMode::DensTemp, &mut a).unwrap();
+        let mut b = EosState::co_wd(dens * 1.3, temp);
+        helm().call(EosMode::DensTemp, &mut b).unwrap();
+        prop_assert!(b.pres > a.pres * (1.0 - 0.02),
+            "P({:e})={:e} vs P({dens:e})={:e}", dens * 1.3, b.pres, a.pres);
+    }
+
+    /// Internal energy does not decrease with temperature at fixed density
+    /// (cv ≥ 0 globally, up to table-interpolation tolerance).
+    #[test]
+    fn energy_monotone_in_temperature((dens, temp) in arb_state()) {
+        let mut a = EosState::co_wd(dens, temp);
+        helm().call(EosMode::DensTemp, &mut a).unwrap();
+        let mut b = EosState::co_wd(dens, temp * 1.3);
+        helm().call(EosMode::DensTemp, &mut b).unwrap();
+        prop_assert!(b.eint >= a.eint * (1.0 - 1e-3),
+            "e({:e})={:e} < e({temp:e})={:e}", temp * 1.3, b.eint, a.eint);
+    }
+
+    /// Gamma-law: all three modes agree for arbitrary inputs.
+    #[test]
+    fn gamma_modes_agree(dens in 1e-6f64..1e6, temp in 1e2f64..1e10, gamma in 1.1f64..2.0) {
+        let eos = GammaLaw::new(gamma);
+        let mut s = EosState::co_wd(dens, temp);
+        eos.call(EosMode::DensTemp, &mut s).unwrap();
+        let (p0, e0) = (s.pres, s.eint);
+        s.temp = 1.0;
+        eos.call(EosMode::DensEi, &mut s).unwrap();
+        prop_assert!((s.pres - p0).abs() / p0 < 1e-12);
+        s.temp = 1.0;
+        s.eint = 0.0;
+        s.pres = p0;
+        eos.call(EosMode::DensPres, &mut s).unwrap();
+        prop_assert!((s.eint - e0).abs() / e0 < 1e-12);
+    }
+}

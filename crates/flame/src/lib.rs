@@ -1,0 +1,46 @@
+//! Advection–diffusion–reaction (ADR) model flame.
+//!
+//! The paper's supernova application propagates the unresolvable (< 1 cm)
+//! nuclear flame with the Vladimirova–Weirs–Ryzhik ADR scheme: a reaction
+//! progress variable φ obeying
+//!
+//! ```text
+//! ∂φ/∂t + u·∇φ = κ ∇²φ + (1/τ) R(φ)
+//! ```
+//!
+//! with the *sharpened* KPP reaction `R(φ) = φ(1−φ)(φ−ε)`-style form (sKPP,
+//! Vladimirova et al. 2006) whose traveling-wave speed and width are known
+//! in closed form, so κ and τ can be tuned to give a front of prescribed
+//! speed `s` and width `w` on the local grid:
+//!
+//! ```text
+//! κ = s·w·K,     τ = w/(s·T)
+//! ```
+//!
+//! Flame speeds come from tabulated laminar values à la Timmes & Woosley
+//! (1992) fits, boosted for unresolved turbulence/buoyancy (Khokhlov 1995):
+//! `s_turb = max(s_lam, α √(g m Δ))`-style enhancement.
+//!
+//! Energy release couples through the carbon mass fraction and the C/O
+//! binding-energy difference.
+
+pub mod adr;
+pub mod speed;
+
+pub use adr::{AdrFlame, FlameParams};
+pub use speed::{laminar_speed, turbulent_enhancement, SpeedTable};
+
+/// Specific energy release of the C/O → Ni burn stage used by the model
+/// flame, erg/g (≈ 0.5 MeV per nucleon over the carbon fraction;
+/// FLASH's Iax deflagration setups use a comparable lump value).
+pub const Q_BURN: f64 = 4.8e17;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn q_burn_is_sub_mev_per_nucleon() {
+        // Sanity: 1 MeV/nucleon ≈ 9.6e17 erg/g; a C/O deflagration to NSE
+        // releases roughly half that.
+        assert!(super::Q_BURN > 1e17 && super::Q_BURN < 9.6e17);
+    }
+}

@@ -1,0 +1,46 @@
+//! Property-based tests of the flame model's invariants.
+
+use proptest::prelude::*;
+use rflash_flame::{laminar_speed, turbulent_enhancement, SpeedTable};
+
+proptest! {
+    /// The tabulated speed interpolates the fit: within the table domain it
+    /// stays within a few percent of the closed form, and within the convex
+    /// hull of the surrounding nodes everywhere.
+    #[test]
+    fn table_tracks_the_fit(lr in 6.0f64..10.0, xc in 0.2f64..0.7) {
+        let table = SpeedTable::default_co();
+        let dens = 10f64.powf(lr);
+        let exact = laminar_speed(dens, xc);
+        let got = table.speed(dens, xc);
+        prop_assert!((got - exact).abs() / exact < 0.05,
+            "dens={dens:e} xc={xc}: {got} vs {exact}");
+    }
+
+    /// Laminar speed is monotone in both density and carbon fraction.
+    #[test]
+    fn fit_is_monotone(dens in 1e6f64..1e10, xc in 0.2f64..0.69) {
+        prop_assert!(laminar_speed(dens * 1.5, xc) > laminar_speed(dens, xc));
+        prop_assert!(laminar_speed(dens, xc + 0.01) > laminar_speed(dens, xc));
+    }
+
+    /// The turbulent floor never *reduces* the speed, and reduces to the
+    /// laminar value when buoyancy vanishes.
+    #[test]
+    fn enhancement_is_a_floor(s_lam in 0.0f64..1e8, ag in 0.0f64..1e18) {
+        let s = turbulent_enhancement(s_lam, ag, 1.0);
+        prop_assert!(s >= s_lam);
+        prop_assert_eq!(turbulent_enhancement(s_lam, 0.0, 1.0), s_lam);
+    }
+
+    /// Clamping: speeds queried outside the table domain equal the edge
+    /// values (no extrapolation blow-ups).
+    #[test]
+    fn out_of_domain_clamps(dens in 1e10f64..1e14, xc in 0.7f64..2.0) {
+        let table = SpeedTable::default_co();
+        let inside = table.speed(1e10, 0.7);
+        let outside = table.speed(dens, xc);
+        prop_assert!(outside.is_finite());
+        prop_assert_eq!(outside, inside);
+    }
+}

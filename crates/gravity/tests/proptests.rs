@@ -1,0 +1,67 @@
+//! Property-based tests of the gravity fields.
+
+use proptest::prelude::*;
+use rflash_eos::consts::G_NEWTON;
+use rflash_gravity::{GravityField, MonopoleField};
+
+proptest! {
+    /// Outside the mass distribution the monopole field is exactly
+    /// −GM_total/r², independent of the interior profile.
+    #[test]
+    fn exterior_is_point_mass(
+        shells in proptest::collection::vec(1e30f64..1e33, 4..32),
+        r_factor in 1.05f64..10.0,
+    ) {
+        // Build a cumulative profile from arbitrary positive shell masses.
+        let mut m = Vec::with_capacity(shells.len());
+        let mut acc = 0.0;
+        for s in &shells {
+            acc += s;
+            m.push(acc);
+        }
+        let r: Vec<f64> = (1..=shells.len()).map(|i| i as f64 * 1e8).collect();
+        let field = MonopoleField::from_profile([0.0; 3], &r, &m, 64);
+        let r_out = r.last().unwrap() * r_factor;
+        let a = field.accel([r_out, 0.0, 0.0]);
+        let expect = -G_NEWTON * acc / (r_out * r_out);
+        prop_assert!((a[0] - expect).abs() / expect.abs() < 1e-9,
+            "{} vs {expect}", a[0]);
+        prop_assert_eq!(a[1], 0.0);
+    }
+
+    /// Enclosed mass is monotone non-decreasing in radius for any profile.
+    #[test]
+    fn enclosed_mass_is_monotone(shells in proptest::collection::vec(0.0f64..1e33, 4..32)) {
+        let mut m = Vec::new();
+        let mut acc = 0.0;
+        for s in &shells {
+            acc += s;
+            m.push(acc);
+        }
+        let r: Vec<f64> = (1..=shells.len()).map(|i| i as f64 * 1e8).collect();
+        let field = MonopoleField::from_profile([0.0; 3], &r, &m, 48);
+        let mut prev = 0.0f64;
+        for i in 0..100 {
+            let mw = field.mass_within(i as f64 * 4e7);
+            prop_assert!(mw >= prev - 1e-6 * prev.abs());
+            prev = mw;
+        }
+    }
+
+    /// The acceleration always points toward the center.
+    #[test]
+    fn field_is_attractive(
+        x in -1e9f64..1e9,
+        y in -1e9f64..1e9,
+        mass in 1e30f64..1e34,
+    ) {
+        let field = GravityField::PointMass {
+            m: mass,
+            center: [0.0; 3],
+            soft: 1e5,
+        };
+        let a = field.accel([x, y, 0.0]);
+        // a·r ≤ 0: no outward component.
+        prop_assert!(a[0] * x + a[1] * y <= 0.0);
+    }
+}

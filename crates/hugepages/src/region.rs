@@ -1,0 +1,278 @@
+//! RAII anonymous memory regions with a huge-page policy applied.
+
+use crate::error::{Error, Result};
+use crate::page::PageSize;
+use crate::policy::Policy;
+use crate::sys;
+use crate::{align_up, smaps};
+
+/// How a region actually ended up being requested, which can differ from the
+/// policy when the kernel refuses explicit huge pages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EffectiveBacking {
+    /// Base pages, THP explicitly discouraged (`MADV_NOHUGEPAGE`).
+    BasePages,
+    /// THP requested via `MADV_HUGEPAGE`; the kernel decides per-fault.
+    ThpAdvised,
+    /// Explicit `MAP_HUGETLB` pages of the given size — backing guaranteed.
+    HugeTlb(PageSize),
+}
+
+/// An anonymous private mapping whose lifetime owns the pages.
+///
+/// The region is created with the requested [`Policy`]; explicit
+/// `hugetlbfs` requests that the kernel denies (no pool, EPERM, …) fall back
+/// to THP advice, and the fallback is recorded in [`MmapRegion::fallback`]
+/// so harnesses can report it instead of silently measuring the wrong thing
+/// (the paper's GNU/Cray "mystery" is exactly a silent failure to engage).
+pub struct MmapRegion {
+    ptr: *mut u8,
+    len: usize,
+    policy: Policy,
+    effective: EffectiveBacking,
+    fallback: Option<Error>,
+}
+
+// SAFETY: the region is exclusively owned plain memory; sending it between
+// threads is fine. Shared `&MmapRegion` only exposes `&[u8]` reads.
+unsafe impl Send for MmapRegion {}
+unsafe impl Sync for MmapRegion {}
+
+impl MmapRegion {
+    /// Map at least `len` bytes under `policy`. The mapped length is rounded
+    /// up to the policy's expected page size (a `MAP_HUGETLB` mapping *must*
+    /// be a multiple of the huge page size).
+    pub fn new(len: usize, policy: Policy) -> Result<Self> {
+        if len == 0 {
+            return Err(Error::ZeroLength);
+        }
+        match policy {
+            Policy::HugeTlbFs(size) => {
+                let rounded = align_up(len, size.bytes());
+                match sys::mmap_anon(rounded, Some(size)) {
+                    Ok(ptr) => Ok(MmapRegion {
+                        ptr,
+                        len: rounded,
+                        policy,
+                        effective: EffectiveBacking::HugeTlb(size),
+                        fallback: None,
+                    }),
+                    Err(err) => {
+                        // Fall back to THP, but remember why.
+                        let mut region = Self::map_with_advice(len, sys::Advice::Huge)?;
+                        region.policy = policy;
+                        region.effective = EffectiveBacking::ThpAdvised;
+                        region.fallback = Some(err);
+                        Ok(region)
+                    }
+                }
+            }
+            Policy::Thp => {
+                let mut region = Self::map_with_advice(len, sys::Advice::Huge)?;
+                region.policy = policy;
+                Ok(region)
+            }
+            Policy::None => {
+                let mut region = Self::map_with_advice(len, sys::Advice::NoHuge)?;
+                region.policy = policy;
+                Ok(region)
+            }
+        }
+    }
+
+    fn map_with_advice(len: usize, advice: sys::Advice) -> Result<Self> {
+        // Round THP-advised regions to the THP size so the kernel can use
+        // huge frames for the whole range; plain regions round to base pages.
+        let granule = match advice {
+            sys::Advice::Huge => PageSize::Huge2M.bytes(),
+            sys::Advice::NoHuge => PageSize::Base.bytes(),
+        };
+        let rounded = align_up(len, granule);
+        let ptr = sys::mmap_anon(rounded, None)?;
+        // Best effort: some kernels build without THP; the mapping is still
+        // usable, so advice failures are tolerated (ENOMEM/EINVAL), not fatal.
+        // SAFETY: we own [ptr, ptr+rounded).
+        let _ = unsafe { sys::madvise(ptr, rounded, advice) };
+        Ok(MmapRegion {
+            ptr,
+            len: rounded,
+            policy: Policy::None,
+            effective: match advice {
+                sys::Advice::Huge => EffectiveBacking::ThpAdvised,
+                sys::Advice::NoHuge => EffectiveBacking::BasePages,
+            },
+            fallback: None,
+        })
+    }
+
+    /// Mapped length in bytes (≥ the requested length).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the region maps zero bytes (never: construction rejects 0).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base address of the mapping.
+    #[inline]
+    pub fn as_ptr(&self) -> *const u8 {
+        self.ptr
+    }
+
+    /// Mutable base address of the mapping.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// The policy the region was created with.
+    #[inline]
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// What was actually requested from the kernel.
+    #[inline]
+    pub fn effective_backing(&self) -> EffectiveBacking {
+        self.effective
+    }
+
+    /// If the policy had to be downgraded, the error that caused it.
+    #[inline]
+    pub fn fallback(&self) -> Option<&Error> {
+        self.fallback.as_ref()
+    }
+
+    /// View the whole region as bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: we own the mapping; it is initialized (anonymous pages are
+        // zero-filled) and lives as long as `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// View the whole region as mutable bytes.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as above, plus `&mut self` guarantees exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    /// Touch every base page so the kernel populates frames now (fault-in),
+    /// independent of policy — measurement runs must not differ in fault
+    /// counts between policies. Uses volatile writes: a plain `x = x` store
+    /// is removed by the optimizer and faults nothing.
+    pub fn fault_in(&mut self) -> usize {
+        let step = crate::page::base_page_bytes().min(self.len);
+        let ptr = self.as_mut_ptr();
+        let len = self.len;
+        let mut touched = 0;
+        let mut off = 0;
+        while off < len {
+            // SAFETY: off < len and the mapping is writable; a volatile
+            // zero-write to fresh anonymous memory preserves contents.
+            unsafe { std::ptr::write_volatile(ptr.add(off), 0u8) };
+            touched += 1;
+            off += step;
+        }
+        touched
+    }
+
+    /// Inspect `/proc/self/smaps` for the mapping and report how the kernel
+    /// is really backing it — the verification loop of the paper's §III.
+    pub fn smaps(&self) -> Result<smaps::SmapsRegion> {
+        smaps::SmapsRegion::for_addr(self.ptr as usize)
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len are exactly the live mapping created in `new`.
+        unsafe { sys::munmap(self.ptr, self.len) };
+    }
+}
+
+impl std::fmt::Debug for MmapRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapRegion")
+            .field("len", &self.len)
+            .field("policy", &self.policy)
+            .field("effective", &self.effective)
+            .field("fell_back", &self.fallback.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_rejected() {
+        assert!(matches!(
+            MmapRegion::new(0, Policy::None),
+            Err(Error::ZeroLength)
+        ));
+    }
+
+    #[test]
+    fn base_policy_rounds_to_base_pages() {
+        let r = MmapRegion::new(1, Policy::None).unwrap();
+        assert_eq!(r.len(), crate::page::base_page_bytes());
+        assert_eq!(r.effective_backing(), EffectiveBacking::BasePages);
+        assert!(r.fallback().is_none());
+    }
+
+    #[test]
+    fn thp_policy_rounds_to_2m() {
+        let r = MmapRegion::new(1, Policy::Thp).unwrap();
+        assert_eq!(r.len(), PageSize::Huge2M.bytes());
+        assert_eq!(r.effective_backing(), EffectiveBacking::ThpAdvised);
+    }
+
+    #[test]
+    fn region_memory_is_zeroed_and_writable() {
+        let mut r = MmapRegion::new(1 << 16, Policy::None).unwrap();
+        assert!(r.as_slice().iter().all(|&b| b == 0));
+        r.as_mut_slice()[12345] = 0xAB;
+        assert_eq!(r.as_slice()[12345], 0xAB);
+    }
+
+    #[test]
+    fn hugetlb_either_works_or_falls_back_with_reason() {
+        let r = MmapRegion::new(4 << 20, Policy::HugeTlbFs(PageSize::Huge2M)).unwrap();
+        match r.effective_backing() {
+            EffectiveBacking::HugeTlb(sz) => {
+                assert_eq!(sz, PageSize::Huge2M);
+                assert!(r.fallback().is_none());
+            }
+            EffectiveBacking::ThpAdvised => {
+                assert!(r.fallback().is_some(), "fallback must record the cause");
+            }
+            EffectiveBacking::BasePages => panic!("hugetlbfs policy may not yield base pages"),
+        }
+        // Regardless of backing, memory must be usable.
+        assert_eq!(r.as_slice()[0], 0);
+    }
+
+    #[test]
+    fn fault_in_touches_every_base_page() {
+        let mut r = MmapRegion::new(8 << 20, Policy::Thp).unwrap();
+        let granules = r.fault_in();
+        assert_eq!(granules, (8 << 20) / crate::page::base_page_bytes());
+        // The region is now fully resident.
+        let s = r.smaps().unwrap();
+        assert!(s.rss >= 8 << 20, "rss = {}", s.rss);
+    }
+
+    #[test]
+    fn debug_format_mentions_policy() {
+        let r = MmapRegion::new(4096, Policy::None).unwrap();
+        let s = format!("{r:?}");
+        assert!(s.contains("None"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Thin, centralized wrappers over the raw syscalls this crate needs.
+//!
+//! All `unsafe` in the crate lives here and in the `Drop`/slice plumbing of
+//! [`crate::region::MmapRegion`].
+
+use crate::error::{Error, Result};
+use crate::page::PageSize;
+
+/// `MAP_HUGE_SHIFT` from `<linux/mman.h>`; the huge-page size is encoded in
+/// mmap flags as `log2(size) << MAP_HUGE_SHIFT`.
+const MAP_HUGE_SHIFT: i32 = 26;
+
+/// Anonymous private mapping of `len` bytes (must be page-aligned for the
+/// requested page size by the caller).
+pub fn mmap_anon(len: usize, huge: Option<PageSize>) -> Result<*mut u8> {
+    let mut flags = libc::MAP_PRIVATE | libc::MAP_ANONYMOUS;
+    if let Some(size) = huge {
+        flags |= libc::MAP_HUGETLB | ((size.shift() as i32) << MAP_HUGE_SHIFT);
+    }
+    // SAFETY: requesting a fresh anonymous mapping; no existing memory is
+    // affected. A MAP_FAILED return is handled below.
+    let ptr = unsafe {
+        libc::mmap(
+            std::ptr::null_mut(),
+            len,
+            libc::PROT_READ | libc::PROT_WRITE,
+            flags,
+            -1,
+            0,
+        )
+    };
+    if ptr == libc::MAP_FAILED {
+        let errno = last_errno();
+        if let Some(size) = huge {
+            Err(Error::HugeTlbUnavailable { size, errno })
+        } else {
+            Err(Error::Mmap { len, errno })
+        }
+    } else {
+        Ok(ptr as *mut u8)
+    }
+}
+
+/// Unmap a region previously produced by [`mmap_anon`].
+///
+/// # Safety
+/// `ptr`/`len` must denote exactly one live mapping from [`mmap_anon`], and
+/// no references into it may outlive this call.
+pub unsafe fn munmap(ptr: *mut u8, len: usize) {
+    let rc = libc::munmap(ptr as *mut libc::c_void, len);
+    debug_assert_eq!(rc, 0, "munmap failed (errno {})", last_errno());
+}
+
+/// Advice values we use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Advice {
+    Huge,
+    NoHuge,
+}
+
+impl Advice {
+    fn raw(self) -> i32 {
+        match self {
+            Advice::Huge => libc::MADV_HUGEPAGE,
+            Advice::NoHuge => libc::MADV_NOHUGEPAGE,
+        }
+    }
+    fn name(self) -> &'static str {
+        match self {
+            Advice::Huge => "MADV_HUGEPAGE",
+            Advice::NoHuge => "MADV_NOHUGEPAGE",
+        }
+    }
+}
+
+/// `madvise(2)` on a mapping we own.
+///
+/// # Safety
+/// `ptr`/`len` must denote (part of) a live mapping owned by the caller.
+pub unsafe fn madvise(ptr: *mut u8, len: usize, advice: Advice) -> Result<()> {
+    let rc = libc::madvise(ptr as *mut libc::c_void, len, advice.raw());
+    if rc != 0 {
+        Err(Error::Madvise {
+            advice: advice.name(),
+            errno: last_errno(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// The calling thread's last OS error code.
+pub fn last_errno() -> i32 {
+    std::io::Error::last_os_error().raw_os_error().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_and_unmap_round_trip() {
+        let len = 2 * crate::page::base_page_bytes();
+        let ptr = mmap_anon(len, None).expect("plain anon mmap must succeed");
+        // Anonymous mappings are zero-filled.
+        // SAFETY: ptr covers len bytes we own.
+        unsafe {
+            assert_eq!(*ptr, 0);
+            *ptr = 7;
+            assert_eq!(*ptr, 7);
+            munmap(ptr, len);
+        }
+    }
+
+    #[test]
+    fn madvise_huge_on_owned_region() {
+        let len = 4 * 1024 * 1024;
+        let ptr = mmap_anon(len, None).unwrap();
+        // THP may be compiled out; either outcome is acceptable, but the
+        // call must not crash and must report errno on failure.
+        // SAFETY: region owned, full range.
+        let res = unsafe { madvise(ptr, len, Advice::Huge) };
+        if let Err(Error::Madvise { advice, .. }) = &res {
+            assert_eq!(*advice, "MADV_HUGEPAGE");
+        }
+        unsafe { munmap(ptr, len) };
+    }
+
+    #[test]
+    fn hugetlb_failure_reports_size() {
+        // Deliberately request an absurd hugetlb length; on hosts without a
+        // configured 1G pool this fails with a typed error. If the host
+        // actually grants it, unmap and accept.
+        match mmap_anon(1 << 30, Some(PageSize::Huge1G)) {
+            Err(Error::HugeTlbUnavailable { size, .. }) => {
+                assert_eq!(size, PageSize::Huge1G);
+            }
+            Ok(ptr) => unsafe { munmap(ptr, 1 << 30) },
+            Err(other) => panic!("unexpected error kind: {other}"),
+        }
+    }
+}

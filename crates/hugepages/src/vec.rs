@@ -1,0 +1,172 @@
+//! A growable policy-backed vector.
+//!
+//! `PageBuffer` is fixed-size (the mesh pre-allocates
+//! `maxblocks`, like PARAMESH); some consumers want growth — e.g. trace
+//! accumulation or staging restart data — while keeping the huge-page
+//! policy. `PageVec` grows by allocating a new region and copying (the
+//! portable strategy; `mremap` cannot be relied on for hugetlb mappings),
+//! doubling capacity like `Vec`.
+
+use crate::buffer::{PageBuffer, Pod};
+use crate::error::Result;
+use crate::policy::Policy;
+
+/// A growable, policy-backed vector of `T`.
+pub struct PageVec<T: Pod> {
+    buf: PageBuffer<T>,
+    len: usize,
+    policy: Policy,
+}
+
+impl<T: Pod> PageVec<T> {
+    /// Create with the given initial capacity (at least 1 element).
+    pub fn with_capacity(capacity: usize, policy: Policy) -> Result<PageVec<T>> {
+        let buf = PageBuffer::<T>::zeroed(capacity.max(1), policy)?;
+        Ok(PageVec {
+            buf,
+            len: 0,
+            policy,
+        })
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current capacity in elements (page-granular, so usually above the
+    /// requested capacity).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The backing policy.
+    #[inline]
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Append an element, growing (×2) when full.
+    pub fn push(&mut self, value: T) -> Result<()> {
+        if self.len == self.capacity() {
+            self.grow(self.capacity() * 2)?;
+        }
+        self.buf[self.len] = value;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Ensure room for at least `additional` more elements.
+    pub fn reserve(&mut self, additional: usize) -> Result<()> {
+        let needed = self.len + additional;
+        if needed > self.capacity() {
+            self.grow(needed.max(self.capacity() * 2))?;
+        }
+        Ok(())
+    }
+
+    fn grow(&mut self, new_capacity: usize) -> Result<()> {
+        let mut bigger = PageBuffer::<T>::zeroed(new_capacity, self.policy)?;
+        bigger.as_mut_slice()[..self.len].copy_from_slice(&self.buf.as_slice()[..self.len]);
+        self.buf = bigger;
+        Ok(())
+    }
+
+    /// Drop all elements (capacity kept).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The stored elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf.as_slice()[..self.len]
+    }
+
+    /// The stored elements, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        let len = self.len;
+        &mut self.buf.as_mut_slice()[..len]
+    }
+
+    /// Kernel-verified backing of the current allocation.
+    pub fn backing_report(&self) -> crate::buffer::BackingReport {
+        self.buf.backing_report()
+    }
+}
+
+impl<T: Pod> std::ops::Deref for PageVec<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod> std::ops::DerefMut for PageVec<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_grow_preserves_contents() {
+        let mut v = PageVec::<u64>::with_capacity(4, Policy::None).unwrap();
+        for i in 0..10_000u64 {
+            v.push(i * 3).unwrap();
+        }
+        assert_eq!(v.len(), 10_000);
+        assert!(v.capacity() >= 10_000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn reserve_and_clear() {
+        let mut v = PageVec::<f64>::with_capacity(1, Policy::None).unwrap();
+        v.reserve(100_000).unwrap();
+        let cap = v.capacity();
+        assert!(cap >= 100_000);
+        for _ in 0..50 {
+            v.push(1.5).unwrap();
+        }
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.capacity(), cap, "clear keeps capacity");
+    }
+
+    #[test]
+    fn grows_under_huge_policies_with_fallback() {
+        let mut v =
+            PageVec::<u8>::with_capacity(1, Policy::HugeTlbFs(crate::PageSize::Huge2M)).unwrap();
+        for i in 0..(3 << 20) {
+            v.push((i % 251) as u8).unwrap();
+        }
+        assert_eq!(v.len(), 3 << 20);
+        assert_eq!(v[1000], (1000 % 251) as u8);
+        let _ = v.backing_report();
+    }
+
+    #[test]
+    fn deref_slices_work() {
+        let mut v = PageVec::<u32>::with_capacity(2, Policy::None).unwrap();
+        v.push(5).unwrap();
+        v.push(7).unwrap();
+        assert_eq!(&v[..], &[5, 7]);
+        v.as_mut_slice()[0] = 9;
+        assert_eq!(v[0], 9);
+    }
+}

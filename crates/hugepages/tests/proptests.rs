@@ -1,0 +1,83 @@
+//! Property-based tests of the allocation toolkit's invariants.
+
+use proptest::prelude::*;
+use rflash_hugepages::{align_up, HugeArena, MemInfo, PageBuffer, PageSize, Policy};
+
+proptest! {
+    /// align_up: result is aligned, ≥ input, and minimal.
+    #[test]
+    fn align_up_properties(len in 0usize..1 << 40, shift in 0u32..21) {
+        let align = 1usize << shift;
+        let up = align_up(len, align);
+        prop_assert_eq!(up % align, 0);
+        prop_assert!(up >= len);
+        prop_assert!(up - len < align);
+    }
+
+    /// Policy display/parse round trip for every constructible policy.
+    #[test]
+    fn policy_round_trips(kind in 0u8..4) {
+        let policy = match kind {
+            0 => Policy::None,
+            1 => Policy::Thp,
+            2 => Policy::HugeTlbFs(PageSize::Huge2M),
+            _ => Policy::HugeTlbFs(PageSize::Huge512M),
+        };
+        prop_assert_eq!(policy.to_string().parse::<Policy>().unwrap(), policy);
+    }
+
+    /// Arena allocations are disjoint, aligned, zeroed, and accounted.
+    #[test]
+    fn arena_allocations_are_disjoint_and_aligned(
+        sizes in proptest::collection::vec(1usize..512, 1..24)
+    ) {
+        let mut arena = HugeArena::new(1 << 20, Policy::None).unwrap();
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for (n, &len) in sizes.iter().enumerate() {
+            if arena.remaining() < (len + 1) * 8 {
+                break;
+            }
+            let slice = if n % 2 == 0 {
+                let s = arena.alloc_slice::<f64>(len).unwrap();
+                prop_assert_eq!(s.as_ptr() as usize % 8, 0);
+                prop_assert!(s.iter().all(|&x| x == 0.0));
+                (s.as_ptr() as usize, s.len() * 8)
+            } else {
+                let s = arena.alloc_slice::<u8>(len).unwrap();
+                prop_assert!(s.iter().all(|&x| x == 0));
+                (s.as_ptr() as usize, s.len())
+            };
+            for &(start, bytes) in &spans {
+                let disjoint = slice.0 + slice.1 <= start || start + bytes <= slice.0;
+                prop_assert!(disjoint, "overlap: {:?} vs {:?}", slice, (start, bytes));
+            }
+            spans.push(slice);
+        }
+        prop_assert!(arena.used() <= arena.capacity());
+    }
+
+    /// PageBuffer preserves writes at arbitrary indices (no aliasing between
+    /// elements, correct indexing math).
+    #[test]
+    fn page_buffer_write_read(
+        len in 1usize..4096,
+        writes in proptest::collection::vec((0usize..4096, -1e300f64..1e300), 1..32)
+    ) {
+        let mut buf = PageBuffer::<f64>::zeroed(len, Policy::None).unwrap();
+        let mut model = vec![0.0f64; len];
+        for &(i, v) in &writes {
+            let i = i % len;
+            buf[i] = v;
+            model[i] = v;
+        }
+        prop_assert_eq!(buf.as_slice(), model.as_slice());
+    }
+
+    /// Meminfo parser never panics on arbitrary text and is total on the
+    /// lines it understands.
+    #[test]
+    fn meminfo_parser_is_total(lines in proptest::collection::vec("[A-Za-z_]{1,16}: +[0-9]{1,9}( kB)?", 0..12)) {
+        let text = lines.join("\n");
+        let _ = MemInfo::parse(&text); // may be Ok or Err, must not panic
+    }
+}

@@ -1,0 +1,93 @@
+//! CFL time-step control (FLASH's `Driver_computeDt` / `Hydro_computeDt`).
+
+use rflash_mesh::{vars, Domain};
+
+/// Largest stable time step: `cfl · min(dx_d / (|u_d| + c_s))` over every
+/// interior zone of every leaf and every direction.
+pub fn compute_dt(domain: &Domain, cfl: f64) -> f64 {
+    assert!(cfl > 0.0 && cfl < 1.0, "CFL must be in (0, 1)");
+    let ndim = domain.tree.config().ndim;
+    let mut dt = f64::INFINITY;
+    let vel = [vars::VELX, vars::VELY, vars::VELZ];
+    for id in domain.tree.leaves() {
+        let dx = domain.tree.cell_size(id);
+        for k in domain.unk.interior_k() {
+            for j in domain.unk.interior() {
+                for i in domain.unk.interior() {
+                    let dens = domain.unk.get(vars::DENS, i, j, k, id.idx());
+                    let pres = domain.unk.get(vars::PRES, i, j, k, id.idx());
+                    let gamc = domain.unk.get(vars::GAMC, i, j, k, id.idx());
+                    let cs = (gamc * pres / dens).max(0.0).sqrt();
+                    for d in 0..ndim {
+                        let u = domain.unk.get(vel[d], i, j, k, id.idx()).abs();
+                        let speed = u + cs;
+                        if speed > 0.0 {
+                            dt = dt.min(dx[d] / speed);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        dt.is_finite(),
+        "no finite time step: mesh uninitialized or all-zero state"
+    );
+    cfl * dt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rflash_hugepages::Policy;
+    use rflash_mesh::tree::MeshConfig;
+
+    fn domain_with(dens: f64, pres: f64, gamc: f64, velx: f64) -> Domain {
+        let mut d = Domain::new(MeshConfig::test_2d(), Policy::None);
+        for id in d.tree.leaves() {
+            for j in 0..d.unk.padded().1 {
+                for i in 0..d.unk.padded().0 {
+                    d.unk.set(vars::DENS, i, j, 0, id.idx(), dens);
+                    d.unk.set(vars::PRES, i, j, 0, id.idx(), pres);
+                    d.unk.set(vars::GAMC, i, j, 0, id.idx(), gamc);
+                    d.unk.set(vars::VELX, i, j, 0, id.idx(), velx);
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn matches_hand_computation() {
+        // dx = 1/8, cs = sqrt(1.6·1/1) ≈ 1.2649, u = 0.
+        let d = domain_with(1.0, 1.0, 1.6, 0.0);
+        let dt = compute_dt(&d, 0.8);
+        let expect = 0.8 * (1.0 / 8.0) / 1.6f64.sqrt();
+        assert!((dt - expect).abs() < 1e-14, "{dt} vs {expect}");
+    }
+
+    #[test]
+    fn velocity_shrinks_dt() {
+        let still = compute_dt(&domain_with(1.0, 1.0, 1.6, 0.0), 0.5);
+        let moving = compute_dt(&domain_with(1.0, 1.0, 1.6, 10.0), 0.5);
+        assert!(moving < still / 5.0);
+    }
+
+    #[test]
+    fn refined_zones_dominate() {
+        let mut d = domain_with(1.0, 1.0, 1.6, 0.0);
+        let before = compute_dt(&d, 0.5);
+        let root = d.tree.leaves()[0];
+        d.tree.refine_block(root, &mut d.unk);
+        // Children inherit the state via prolongation; dx halves.
+        let after = compute_dt(&d, 0.5);
+        assert!((after - before / 2.0).abs() < 1e-13);
+    }
+
+    #[test]
+    #[should_panic(expected = "CFL must be in")]
+    fn cfl_validated() {
+        let d = domain_with(1.0, 1.0, 1.6, 0.0);
+        let _ = compute_dt(&d, 1.5);
+    }
+}

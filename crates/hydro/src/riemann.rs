@@ -1,0 +1,149 @@
+//! HLLC approximate Riemann solver (Toro), general-EOS via per-side Γ₁.
+
+use crate::state::Prim;
+use crate::NFLUX;
+
+/// Solve the Riemann problem between `l` and `r` (sweep-normal components
+/// in `vel[0]`) and return the interface flux.
+pub fn hllc(l: &Prim, r: &Prim) -> [f64; NFLUX] {
+    let cl = l.sound_speed();
+    let cr = r.sound_speed();
+
+    // Davis wave-speed estimates, robust for strong shocks.
+    let s_l = (l.vel[0] - cl).min(r.vel[0] - cr);
+    let s_r = (l.vel[0] + cl).max(r.vel[0] + cr);
+
+    if s_l >= 0.0 {
+        return l.flux();
+    }
+    if s_r <= 0.0 {
+        return r.flux();
+    }
+
+    // Contact speed (Toro eq. 10.37).
+    let dl = l.dens * (s_l - l.vel[0]);
+    let dr = r.dens * (s_r - r.vel[0]);
+    let s_star = (r.pres - l.pres + l.vel[0] * dl - r.vel[0] * dr) / (dl - dr);
+
+    let star_flux = |s: &Prim, s_k: f64| -> [f64; NFLUX] {
+        let u = s.to_cons();
+        let f = s.flux();
+        let coef = s.dens * (s_k - s.vel[0]) / (s_k - s_star);
+        let e_star = s.ener
+            + (s_star - s.vel[0]) * (s_star + s.pres / (s.dens * (s_k - s.vel[0])));
+        let u_star = [
+            coef,
+            coef * s_star,
+            coef * s.vel[1],
+            coef * s.vel[2],
+            coef * e_star,
+        ];
+        let mut out = [0.0; NFLUX];
+        for n in 0..NFLUX {
+            out[n] = f[n] + s_k * (u_star[n] - u[n]);
+        }
+        out
+    };
+
+    if s_star >= 0.0 {
+        star_flux(l, s_l)
+    } else {
+        star_flux(r, s_r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prim(dens: f64, u: f64, pres: f64, gamma: f64) -> Prim {
+        let eint = pres / ((gamma - 1.0) * dens);
+        Prim {
+            dens,
+            vel: [u, 0.0, 0.0],
+            pres,
+            ener: eint + 0.5 * u * u,
+            gamc: gamma,
+        }
+    }
+
+    #[test]
+    fn uniform_state_gives_exact_advection_flux() {
+        let p = prim(1.0, 2.0, 1.0, 1.4);
+        let f = hllc(&p, &p);
+        let exact = p.flux();
+        for n in 0..NFLUX {
+            assert!((f[n] - exact[n]).abs() < 1e-13, "channel {n}");
+        }
+    }
+
+    #[test]
+    fn symmetry_of_mirrored_states() {
+        // Mirroring left/right with negated velocities must negate the mass
+        // flux and preserve the momentum flux.
+        let l = prim(1.0, 0.3, 1.0, 1.4);
+        let r = prim(0.5, -0.1, 0.4, 1.4);
+        let f = hllc(&l, &r);
+        let mut lm = l;
+        let mut rm = r;
+        lm.vel[0] = -l.vel[0];
+        rm.vel[0] = -r.vel[0];
+        let fm = hllc(&rm, &lm);
+        assert!((f[0] + fm[0]).abs() < 1e-12, "mass flux antisymmetry");
+        assert!((f[1] - fm[1]).abs() < 1e-12, "momentum flux symmetry");
+        assert!((f[4] + fm[4]).abs() < 1e-12, "energy flux antisymmetry");
+    }
+
+    #[test]
+    fn supersonic_flows_upwind_fully() {
+        let l = prim(1.0, 10.0, 1.0, 1.4); // far supersonic to the right
+        let r = prim(0.125, 10.0, 0.1, 1.4);
+        let f = hllc(&l, &r);
+        let exact = l.flux();
+        for n in 0..NFLUX {
+            assert!((f[n] - exact[n]).abs() < 1e-12);
+        }
+        let f = hllc(&prim(1.0, -10.0, 1.0, 1.4), &prim(0.125, -10.0, 0.1, 1.4));
+        let exact = prim(0.125, -10.0, 0.1, 1.4).flux();
+        for n in 0..NFLUX {
+            assert!((f[n] - exact[n]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sod_interface_flux_is_sane() {
+        // Sod shock tube: interface flux must transport mass rightward with
+        // positive momentum flux bounded by the left pressure.
+        let l = prim(1.0, 0.0, 1.0, 1.4);
+        let r = prim(0.125, 0.0, 0.1, 1.4);
+        let f = hllc(&l, &r);
+        assert!(f[0] > 0.0, "mass flows right");
+        assert!(f[1] > 0.1 && f[1] < 1.0, "momentum flux between pressures");
+        assert!(f[4] > 0.0, "energy flows right");
+        // The exact Sod solution has p* ≈ 0.30313 and u* ≈ 0.92745;
+        // HLLC resolves the contact, so the mass flux should be close to
+        // ρ*L u* ≈ 0.426·0.927.
+        assert!((f[0] - 0.39).abs() < 0.06, "mass flux {}", f[0]);
+    }
+
+    #[test]
+    fn transverse_momentum_is_passively_advected() {
+        let mut l = prim(1.0, 0.5, 1.0, 1.4);
+        let mut r = prim(1.0, 0.5, 1.0, 1.4);
+        l.vel[1] = 3.0;
+        r.vel[1] = -2.0;
+        l.ener += 0.5 * 9.0;
+        r.ener += 0.5 * 4.0;
+        let f = hllc(&l, &r);
+        // Positive contact speed: transverse momentum comes from the left.
+        assert!((f[2] - f[0] * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strong_shock_does_not_nan() {
+        let l = prim(1.0, 0.0, 1e10, 5.0 / 3.0);
+        let r = prim(1e-4, 0.0, 1e-4, 5.0 / 3.0);
+        let f = hllc(&l, &r);
+        assert!(f.iter().all(|v| v.is_finite()), "{f:?}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Primitive and conserved state vectors for one zone.
+
+use crate::NFLUX;
+
+/// Primitive state in the sweep frame: `vel[0]` is the sweep-normal
+/// velocity, `vel[1..]` are transverse.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Prim {
+    pub dens: f64,
+    pub vel: [f64; 3],
+    pub pres: f64,
+    /// Specific total energy (internal + kinetic).
+    pub ener: f64,
+    /// First adiabatic index Γ₁ at this zone (from the EOS).
+    pub gamc: f64,
+}
+
+impl Prim {
+    /// Adiabatic sound speed.
+    #[inline]
+    pub fn sound_speed(&self) -> f64 {
+        (self.gamc * self.pres / self.dens).max(0.0).sqrt()
+    }
+
+    /// Conserved vector (ρ, ρu, ρv, ρw, ρE).
+    #[inline]
+    pub fn to_cons(&self) -> [f64; NFLUX] {
+        [
+            self.dens,
+            self.dens * self.vel[0],
+            self.dens * self.vel[1],
+            self.dens * self.vel[2],
+            self.dens * self.ener,
+        ]
+    }
+
+    /// Physical flux through a face normal to the sweep direction.
+    #[inline]
+    pub fn flux(&self) -> [f64; NFLUX] {
+        let u = self.vel[0];
+        let m = self.to_cons();
+        [
+            m[0] * u,
+            m[1] * u + self.pres,
+            m[2] * u,
+            m[3] * u,
+            (m[4] + self.pres) * u,
+        ]
+    }
+
+    /// Kinetic specific energy.
+    #[inline]
+    pub fn ekin(&self) -> f64 {
+        0.5 * (self.vel[0] * self.vel[0] + self.vel[1] * self.vel[1] + self.vel[2] * self.vel[2])
+    }
+}
+
+/// Recover velocity and specific total energy from a conserved vector;
+/// density floors protect against vacuum states created by strong
+/// rarefactions (FLASH's `smlrho`).
+#[inline]
+pub fn cons_to_vel_ener(u: &[f64; NFLUX], dens_floor: f64) -> (f64, [f64; 3], f64) {
+    let dens = u[0].max(dens_floor);
+    let inv = 1.0 / dens;
+    let vel = [u[1] * inv, u[2] * inv, u[3] * inv];
+    let ener = u[4] * inv;
+    (dens, vel, ener)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prim() -> Prim {
+        Prim {
+            dens: 2.0,
+            vel: [3.0, -1.0, 0.5],
+            pres: 10.0,
+            ener: 20.0,
+            gamc: 5.0 / 3.0,
+        }
+    }
+
+    #[test]
+    fn cons_round_trip() {
+        let p = prim();
+        let u = p.to_cons();
+        let (dens, vel, ener) = cons_to_vel_ener(&u, 1e-30);
+        assert_eq!(dens, p.dens);
+        assert_eq!(vel, p.vel);
+        assert_eq!(ener, p.ener);
+    }
+
+    #[test]
+    fn flux_is_consistent_with_rankine_hugoniot_trivial_case() {
+        // At rest: only the pressure terms survive.
+        let p = Prim {
+            dens: 1.0,
+            vel: [0.0; 3],
+            pres: 7.0,
+            ener: 10.0,
+            gamc: 1.4,
+        };
+        let f = p.flux();
+        assert_eq!(f, [0.0, 7.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sound_speed_matches_formula() {
+        let p = prim();
+        assert!((p.sound_speed() - (5.0 / 3.0 * 10.0 / 2.0f64).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn density_floor_applies() {
+        let u = [0.0, 0.0, 0.0, 0.0, 0.0];
+        let (dens, _, _) = cons_to_vel_ener(&u, 1e-10);
+        assert_eq!(dens, 1e-10);
+    }
+
+    #[test]
+    fn ekin() {
+        let p = prim();
+        assert!((p.ekin() - 0.5 * (9.0 + 1.0 + 0.25)).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,775 @@
+//! Directional sweeps over the AMR mesh — FLASH's `hy_ppm_sweep`.
+//!
+//! Each sweep fills guard cells, updates every leaf block along one
+//! direction (PPM reconstruction → HLLC fluxes → conservative update →
+//! per-zone EOS), records boundary fluxes, and applies the fine–coarse flux
+//! corrections. The per-zone EOS call after every sweep is FLASH's
+//! `Eos_wrapped(MODE_DENS_EI)` — the call pattern the paper's "EOS"
+//! experiment instruments.
+
+use rflash_eos::{EosError, EosState};
+use rflash_mesh::flux::{Face, FluxRegister};
+use rflash_mesh::unk::UnkGeom;
+use rflash_mesh::{guardcell, vars, BlockId, Domain};
+use rflash_perfmon::Probe;
+
+use crate::ppm::{flattening, reconstruct, FacePair};
+use crate::riemann::hllc;
+use crate::state::{cons_to_vel_ener, Prim};
+use crate::NFLUX;
+
+/// A per-zone EOS callback: given a state with (dens, eint) set (and temp as
+/// a guess), fill pres/temp/gamc/game and return `Ok(true)`. Returning
+/// `Ok(false)` means "EOS deferred": the sweep leaves the thermodynamic
+/// cache variables stale and the driver runs its own instrumented EOS pass
+/// afterwards — FLASH's actual structure (`hy_ppm_sweep` then
+/// `Eos_wrapped(MODE_DENS_EI)`), and the split the paper's "EOS" experiment
+/// relies on. The probe lets the callback account table gathers and EOS work.
+pub type ZoneEos<'a> = dyn Fn(&mut EosState, &mut Probe) -> Result<bool, EosError> + Sync + 'a;
+
+/// Sweep tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Simulated MPI ranks (threads).
+    pub nranks: usize,
+    /// Density floor (`smlrho`).
+    pub dens_floor: f64,
+    /// Specific-internal-energy floor (`smalle`).
+    pub eint_floor: f64,
+    /// Record unk access patterns for every N-th pencil (0 = off).
+    pub pattern_every: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            nranks: 1,
+            dens_floor: 1e-30,
+            eint_floor: 1e-30,
+            pattern_every: 1,
+        }
+    }
+}
+
+/// Variables read by a sweep (for access-pattern recording).
+const READ_VARS: [usize; 8] = [
+    vars::DENS,
+    vars::VELX,
+    vars::VELY,
+    vars::VELZ,
+    vars::PRES,
+    vars::ENER,
+    vars::GAMC,
+    vars::GAME,
+];
+/// Variables written back after the update + EOS.
+const WRITE_VARS: [usize; 10] = [
+    vars::DENS,
+    vars::VELX,
+    vars::VELY,
+    vars::VELZ,
+    vars::PRES,
+    vars::ENER,
+    vars::TEMP,
+    vars::EINT,
+    vars::GAMC,
+    vars::GAME,
+];
+
+/// Boundary fluxes of one block for the sweep direction:
+/// `[side][t1][t2][channel]` flattened.
+struct BlockFluxes {
+    data: Vec<f64>,
+    t2_cells: usize,
+}
+
+impl BlockFluxes {
+    fn new(nxb: usize, ndim: usize) -> BlockFluxes {
+        let t2_cells = if ndim == 3 { nxb } else { 1 };
+        BlockFluxes {
+            data: vec![0.0; 2 * nxb * t2_cells * NFLUX],
+            t2_cells,
+        }
+    }
+    #[inline]
+    fn slot(&self, side: usize, t1: usize, t2: usize, ch: usize) -> usize {
+        ((side * (self.data.len() / (2 * self.t2_cells * NFLUX)) + t1) * self.t2_cells + t2)
+            * NFLUX
+            + ch
+    }
+    #[inline]
+    fn set(&mut self, side: usize, t1: usize, t2: usize, f: &[f64; NFLUX]) {
+        let s = self.slot(side, t1, t2, 0);
+        self.data[s..s + NFLUX].copy_from_slice(f);
+    }
+    #[inline]
+    fn get(&self, side: usize, t1: usize, t2: usize, ch: usize) -> f64 {
+        self.data[self.slot(side, t1, t2, ch)]
+    }
+}
+
+/// The sweep-frame permutation: maps sweep-local velocity components
+/// (normal, t1, t2) to unk variables, per direction.
+fn vel_map(dir: usize) -> [usize; 3] {
+    match dir {
+        0 => [vars::VELX, vars::VELY, vars::VELZ],
+        1 => [vars::VELY, vars::VELX, vars::VELZ],
+        2 => [vars::VELZ, vars::VELX, vars::VELY],
+        _ => panic!("dir < 3"),
+    }
+}
+
+/// Load zone `p` of a pencil into a [`Prim`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn load_prim(
+    slab: &[f64],
+    geom: &UnkGeom,
+    dir: usize,
+    p: usize,
+    t1: usize,
+    t2: usize,
+    vm: &[usize; 3],
+    floor: f64,
+) -> Prim {
+    let (i, j, k) = pencil_cell(dir, p, t1, t2);
+    let at = |var: usize| slab[geom.slab_idx(var, i, j, k)];
+    Prim {
+        dens: at(vars::DENS).max(floor),
+        vel: [at(vm[0]), at(vm[1]), at(vm[2])],
+        pres: at(vars::PRES).max(f64::MIN_POSITIVE),
+        ener: at(vars::ENER),
+        gamc: at(vars::GAMC).max(1.01),
+    }
+}
+
+/// (i, j, k) of pencil position `p` at transverse coords (t1, t2).
+#[inline]
+fn pencil_cell(dir: usize, p: usize, t1: usize, t2: usize) -> (usize, usize, usize) {
+    match dir {
+        0 => (p, t1, t2),
+        1 => (t1, p, t2),
+        2 => (t1, t2, p),
+        _ => panic!("dir < 3"),
+    }
+}
+
+/// One directional sweep over the whole domain. Returns the rank probes for
+/// the driver to absorb.
+pub fn sweep_direction(
+    domain: &mut Domain,
+    eos_zone: &ZoneEos<'_>,
+    dir: usize,
+    dt: f64,
+    reg: &mut FluxRegister,
+    cfg: &SweepConfig,
+) -> Vec<Probe> {
+    let ndim = domain.tree.config().ndim;
+    assert!(dir < ndim, "sweep direction outside dimensionality");
+    let nxb = domain.tree.config().nxb;
+    let ng = domain.tree.config().nguard;
+    assert!(ng >= 4, "PPM needs 4 guard cells");
+
+    guardcell::fill_guardcells(&domain.tree, &mut domain.unk);
+
+    let geom = domain.unk.geom();
+    let vm = vel_map(dir);
+    let cfg_local = *cfg;
+
+    let geometry = domain.tree.config().geometry;
+    let (probes, block_fluxes) = domain.par_leaf_map(cfg.nranks, |tree, id, slab, probe| {
+        let dx = tree.cell_size(id)[dir];
+        let dtdx = dt / dx;
+        // Cylindrical r-sweep: divergence picks up face-radius weights and
+        // the radial momentum equation a +p/r source (the (1/r)(rp)' − p'
+        // remainder). The z-sweep and all Cartesian sweeps use the plain
+        // update. Face r = 0 (the axis) has zero area, so the axis flux
+        // drops out naturally.
+        let r_lo = tree.bounds(id).0[0];
+        let cylindrical_r = dir == 0 && geometry == rflash_mesh::Geometry::CylindricalRZ;
+        let n_pencil = match dir {
+            0 => geom.ni,
+            1 => geom.nj,
+            _ => geom.nk,
+        };
+        let t1_range = ng..ng + nxb;
+        let t2_range = if ndim == 3 { ng..ng + nxb } else { 0..1 };
+
+        let mut fluxes_out = BlockFluxes::new(nxb, ndim);
+
+        // Pencil work arrays.
+        let mut w = vec![[0.0f64; 8]; n_pencil]; // dens,u,v,wv,pres,game,gamc,ener
+        let mut faces = vec![[FacePair::default(); 5]; n_pencil];
+        let mut flat = vec![1.0f64; n_pencil];
+        let mut scratch = vec![0.0f64; n_pencil];
+        let mut face_scratch = vec![FacePair::default(); n_pencil];
+        let mut iface = vec![[0.0f64; NFLUX]; n_pencil + 1];
+        let mut pencil_counter = 0usize;
+
+        for t2 in t2_range.clone() {
+            for t1 in t1_range.clone() {
+                // Load the pencil.
+                for p in 0..n_pencil {
+                    let prim = load_prim(slab, &geom, dir, p, t1, t2, &vm, cfg_local.dens_floor);
+                    let (i, j, k) = pencil_cell(dir, p, t1, t2);
+                    let game = slab[geom.slab_idx(vars::GAME, i, j, k)].max(1.01);
+                    w[p] = [
+                        prim.dens, prim.vel[0], prim.vel[1], prim.vel[2], prim.pres, game,
+                        prim.gamc, prim.ener,
+                    ];
+                }
+
+                // Flattening from pressure & normal velocity.
+                for p in 0..n_pencil {
+                    scratch[p] = w[p][4];
+                }
+                let velx: Vec<f64> = w.iter().map(|z| z[1]).collect();
+                flattening(&scratch, &velx, ng - 1, ng + nxb + 1, &mut flat);
+
+                // Reconstruct the 5 hydro variables.
+                for (v, slot) in [0usize, 1, 2, 3, 4].into_iter().enumerate() {
+                    for p in 0..n_pencil {
+                        scratch[p] = w[p][slot];
+                    }
+                    reconstruct(&scratch, ng - 1, ng + nxb + 1, &flat, &mut face_scratch);
+                    for p in ng - 1..ng + nxb + 1 {
+                        faces[p][v] = face_scratch[p];
+                    }
+                }
+
+                // Build primitive face states from the parabolae.
+                let mk = |z: usize, side_plus: bool, faces: &Vec<[FacePair; 5]>| -> Prim {
+                    let pick = |v: usize| {
+                        if side_plus {
+                            faces[z][v].plus
+                        } else {
+                            faces[z][v].minus
+                        }
+                    };
+                    let dens = pick(0).max(cfg_local.dens_floor);
+                    let pres = pick(4).max(f64::MIN_POSITIVE);
+                    let vel = [pick(1), pick(2), pick(3)];
+                    let game = w[z][5];
+                    let eint = pres / ((game - 1.0) * dens);
+                    Prim {
+                        dens,
+                        vel,
+                        pres,
+                        ener: eint
+                            + 0.5 * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]),
+                        gamc: w[z][6],
+                    }
+                };
+
+                // MUSCL–Hancock predictor: evolve each zone's pair of face
+                // states by a half step using the flux difference of its own
+                // faces — second order in time without characteristic
+                // tracing (a documented simplification of full PPM).
+                for z in ng - 1..ng + nxb + 1 {
+                    let minus = mk(z, false, &faces);
+                    let plus = mk(z, true, &faces);
+                    let f_minus = minus.flux();
+                    let f_plus = plus.flux();
+                    let half = 0.5 * dtdx;
+                    let mut um = minus.to_cons();
+                    let mut up = plus.to_cons();
+                    for n in 0..NFLUX {
+                        let d = half * (f_plus[n] - f_minus[n]);
+                        um[n] -= d;
+                        up[n] -= d;
+                    }
+                    // Back to primitive face values (gamma-law locally).
+                    let game = w[z][5];
+                    let to_prim = |u: &[f64; NFLUX], fallback: &Prim| -> [f64; 5] {
+                        let (dens, vel, ener) = cons_to_vel_ener(u, cfg_local.dens_floor);
+                        let eint =
+                            ener - 0.5 * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
+                        if !(eint > 0.0) || !(dens > 0.0) {
+                            // Predictor produced an unphysical state (strong
+                            // wave in one zone): keep the unevolved face.
+                            return [
+                                fallback.dens,
+                                fallback.vel[0],
+                                fallback.vel[1],
+                                fallback.vel[2],
+                                fallback.pres,
+                            ];
+                        }
+                        [dens, vel[0], vel[1], vel[2], (game - 1.0) * dens * eint]
+                    };
+                    let pm = to_prim(&um, &minus);
+                    let pp = to_prim(&up, &plus);
+                    for v in 0..5 {
+                        faces[z][v] = FacePair {
+                            minus: pm[v],
+                            plus: pp[v],
+                        };
+                    }
+                    probe.stats.add_vec(60);
+                }
+
+                // Interface fluxes at faces ng..=ng+nxb.
+                for f in ng..=ng + nxb {
+                    let l = mk(f - 1, true, &faces);
+                    let r = mk(f, false, &faces);
+                    iface[f] = hllc(&l, &r);
+                    // ~90 lane ops per Riemann solve + 5×~30 per zone of
+                    // reconstruction, amortized here.
+                    probe.stats.add_vec(240);
+                }
+
+                // Conservative update + EOS on interior zones.
+                for p in ng..ng + nxb {
+                    let mut u5 = Prim {
+                        dens: w[p][0],
+                        vel: [w[p][1], w[p][2], w[p][3]],
+                        pres: w[p][4],
+                        ener: w[p][7],
+                        gamc: w[p][6],
+                    }
+                    .to_cons();
+                    if cylindrical_r {
+                        let r_m = r_lo + (p - ng) as f64 * dx;
+                        let r_p = r_m + dx;
+                        let r_c = r_m + 0.5 * dx;
+                        for n in 0..NFLUX {
+                            u5[n] -= dt / (r_c * dx)
+                                * (r_p * iface[p + 1][n] - r_m * iface[p][n]);
+                        }
+                        // Geometric pressure source on radial momentum.
+                        u5[1] += dt * w[p][4] / r_c;
+                    } else {
+                        for n in 0..NFLUX {
+                            u5[n] -= dtdx * (iface[p + 1][n] - iface[p][n]);
+                        }
+                    }
+                    write_zone(
+                        slab,
+                        &geom,
+                        dir,
+                        p,
+                        t1,
+                        t2,
+                        &vm,
+                        &u5,
+                        &cfg_local,
+                        eos_zone,
+                        probe,
+                    );
+                    probe.stats.zones += 1;
+                    probe.stats.add_fp(40);
+                }
+
+                // Boundary fluxes for the conservation fix-up.
+                let c1 = t1 - ng;
+                let c2 = if ndim == 3 { t2 - ng } else { 0 };
+                fluxes_out.set(0, c1, c2, &iface[ng]);
+                fluxes_out.set(1, c1, c2, &iface[ng + nxb]);
+
+                // Access-pattern recording (sampled).
+                if cfg_local.pattern_every > 0 {
+                    if pencil_counter.is_multiple_of(cfg_local.pattern_every) {
+                        for &v in &READ_VARS {
+                            probe.record(geom.pencil_pattern(v, dir, t1, t2, id.idx()));
+                        }
+                        for &v in &WRITE_VARS {
+                            probe.record_write(geom.pencil_pattern(v, dir, t1, t2, id.idx()));
+                        }
+                    }
+                    pencil_counter += 1;
+                }
+            }
+        }
+        fluxes_out
+    });
+
+    // Record boundary fluxes and apply the fine–coarse corrections.
+    reg.clear();
+    for (id, bf) in &block_fluxes {
+        for side in 0..2 {
+            let face = Face { axis: dir, side };
+            for t1 in 0..nxb {
+                for t2 in 0..bf.t2_cells {
+                    for ch in 0..NFLUX {
+                        reg.save(id.idx(), face, [t1, t2], ch, bf.get(side, t1, t2, ch));
+                    }
+                }
+            }
+        }
+    }
+    apply_flux_corrections(domain, eos_zone, dir, dt, reg, cfg);
+
+    probes
+}
+
+/// Conservative write-back of one zone plus the per-zone EOS call.
+#[allow(clippy::too_many_arguments)]
+fn write_zone(
+    slab: &mut [f64],
+    geom: &UnkGeom,
+    dir: usize,
+    p: usize,
+    t1: usize,
+    t2: usize,
+    vm: &[usize; 3],
+    u5: &[f64; NFLUX],
+    cfg: &SweepConfig,
+    eos_zone: &ZoneEos<'_>,
+    probe: &mut Probe,
+) {
+    let (i, j, k) = pencil_cell(dir, p, t1, t2);
+    let (dens, vel, mut ener) = cons_to_vel_ener(u5, cfg.dens_floor);
+    let ekin = 0.5 * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
+    let mut eint = ener - ekin;
+    if eint < cfg.eint_floor {
+        eint = cfg.eint_floor;
+        ener = eint + ekin;
+    }
+    let mut state = EosState {
+        dens,
+        temp: slab[geom.slab_idx(vars::TEMP, i, j, k)],
+        abar: 1.0, // overwritten by the eos_zone closure's composition
+        zbar: 1.0,
+        pres: 0.0,
+        eint,
+        entr: 0.0,
+        gamc: 0.0,
+        game: 0.0,
+        cs: 0.0,
+        cv: 0.0,
+    };
+    let eos_done = eos_zone(&mut state, probe).unwrap_or_else(|e| {
+        panic!("EOS failure at zone ({i},{j},{k}): dens={dens:e} eint={eint:e}: {e}")
+    });
+
+    let mut put = |var: usize, v: f64| slab[geom.slab_idx(var, i, j, k)] = v;
+    put(vars::DENS, dens);
+    put(vm[0], vel[0]);
+    put(vm[1], vel[1]);
+    put(vm[2], vel[2]);
+    put(vars::ENER, ener);
+    put(vars::EINT, eint);
+    if eos_done {
+        probe.stats.eos_calls += 1;
+        put(vars::PRES, state.pres);
+        put(vars::TEMP, state.temp);
+        put(vars::GAMC, state.gamc);
+        put(vars::GAME, state.game);
+    }
+}
+
+/// Apply ⟨F_fine⟩ − F_coarse corrections to coarse zones at refinement
+/// jumps, then re-run the EOS on the corrected zones.
+fn apply_flux_corrections(
+    domain: &mut Domain,
+    eos_zone: &ZoneEos<'_>,
+    dir: usize,
+    dt: f64,
+    reg: &FluxRegister,
+    cfg: &SweepConfig,
+) {
+    let corrections = reg.corrections(&domain.tree);
+    if corrections.is_empty() {
+        return;
+    }
+    let geom = domain.unk.geom();
+    let ng = domain.tree.config().nguard;
+    let nxb = domain.tree.config().nxb;
+    let ndim = domain.tree.config().ndim;
+    let vm = vel_map(dir);
+    let mut probe = Probe::new();
+
+    // Group by block so we can fetch slabs one at a time.
+    let mut by_block: std::collections::HashMap<BlockId, Vec<&rflash_mesh::flux::Correction>> =
+        std::collections::HashMap::new();
+    for c in &corrections {
+        if c.face.axis == dir {
+            by_block.entry(c.block).or_default().push(c);
+        }
+    }
+
+    for (id, corrs) in by_block {
+        let dx = domain.tree.cell_size(id)[dir];
+        let dtdx = dt / dx;
+        // Accumulate per-zone channel deltas first (5 channels per zone).
+        let mut zone_delta: std::collections::HashMap<(usize, usize, usize), [f64; NFLUX]> =
+            std::collections::HashMap::new();
+        for c in corrs {
+            let p = if c.face.side == 0 { ng } else { ng + nxb - 1 };
+            let t1 = ng + c.cell[0];
+            let t2 = if ndim == 3 { ng + c.cell[1] } else { 0 };
+            let cell = pencil_cell(dir, p, t1, t2);
+            // Outward-face sign: subtracting a larger outgoing flux lowers U.
+            let sign = if c.face.side == 0 { 1.0 } else { -1.0 };
+            zone_delta.entry(cell).or_default()[c.channel] += sign * dtdx * c.delta;
+        }
+        let slab = domain.unk.block_slab_mut(id.idx());
+        for ((i, j, k), delta) in zone_delta {
+            let at = |var: usize, slab: &[f64]| slab[geom.slab_idx(var, i, j, k)];
+            let prim = Prim {
+                dens: at(vars::DENS, slab),
+                vel: [at(vm[0], slab), at(vm[1], slab), at(vm[2], slab)],
+                pres: at(vars::PRES, slab),
+                ener: at(vars::ENER, slab),
+                gamc: at(vars::GAMC, slab),
+            };
+            let mut u5 = prim.to_cons();
+            for n in 0..NFLUX {
+                u5[n] += delta[n];
+            }
+            // Re-derive the zone (reuse the sweep-frame write-back, p/t1/t2
+            // reconstruction from (i,j,k) via identity mapping for dir 0).
+            let (p, t1, t2) = match dir {
+                0 => (i, j, k),
+                1 => (j, i, k),
+                _ => (k, i, j),
+            };
+            write_zone(slab, &geom, dir, p, t1, t2, &vm, &u5, cfg, eos_zone, &mut probe);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rflash_eos::{Eos, EosMode, GammaLaw};
+    use rflash_hugepages::Policy;
+    use rflash_mesh::tree::MeshConfig;
+    use rflash_mesh::Geometry;
+
+    fn gamma_zone_eos() -> impl Fn(&mut EosState, &mut Probe) -> Result<bool, EosError> + Sync {
+        let eos = GammaLaw::new(1.4);
+        move |s: &mut EosState, _p: &mut Probe| {
+            s.abar = 1.0;
+            s.zbar = 1.0;
+            eos.call(EosMode::DensEi, s).map(|_| true)
+        }
+    }
+
+    fn uniform_domain(bc: rflash_mesh::BoundaryCondition) -> Domain {
+        let mut cfg = MeshConfig::test_2d();
+        cfg.bc = bc;
+        cfg.geometry = Geometry::Cartesian;
+        let mut d = Domain::new(cfg, Policy::None);
+        let eos = GammaLaw::new(1.4);
+        for id in d.tree.leaves() {
+            for j in 0..d.unk.padded().1 {
+                for i in 0..d.unk.padded().0 {
+                    let mut s = EosState::co_wd(1.0, 0.0);
+                    s.abar = 1.0;
+                    s.zbar = 1.0;
+                    s.pres = 1.0;
+                    eos.call(EosMode::DensPres, &mut s).unwrap();
+                    d.unk.set(vars::DENS, i, j, 0, id.idx(), s.dens);
+                    d.unk.set(vars::PRES, i, j, 0, id.idx(), s.pres);
+                    d.unk.set(vars::TEMP, i, j, 0, id.idx(), s.temp);
+                    d.unk.set(vars::EINT, i, j, 0, id.idx(), s.eint);
+                    d.unk.set(vars::ENER, i, j, 0, id.idx(), s.eint);
+                    d.unk.set(vars::GAMC, i, j, 0, id.idx(), s.gamc);
+                    d.unk.set(vars::GAME, i, j, 0, id.idx(), s.game);
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn uniform_state_is_a_fixed_point() {
+        let mut d = uniform_domain(rflash_mesh::BoundaryCondition::Periodic);
+        let eos_zone = gamma_zone_eos();
+        let mut reg = FluxRegister::new(2, 8, NFLUX, d.tree.config().max_blocks);
+        let cfg = SweepConfig::default();
+        for dir in 0..2 {
+            sweep_direction(&mut d, &eos_zone, dir, 1e-3, &mut reg, &cfg);
+        }
+        for id in d.tree.leaves() {
+            for j in d.unk.interior() {
+                for i in d.unk.interior() {
+                    let dens = d.unk.get(vars::DENS, i, j, 0, id.idx());
+                    let velx = d.unk.get(vars::VELX, i, j, 0, id.idx());
+                    assert!((dens - 1.0).abs() < 1e-13, "dens drifted: {dens}");
+                    assert!(velx.abs() < 1e-13, "vel appeared: {velx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved_with_periodic_bcs() {
+        let mut d = uniform_domain(rflash_mesh::BoundaryCondition::Periodic);
+        // Perturb the density smoothly.
+        let eos = GammaLaw::new(1.4);
+        for id in d.tree.leaves() {
+            for j in d.unk.interior() {
+                for i in d.unk.interior() {
+                    let x = d.tree.cell_center(id, i, j, 0);
+                    let dens =
+                        1.0 + 0.3 * (2.0 * std::f64::consts::PI * x[0]).sin();
+                    let mut s = EosState::co_wd(dens, 0.0);
+                    s.abar = 1.0;
+                    s.zbar = 1.0;
+                    s.pres = 1.0;
+                    eos.call(EosMode::DensPres, &mut s).unwrap();
+                    d.unk.set(vars::DENS, i, j, 0, id.idx(), dens);
+                    d.unk.set(vars::TEMP, i, j, 0, id.idx(), s.temp);
+                    d.unk.set(vars::EINT, i, j, 0, id.idx(), s.eint);
+                    d.unk.set(vars::ENER, i, j, 0, id.idx(), s.eint);
+                }
+            }
+        }
+        let total_mass = |d: &Domain| -> f64 {
+            let mut m = 0.0;
+            for id in d.tree.leaves() {
+                let dx = d.tree.cell_size(id);
+                for j in d.unk.interior() {
+                    for i in d.unk.interior() {
+                        m += d.unk.get(vars::DENS, i, j, 0, id.idx()) * dx[0] * dx[1];
+                    }
+                }
+            }
+            m
+        };
+        let m0 = total_mass(&d);
+        let eos_zone = gamma_zone_eos();
+        let mut reg = FluxRegister::new(2, 8, NFLUX, d.tree.config().max_blocks);
+        let cfg = SweepConfig::default();
+        for _step in 0..5 {
+            let dt = crate::dt::compute_dt(&d, 0.3);
+            for dir in 0..2 {
+                sweep_direction(&mut d, &eos_zone, dir, dt, &mut reg, &cfg);
+            }
+        }
+        let m1 = total_mass(&d);
+        assert!(
+            ((m1 - m0) / m0).abs() < 1e-12,
+            "mass drift {m0} -> {m1}"
+        );
+    }
+
+    #[test]
+    fn probes_account_work_and_patterns() {
+        let mut d = uniform_domain(rflash_mesh::BoundaryCondition::Periodic);
+        let eos_zone = gamma_zone_eos();
+        let mut reg = FluxRegister::new(2, 8, NFLUX, d.tree.config().max_blocks);
+        let cfg = SweepConfig::default();
+        let probes = sweep_direction(&mut d, &eos_zone, 0, 1e-4, &mut reg, &cfg);
+        let stats = &probes[0].stats;
+        assert_eq!(stats.zones, 64, "one 8×8 block");
+        assert_eq!(stats.eos_calls, 64);
+        assert!(stats.vec_ops > 0);
+        assert!(probes[0].pattern_count() > 0);
+        assert!(stats.bytes_read > 0 && stats.bytes_written > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep direction outside dimensionality")]
+    fn z_sweep_rejected_in_2d() {
+        let mut d = uniform_domain(rflash_mesh::BoundaryCondition::Periodic);
+        let eos_zone = gamma_zone_eos();
+        let mut reg = FluxRegister::new(2, 8, NFLUX, d.tree.config().max_blocks);
+        sweep_direction(&mut d, &eos_zone, 2, 1e-4, &mut reg, &SweepConfig::default());
+    }
+
+    #[test]
+    fn cylindrical_uniform_state_is_a_fixed_point() {
+        // In r-z the pressure-only momentum flux divergence (p/r) must be
+        // cancelled exactly by the geometric source.
+        let mut cfg = MeshConfig::test_2d();
+        cfg.geometry = Geometry::CylindricalRZ;
+        cfg.bc = rflash_mesh::BoundaryCondition::Reflecting;
+        let mut d = Domain::new(cfg, Policy::None);
+        let eos = GammaLaw::new(1.4);
+        for id in d.tree.leaves() {
+            for j in 0..d.unk.padded().1 {
+                for i in 0..d.unk.padded().0 {
+                    let mut s = EosState::co_wd(1.0, 0.0);
+                    s.abar = 1.0;
+                    s.zbar = 1.0;
+                    s.pres = 1.0;
+                    eos.call(EosMode::DensPres, &mut s).unwrap();
+                    d.unk.set(vars::DENS, i, j, 0, id.idx(), s.dens);
+                    d.unk.set(vars::PRES, i, j, 0, id.idx(), s.pres);
+                    d.unk.set(vars::TEMP, i, j, 0, id.idx(), s.temp);
+                    d.unk.set(vars::EINT, i, j, 0, id.idx(), s.eint);
+                    d.unk.set(vars::ENER, i, j, 0, id.idx(), s.eint);
+                    d.unk.set(vars::GAMC, i, j, 0, id.idx(), s.gamc);
+                    d.unk.set(vars::GAME, i, j, 0, id.idx(), s.game);
+                }
+            }
+        }
+        let eos_zone = gamma_zone_eos();
+        let mut reg = FluxRegister::new(2, 8, NFLUX, d.tree.config().max_blocks);
+        let cfg_sweep = SweepConfig::default();
+        for _step in 0..4 {
+            for dir in 0..2 {
+                sweep_direction(&mut d, &eos_zone, dir, 1e-3, &mut reg, &cfg_sweep);
+            }
+        }
+        for id in d.tree.leaves() {
+            for j in d.unk.interior() {
+                for i in d.unk.interior() {
+                    let dens = d.unk.get(vars::DENS, i, j, 0, id.idx());
+                    let velr = d.unk.get(vars::VELX, i, j, 0, id.idx());
+                    assert!((dens - 1.0).abs() < 1e-12, "dens drifted: {dens}");
+                    assert!(velr.abs() < 1e-12, "radial velocity appeared: {velr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refined_mesh_conserves_mass_across_jumps() {
+        let mut d = uniform_domain(rflash_mesh::BoundaryCondition::Periodic);
+        // Refine one block so flux corrections engage.
+        let root = d.tree.leaves()[0];
+        let children = d.tree.refine_block(root, &mut d.unk);
+        let _ = children;
+        // Smooth density bump centered mid-domain.
+        let eos = GammaLaw::new(1.4);
+        for id in d.tree.leaves() {
+            for j in d.unk.interior() {
+                for i in d.unk.interior() {
+                    let x = d.tree.cell_center(id, i, j, 0);
+                    let r2 = (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2);
+                    let dens = 1.0 + 2.0 * (-r2 / 0.02).exp();
+                    let mut s = EosState::co_wd(dens, 0.0);
+                    s.abar = 1.0;
+                    s.zbar = 1.0;
+                    s.pres = 1.0;
+                    eos.call(EosMode::DensPres, &mut s).unwrap();
+                    d.unk.set(vars::DENS, i, j, 0, id.idx(), dens);
+                    d.unk.set(vars::TEMP, i, j, 0, id.idx(), s.temp);
+                    d.unk.set(vars::EINT, i, j, 0, id.idx(), s.eint);
+                    d.unk.set(vars::ENER, i, j, 0, id.idx(), s.eint);
+                }
+            }
+        }
+        let total_mass = |d: &Domain| -> f64 {
+            let mut m = 0.0;
+            for id in d.tree.leaves() {
+                let dx = d.tree.cell_size(id);
+                for j in d.unk.interior() {
+                    for i in d.unk.interior() {
+                        m += d.unk.get(vars::DENS, i, j, 0, id.idx()) * dx[0] * dx[1];
+                    }
+                }
+            }
+            m
+        };
+        let m0 = total_mass(&d);
+        let eos_zone = gamma_zone_eos();
+        let mut reg = FluxRegister::new(2, 8, NFLUX, d.tree.config().max_blocks);
+        let cfg = SweepConfig::default();
+        for _ in 0..3 {
+            let dt = crate::dt::compute_dt(&d, 0.3);
+            for dir in 0..2 {
+                sweep_direction(&mut d, &eos_zone, dir, dt, &mut reg, &cfg);
+            }
+        }
+        let m1 = total_mass(&d);
+        assert!(
+            ((m1 - m0) / m0).abs() < 1e-10,
+            "mass drift across refinement jump: {m0} -> {m1}"
+        );
+    }
+}

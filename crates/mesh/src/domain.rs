@@ -1,0 +1,221 @@
+//! Rank decomposition and parallel block updates.
+//!
+//! FLASH distributes blocks over MPI ranks along the Morton space-filling
+//! curve; within a time step every rank sweeps its own blocks
+//! independently (guard cells were exchanged beforehand). We reproduce the
+//! same structure with threads: leaves are split into contiguous
+//! Morton-curve segments and each simulated rank updates its blocks on its
+//! own thread. Disjointness is by construction — every block's data is a
+//! contiguous slab of `unk`, and each slab is handed to exactly one rank.
+
+use rflash_perfmon::Probe;
+
+use crate::block::BlockId;
+use crate::tree::{MeshConfig, Tree};
+use crate::unk::UnkStorage;
+
+use rflash_hugepages::Policy;
+
+/// Tree + solution container, the pair every solver operates on.
+pub struct Domain {
+    pub tree: Tree,
+    pub unk: UnkStorage,
+}
+
+impl Domain {
+    /// Build the tree and its matching `unk` container under `policy`.
+    pub fn new(config: MeshConfig, policy: Policy) -> Domain {
+        let tree = Tree::new(config);
+        let unk = tree.make_unk(policy);
+        Domain { tree, unk }
+    }
+
+    /// Split the leaves into `nranks` contiguous Morton-curve segments with
+    /// balanced counts (PARAMESH's work distribution).
+    pub fn rank_partition(&self, nranks: usize) -> Vec<Vec<BlockId>> {
+        assert!(nranks > 0);
+        let leaves = self.tree.leaves();
+        let n = leaves.len();
+        let mut parts = vec![Vec::new(); nranks];
+        for (i, id) in leaves.into_iter().enumerate() {
+            // Balanced contiguous split: rank r gets [r·n/R, (r+1)·n/R).
+            let r = i * nranks / n.max(1);
+            parts[r.min(nranks - 1)].push(id);
+        }
+        parts
+    }
+
+    /// Update every leaf in parallel over `nranks` simulated ranks.
+    ///
+    /// The closure receives the tree, the block id, that block's mutable
+    /// slab, and the rank-local [`Probe`] for instrumentation. Returns the
+    /// probes in rank order for the driver to absorb (deterministically —
+    /// rank order, not completion order).
+    pub fn par_leaf_update<F>(&mut self, nranks: usize, f: F) -> Vec<Probe>
+    where
+        F: Fn(&Tree, BlockId, &mut [f64], &mut Probe) + Sync,
+    {
+        let (probes, _units) = self.par_leaf_map(nranks, |tree, id, slab, probe| {
+            f(tree, id, slab, probe);
+        });
+        probes
+    }
+
+    /// Like [`Domain::par_leaf_update`] but collecting a per-block result
+    /// (e.g. boundary fluxes for the conservation fix-up). Results come back
+    /// in Morton order regardless of rank scheduling.
+    pub fn par_leaf_map<R, F>(&mut self, nranks: usize, f: F) -> (Vec<Probe>, Vec<(BlockId, R)>)
+    where
+        R: Send,
+        F: Fn(&Tree, BlockId, &mut [f64], &mut Probe) -> R + Sync,
+    {
+        let parts = self.rank_partition(nranks);
+        let tree = &self.tree;
+
+        // Hand out each block's slab exactly once.
+        let mut slabs: Vec<Option<&mut [f64]>> = Vec::new();
+        {
+            let mut it = self.unk.slabs_mut();
+            for _ in 0..tree.config().max_blocks {
+                slabs.push(it.next());
+            }
+        }
+        let mut rank_work: Vec<Vec<(BlockId, &mut [f64])>> = Vec::with_capacity(nranks);
+        for part in &parts {
+            let mut work = Vec::with_capacity(part.len());
+            for &id in part {
+                let slab = slabs[id.idx()]
+                    .take()
+                    .expect("each block is assigned to exactly one rank");
+                work.push((id, slab));
+            }
+            rank_work.push(work);
+        }
+        if nranks == 1 {
+            // Fast path: no thread spawn.
+            let mut probe = Probe::new();
+            let mut results = Vec::new();
+            for (id, slab) in rank_work.pop().unwrap() {
+                let r = f(tree, id, slab, &mut probe);
+                results.push((id, r));
+            }
+            return (vec![probe], results);
+        }
+
+        let per_rank = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nranks);
+            for work in rank_work {
+                let fref = &f;
+                handles.push(scope.spawn(move |_| {
+                    let mut probe = Probe::new();
+                    let mut results = Vec::with_capacity(work.len());
+                    for (id, slab) in work {
+                        let r = fref(tree, id, slab, &mut probe);
+                        results.push((id, r));
+                    }
+                    (probe, results)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect::<Vec<(Probe, Vec<(BlockId, R)>)>>()
+        })
+        .expect("crossbeam scope failed");
+
+        let mut probes = Vec::with_capacity(nranks);
+        let mut results = Vec::new();
+        for (probe, mut rs) in per_rank {
+            probes.push(probe);
+            results.append(&mut rs);
+        }
+        (probes, results)
+    }
+
+    /// Total interior zones over all leaves.
+    pub fn total_zones(&self) -> usize {
+        let cfg = self.tree.config();
+        let per = cfg.nxb.pow(cfg.ndim as u32);
+        self.tree.leaves().len() * per
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::MeshConfig;
+    use crate::vars::DENS;
+
+    fn refined_domain() -> Domain {
+        let mut d = Domain::new(MeshConfig::test_2d(), Policy::None);
+        let root = d.tree.leaves()[0];
+        let children = d.tree.refine_block(root, &mut d.unk);
+        d.tree.refine_block(children[0], &mut d.unk);
+        d // 3 level-1 leaves + 4 level-2 leaves
+    }
+
+    #[test]
+    fn partition_covers_all_leaves_contiguously() {
+        let d = refined_domain();
+        let parts = d.rank_partition(3);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, d.tree.leaves().len());
+        // Counts are balanced within 1.
+        let (min, max) = (
+            parts.iter().map(Vec::len).min().unwrap(),
+            parts.iter().map(Vec::len).max().unwrap(),
+        );
+        assert!(max - min <= 1, "{parts:?}");
+        // Concatenation preserves Morton order.
+        let cat: Vec<BlockId> = parts.into_iter().flatten().collect();
+        assert_eq!(cat, d.tree.leaves());
+    }
+
+    #[test]
+    fn more_ranks_than_leaves_is_fine() {
+        let d = Domain::new(MeshConfig::test_2d(), Policy::None);
+        let parts = d.rank_partition(4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn par_update_touches_each_leaf_once() {
+        let mut d = refined_domain();
+        let g = d.tree.config().nguard;
+        let idx = d.unk.slab_idx(DENS, g, g, 0);
+        for nranks in [1, 2, 4] {
+            // Increment a marker cell in every leaf.
+            let probes = d.par_leaf_update(nranks, |_tree, _id, slab, probe| {
+                slab[idx] += 1.0;
+                probe.stats.zones += 1;
+            });
+            assert_eq!(probes.len(), nranks);
+            let zones: u64 = probes.iter().map(|p| p.stats.zones).sum();
+            assert_eq!(zones as usize, d.tree.leaves().len());
+        }
+        // Every leaf got exactly 3 increments (one per nranks round).
+        for id in d.tree.leaves() {
+            assert_eq!(d.unk.get(DENS, g, g, 0, id.idx()), 3.0);
+        }
+    }
+
+    #[test]
+    fn par_update_results_are_rank_deterministic() {
+        let mut d = refined_domain();
+        let probes = d.par_leaf_update(2, |tree, id, _slab, probe| {
+            probe.stats.fp_ops += tree.block(id).key.level as u64;
+        });
+        let again = d.par_leaf_update(2, |tree, id, _slab, probe| {
+            probe.stats.fp_ops += tree.block(id).key.level as u64;
+        });
+        let a: Vec<u64> = probes.iter().map(|p| p.stats.fp_ops).collect();
+        let b: Vec<u64> = again.iter().map(|p| p.stats.fp_ops).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn total_zones_counts_interiors() {
+        let d = refined_domain();
+        assert_eq!(d.total_zones(), 7 * 64);
+    }
+}

@@ -1,0 +1,617 @@
+//! Guard-cell filling, restriction, and prolongation.
+//!
+//! PARAMESH's `amr_guardcell` fills every block's guard layers from
+//! same-level neighbors (direct copy), finer neighbors (restriction — via
+//! the neighbor's parent node, which holds restricted data), coarser
+//! neighbors (monotone linear prolongation), and the physical boundary
+//! conditions. Fill order is coarse → fine so prolongation sources are
+//! always current.
+
+use crate::block::{BlockId, BlockState};
+use crate::tree::{BoundaryCondition, Neighbor, Tree};
+use crate::unk::UnkStorage;
+use crate::vars::{VELX, VELY, VELZ};
+
+/// minmod slope limiter.
+#[inline]
+fn minmod(a: f64, b: f64) -> f64 {
+    if a * b <= 0.0 {
+        0.0
+    } else if a.abs() < b.abs() {
+        a
+    } else {
+        b
+    }
+}
+
+/// Prolongate the parent's interior into child `c`'s interior
+/// (conservative, minmod-limited linear; one-sided slopes at the parent's
+/// interior edges so stale parent guards are never read).
+pub fn prolong_interior(
+    tree: &Tree,
+    unk: &mut UnkStorage,
+    parent: BlockId,
+    child: BlockId,
+    c: usize,
+) {
+    let cfg = tree.config();
+    let ng = cfg.nguard;
+    let nxb = cfg.nxb;
+    let half = nxb / 2;
+    let (ox, oy, oz) = (c & 1, (c >> 1) & 1, (c >> 2) & 1);
+    let pb = parent.idx();
+    let cb = child.idx();
+
+    // Limited slope of var at parent interior cell (pi, pj, pk) along axis,
+    // using one-sided differences at the interior edge.
+    let slope = |unk: &UnkStorage, var: usize, p: [usize; 3], axis: usize| -> f64 {
+        let lo = ng;
+        let hi = ng + nxb - 1;
+        let at = |q: [usize; 3]| unk.get(var, q[0], q[1], q[2], pb);
+        let mut m = p;
+        let mut pl = p;
+        if p[axis] == lo {
+            m[axis] += 1;
+            let d = at(m) - at(p);
+            return d;
+        }
+        if p[axis] == hi {
+            pl[axis] -= 1;
+            return at(p) - at(pl);
+        }
+        m[axis] += 1;
+        pl[axis] -= 1;
+        minmod(at(m) - at(p), at(p) - at(pl))
+    };
+
+    let kr = unk.interior_k().collect::<Vec<_>>();
+    for var in 0..cfg.nvar {
+        for &k in &kr {
+            for j in unk.interior() {
+                for i in unk.interior() {
+                    let (fi, fj) = (i - ng, j - ng);
+                    let fk = if cfg.ndim == 3 { k - ng } else { 0 };
+                    let p = [
+                        ng + ox * half + fi / 2,
+                        ng + oy * half + fj / 2,
+                        if cfg.ndim == 3 { ng + oz * half + fk / 2 } else { 0 },
+                    ];
+                    let base = unk.get(var, p[0], p[1], p[2], pb);
+                    let mut v = base;
+                    let fracs = [fi & 1, fj & 1, fk & 1];
+                    for axis in 0..cfg.ndim {
+                        let s = slope(unk, var, p, axis);
+                        let off = if fracs[axis] == 0 { -0.25 } else { 0.25 };
+                        v += s * off;
+                    }
+                    unk.set(var, i, j, k, cb, v);
+                }
+            }
+        }
+    }
+}
+
+/// Restrict child `c`'s interior into the corresponding quadrant/octant of
+/// the parent's interior (plain averaging — conservative for cell means).
+pub fn restrict_interior(
+    tree: &Tree,
+    unk: &mut UnkStorage,
+    child: BlockId,
+    parent: BlockId,
+    c: usize,
+) {
+    let cfg = tree.config();
+    let ng = cfg.nguard;
+    let nxb = cfg.nxb;
+    let half = nxb / 2;
+    let (ox, oy, oz) = (c & 1, (c >> 1) & 1, (c >> 2) & 1);
+    let pb = parent.idx();
+    let cb = child.idx();
+    let kcells = if cfg.ndim == 3 { half } else { 1 };
+    let weight = 1.0 / (1 << cfg.ndim) as f64;
+
+    for var in 0..cfg.nvar {
+        for pk in 0..kcells {
+            for pj in 0..half {
+                for pi in 0..half {
+                    let mut sum = 0.0;
+                    let kk = if cfg.ndim == 3 { 2 } else { 1 };
+                    for dk in 0..kk {
+                        for dj in 0..2 {
+                            for di in 0..2 {
+                                let ci = ng + 2 * pi + di;
+                                let cj = ng + 2 * pj + dj;
+                                let ck = if cfg.ndim == 3 { ng + 2 * pk + dk } else { 0 };
+                                sum += unk.get(var, ci, cj, ck, cb);
+                            }
+                        }
+                    }
+                    let p = [
+                        ng + ox * half + pi,
+                        ng + oy * half + pj,
+                        if cfg.ndim == 3 { ng + oz * half + pk } else { 0 },
+                    ];
+                    unk.set(var, p[0], p[1], p[2], pb, sum * weight);
+                }
+            }
+        }
+    }
+}
+
+/// Per-axis destination range of the guard region in direction `d`.
+fn guard_range(unk: &UnkStorage, da: i32, axis_is_k_in_2d: bool) -> std::ops::Range<usize> {
+    let ng = unk.nguard();
+    let nxb = unk.nxb();
+    if axis_is_k_in_2d {
+        return 0..1;
+    }
+    match da {
+        -1 => 0..ng,
+        0 => ng..ng + nxb,
+        1 => ng + nxb..2 * ng + nxb,
+        _ => unreachable!(),
+    }
+}
+
+/// Fill every active block's guard cells. Restriction of leaf data into
+/// parent nodes happens first so same-level copies from "virtual" coarse
+/// data work; then blocks are filled coarse → fine.
+pub fn fill_guardcells(tree: &Tree, unk: &mut UnkStorage) {
+    // 1. Restrict into parents, deepest parents first.
+    let mut parents: Vec<BlockId> = (0..unk.max_blocks() as u32)
+        .map(BlockId)
+        .filter(|id| tree.block(*id).state == BlockState::Parent)
+        .collect();
+    parents.sort_by_key(|id| std::cmp::Reverse(tree.block(*id).key.level));
+    for pid in parents {
+        let meta = tree.block(pid);
+        let children = meta.children.expect("parent has children");
+        for (c, &cid) in children.iter().enumerate().take(meta.n_children as usize) {
+            restrict_interior(tree, unk, cid, pid, c);
+        }
+    }
+
+    // 2. Fill guards, coarse levels first.
+    let mut active: Vec<BlockId> = (0..unk.max_blocks() as u32)
+        .map(BlockId)
+        .filter(|id| tree.block(*id).state != BlockState::Free)
+        .collect();
+    active.sort_by_key(|id| tree.block(*id).key.level);
+
+    let dirs = tree.config().neighbor_dirs();
+    for &id in &active {
+        // Non-boundary directions first; boundary fills may read guards the
+        // neighbor copies produced (e.g. corners at a wall).
+        for &d in &dirs {
+            match tree.neighbor(id, d) {
+                Neighbor::Same(nid) => copy_same_level(tree, unk, id, nid, d),
+                Neighbor::Coarser(nid) => prolong_guards(tree, unk, id, nid, d),
+                Neighbor::Boundary => {}
+            }
+        }
+        for &d in &dirs {
+            if tree.neighbor(id, d) == Neighbor::Boundary {
+                fill_boundary(tree, unk, id, d);
+            }
+        }
+    }
+}
+
+/// Copy the guard region of `dst` in direction `d` from the same-level
+/// block `src` (interior shifted by one block).
+fn copy_same_level(tree: &Tree, unk: &mut UnkStorage, dst: BlockId, src: BlockId, d: [i32; 3]) {
+    let cfg = tree.config();
+    let nxb = cfg.nxb as i64;
+    let ri = guard_range(unk, d[0], false);
+    let rj = guard_range(unk, d[1], false);
+    let rk = guard_range(unk, d[2], cfg.ndim == 2);
+    let (db, sb) = (dst.idx(), src.idx());
+    for var in 0..cfg.nvar {
+        for k in rk.clone() {
+            let sk = if cfg.ndim == 3 {
+                (k as i64 - d[2] as i64 * nxb) as usize
+            } else {
+                0
+            };
+            for j in rj.clone() {
+                let sj = (j as i64 - d[1] as i64 * nxb) as usize;
+                for i in ri.clone() {
+                    let si = (i as i64 - d[0] as i64 * nxb) as usize;
+                    let v = unk.get(var, si, sj, sk, sb);
+                    unk.set(var, i, j, k, db, v);
+                }
+            }
+        }
+    }
+}
+
+/// Prolongate the guard region of fine block `dst` in direction `d` from
+/// its coarser neighbor `src`.
+fn prolong_guards(tree: &Tree, unk: &mut UnkStorage, dst: BlockId, src: BlockId, d: [i32; 3]) {
+    let cfg = tree.config();
+    let ng = cfg.nguard as i64;
+    let nxb = cfg.nxb as i64;
+    let key = tree.block(dst).key;
+    let halves = [
+        (key.ix & 1) as i64,
+        (key.iy & 1) as i64,
+        (key.iz & 1) as i64,
+    ];
+    let ri = guard_range(unk, d[0], false);
+    let rj = guard_range(unk, d[1], false);
+    let rk = guard_range(unk, d[2], cfg.ndim == 2);
+    let (db, sb) = (dst.idx(), src.idx());
+
+    // Map a destination padded index to (source padded index, ±¼ offset).
+    // The coarse source block's offset from the fine block's parent along
+    // each axis follows from key arithmetic — for diagonal directions it
+    // can be 0 even when d[axis] ≠ 0 (the guard region stays inside the
+    // parent's column on that axis).
+    let coords = [key.ix as i64, key.iy as i64, key.iz as i64];
+    let padded_i = unk.padded().0;
+    let map = move |axis: usize, idx: usize| -> (usize, f64) {
+        if axis >= cfg.ndim {
+            return (0, 0.0);
+        }
+        let f = idx as i64 - ng; // offset from fine block start
+        let fp = halves[axis] * nxb + f; // in parent-block cell units
+        let cp = fp.div_euclid(2); // coarse cell relative to parent start
+        let r = fp.rem_euclid(2);
+        let ia = coords[axis];
+        let e = (ia + d[axis] as i64).div_euclid(2) - ia.div_euclid(2);
+        let local = cp - e * nxb + ng;
+        debug_assert!(
+            local >= 1 && (local as usize) < padded_i - 1,
+            "coarse source out of range: local={local}"
+        );
+        (local as usize, if r == 0 { -0.25 } else { 0.25 })
+    };
+
+    let slope = |unk: &UnkStorage, var: usize, s: [usize; 3], axis: usize| -> f64 {
+        let mut hi = s;
+        let mut lo = s;
+        hi[axis] += 1;
+        lo[axis] -= 1;
+        let vh = unk.get(var, hi[0], hi[1], hi[2], sb);
+        let v0 = unk.get(var, s[0], s[1], s[2], sb);
+        let vl = unk.get(var, lo[0], lo[1], lo[2], sb);
+        minmod(vh - v0, v0 - vl)
+    };
+
+    for var in 0..cfg.nvar {
+        for k in rk.clone() {
+            let (sk, ok) = map(2, k);
+            for j in rj.clone() {
+                let (sj, oj) = map(1, j);
+                for i in ri.clone() {
+                    let (si, oi) = map(0, i);
+                    let s = [si, sj, sk];
+                    let mut v = unk.get(var, si, sj, sk, sb);
+                    let offs = [oi, oj, ok];
+                    for axis in 0..cfg.ndim {
+                        v += slope(unk, var, s, axis) * offs[axis];
+                    }
+                    unk.set(var, i, j, k, db, v);
+                }
+            }
+        }
+    }
+}
+
+/// Apply the physical boundary condition to the guard region of `id` in
+/// direction `d` (some axes of which may point at real neighbors; those are
+/// handled by per-axis clamping into already-filled guard data).
+fn fill_boundary(tree: &Tree, unk: &mut UnkStorage, id: BlockId, d: [i32; 3]) {
+    let cfg = tree.config();
+    let ng = cfg.nguard as i64;
+    let nxb = cfg.nxb as i64;
+    let key = tree.block(id).key;
+    let ri = guard_range(unk, d[0], false);
+    let rj = guard_range(unk, d[1], false);
+    let rk = guard_range(unk, d[2], cfg.ndim == 2);
+    let b = id.idx();
+
+    // Is the block face in direction d[axis] on the physical boundary?
+    let on_boundary = |axis: usize| -> bool {
+        if axis >= cfg.ndim || d[axis] == 0 {
+            return false;
+        }
+        let coord = [key.ix, key.iy, key.iz][axis] as i64;
+        let extent = ((cfg.nroot[axis] as u64) << key.level) as i64;
+        (d[axis] < 0 && coord == 0) || (d[axis] > 0 && coord == extent - 1)
+    };
+
+    // Per-axis source index + velocity sign for the BC.
+    let map = |axis: usize, idx: usize| -> (usize, f64) {
+        if axis >= cfg.ndim {
+            return (idx, 1.0);
+        }
+        if !on_boundary(axis) {
+            // Real data exists in this direction (already filled): read it.
+            return (idx, 1.0);
+        }
+        let i = idx as i64;
+        let side = if d[axis] < 0 { 0 } else { 1 };
+        match cfg.bc_at(axis, side) {
+            BoundaryCondition::Outflow => {
+                let clamped = i.clamp(ng, ng + nxb - 1);
+                (clamped as usize, 1.0)
+            }
+            BoundaryCondition::Reflecting => {
+                // Mirror across the face: guard t maps to interior t-mirrored.
+                let m = if d[axis] < 0 {
+                    2 * ng - 1 - i
+                } else {
+                    2 * (ng + nxb) - 1 - i
+                };
+                (m as usize, -1.0)
+            }
+            BoundaryCondition::Periodic => unreachable!("periodic handled as neighbor"),
+        }
+    };
+
+    let vel_var = [VELX, VELY, VELZ];
+    for var in 0..cfg.nvar {
+        for k in rk.clone() {
+            let (sk, fk) = if cfg.ndim == 3 { map(2, k) } else { (0, 1.0) };
+            for j in rj.clone() {
+                let (sj, fj) = map(1, j);
+                for i in ri.clone() {
+                    let (si, fi) = map(0, i);
+                    let mut v = unk.get(var, si, sj, sk, b);
+                    // Flip the normal velocity component on reflection.
+                    for axis in 0..cfg.ndim {
+                        if var == vel_var[axis] {
+                            let f = [fi, fj, fk][axis];
+                            v *= f;
+                        }
+                    }
+                    unk.set(var, i, j, k, b, v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Mark, MeshConfig};
+    use crate::vars::{DENS, VELX};
+    use rflash_hugepages::Policy;
+    use std::collections::HashMap;
+
+    fn linear_fill(tree: &Tree, unk: &mut UnkStorage, f: impl Fn([f64; 3]) -> f64) {
+        for id in tree.leaves() {
+            for k in unk.interior_k() {
+                for j in unk.interior() {
+                    for i in unk.interior() {
+                        let x = tree.cell_center(id, i, j, k);
+                        unk.set(DENS, i, j, k, id.idx(), f(x));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Check DENS guard cells of every leaf against the analytic field
+    /// (interior-covered guards only — physical boundaries use outflow and
+    /// won't match a linear function).
+    fn check_guards(tree: &Tree, unk: &UnkStorage, f: impl Fn([f64; 3]) -> f64, tol: f64) {
+        let cfg = tree.config();
+        for id in tree.leaves() {
+            let (ni, nj, nk) = unk.padded();
+            for k in 0..nk {
+                for j in 0..nj {
+                    for i in 0..ni {
+                        let interior = unk.interior().contains(&i)
+                            && unk.interior().contains(&j)
+                            && (cfg.ndim == 2 || unk.interior().contains(&k));
+                        if interior {
+                            continue;
+                        }
+                        let x = tree.cell_center(id, i, j, k);
+                        // Skip guards outside the physical domain, and
+                        // guards near it: a coarse prolongation source whose
+                        // limiter stencil touches an outflow-clamped guard
+                        // correctly flattens to first order there.
+                        let inside = (0..cfg.ndim).all(|a| {
+                            let coarse_dx = (cfg.domain_hi[a] - cfg.domain_lo[a])
+                                / (cfg.nroot[a] * cfg.nxb) as f64;
+                            let margin = 3.0 * coarse_dx;
+                            x[a] > cfg.domain_lo[a] + margin
+                                && x[a] < cfg.domain_hi[a] - margin
+                        });
+                        if !inside {
+                            continue;
+                        }
+                        let got = unk.get(DENS, i, j, k, id.idx());
+                        let want = f(x);
+                        assert!(
+                            (got - want).abs() <= tol * want.abs().max(1.0),
+                            "leaf {id:?} guard ({i},{j},{k}): {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_same_level_copy_is_exact() {
+        let mut cfg = MeshConfig::test_2d();
+        cfg.nroot = [2, 2, 1];
+        let tree = Tree::new(cfg);
+        let mut unk = tree.make_unk(Policy::None);
+        let f = |x: [f64; 3]| 1.0 + 2.0 * x[0] + 3.0 * x[1];
+        linear_fill(&tree, &mut unk, f);
+        fill_guardcells(&tree, &mut unk);
+        check_guards(&tree, &unk, f, 1e-12);
+    }
+
+    #[test]
+    fn fine_coarse_guards_reproduce_linear_fields() {
+        // Refine one quadrant: the fine/coarse interfaces must still
+        // reproduce a linear field exactly (linear prolongation + averaging
+        // restriction are exact on linear data away from limiter kicks).
+        let mut cfg = MeshConfig::test_2d();
+        cfg.nroot = [2, 2, 1];
+        let mut tree = Tree::new(cfg);
+        let mut unk = tree.make_unk(Policy::None);
+        let first = tree.leaves()[0];
+        let mut marks = HashMap::new();
+        marks.insert(first, Mark::Refine);
+        tree.adapt(&mut unk, &marks);
+        assert!(tree.leaves().len() > 4);
+
+        let f = |x: [f64; 3]| 1.0 + 2.0 * x[0] + 3.0 * x[1];
+        linear_fill(&tree, &mut unk, f);
+        fill_guardcells(&tree, &mut unk);
+        check_guards(&tree, &unk, f, 1e-10);
+    }
+
+    #[test]
+    fn three_d_guard_fill_linear() {
+        let mut cfg = MeshConfig::test_2d();
+        cfg.ndim = 3;
+        cfg.nroot = [2, 2, 2];
+        cfg.max_blocks = 128;
+        let tree = Tree::new(cfg);
+        let mut unk = tree.make_unk(Policy::None);
+        let f = |x: [f64; 3]| 0.5 + x[0] + 2.0 * x[1] - x[2];
+        linear_fill(&tree, &mut unk, f);
+        fill_guardcells(&tree, &mut unk);
+        check_guards(&tree, &unk, f, 1e-12);
+    }
+
+    #[test]
+    fn outflow_boundary_copies_edge_values() {
+        let tree = Tree::new(MeshConfig::test_2d());
+        let mut unk = tree.make_unk(Policy::None);
+        let id = tree.leaves()[0];
+        linear_fill(&tree, &mut unk, |x| 1.0 + x[0]);
+        fill_guardcells(&tree, &mut unk);
+        let ng = tree.config().nguard;
+        // -x guards equal the first interior column's value.
+        let edge = unk.get(DENS, ng, ng + 2, 0, id.idx());
+        for i in 0..ng {
+            assert_eq!(unk.get(DENS, i, ng + 2, 0, id.idx()), edge);
+        }
+    }
+
+    #[test]
+    fn reflecting_boundary_flips_normal_velocity() {
+        let mut cfg = MeshConfig::test_2d();
+        cfg.bc = BoundaryCondition::Reflecting;
+        let tree = Tree::new(cfg);
+        let mut unk = tree.make_unk(Policy::None);
+        let id = tree.leaves()[0];
+        let ng = tree.config().nguard;
+        for j in unk.interior() {
+            for i in unk.interior() {
+                unk.set(VELX, i, j, 0, id.idx(), 3.0);
+                unk.set(DENS, i, j, 0, id.idx(), 2.0);
+            }
+        }
+        fill_guardcells(&tree, &mut unk);
+        // VELX mirrors with a sign flip in the x guards…
+        assert_eq!(unk.get(VELX, ng - 1, ng, 0, id.idx()), -3.0);
+        // …but not in the y guards (tangential there).
+        assert_eq!(unk.get(VELX, ng, ng - 1, 0, id.idx()), 3.0);
+        // Scalars mirror unchanged.
+        assert_eq!(unk.get(DENS, ng - 1, ng, 0, id.idx()), 2.0);
+    }
+
+    #[test]
+    fn periodic_guards_wrap_values() {
+        let mut cfg = MeshConfig::test_2d();
+        cfg.bc = BoundaryCondition::Periodic;
+        cfg.nroot = [2, 1, 1];
+        let tree = Tree::new(cfg);
+        let mut unk = tree.make_unk(Policy::None);
+        let left = tree.leaves()[0];
+        let right = tree.leaves()[1];
+        let ng = tree.config().nguard;
+        for j in unk.interior() {
+            for i in unk.interior() {
+                unk.set(DENS, i, j, 0, left.idx(), 1.0);
+                unk.set(DENS, i, j, 0, right.idx(), 2.0);
+            }
+        }
+        fill_guardcells(&tree, &mut unk);
+        // Left block's -x guards wrap to the right block.
+        assert_eq!(unk.get(DENS, ng - 1, ng, 0, left.idx()), 2.0);
+        assert_eq!(unk.get(DENS, ng + tree.config().nxb, ng, 0, right.idx()), 1.0);
+    }
+
+    #[test]
+    fn restriction_is_conservative_sum() {
+        let mut cfg = MeshConfig::test_2d();
+        let mut tree = Tree::new(cfg);
+        let mut unk = tree.make_unk(Policy::None);
+        let root = tree.leaves()[0];
+        let children = tree.refine_block(root, &mut unk);
+        // Random-ish child data.
+        for (n, id) in children[..4].iter().enumerate() {
+            for j in unk.interior() {
+                for i in unk.interior() {
+                    unk.set(DENS, i, j, 0, id.idx(), (n + 1) as f64 + (i * j) as f64 * 0.01);
+                }
+            }
+        }
+        let fine_mean: f64 = {
+            let mut sum = 0.0;
+            let mut count = 0;
+            for id in &children[..4] {
+                for j in unk.interior() {
+                    for i in unk.interior() {
+                        sum += unk.get(DENS, i, j, 0, id.idx());
+                        count += 1;
+                    }
+                }
+            }
+            sum / count as f64
+        };
+        fill_guardcells(&tree, &mut unk);
+        let coarse_mean: f64 = {
+            let mut sum = 0.0;
+            let mut count = 0;
+            for j in unk.interior() {
+                for i in unk.interior() {
+                    sum += unk.get(DENS, i, j, 0, root.idx());
+                    count += 1;
+                }
+            }
+            sum / count as f64
+        };
+        assert!((fine_mean - coarse_mean).abs() < 1e-12);
+        cfg.ndim = 2; // silence unused-mut lint path
+        let _ = cfg;
+    }
+
+    #[test]
+    fn prolongation_is_monotone_at_jumps() {
+        // A step function must not overshoot under limited prolongation.
+        let mut tree = Tree::new(MeshConfig::test_2d());
+        let mut unk = tree.make_unk(Policy::None);
+        let root = tree.leaves()[0];
+        for j in unk.interior() {
+            for i in unk.interior() {
+                let v = if i < unk.interior().start + 4 { 1.0 } else { 10.0 };
+                unk.set(DENS, i, j, 0, root.idx(), v);
+            }
+        }
+        tree.refine_block(root, &mut unk);
+        for id in tree.leaves() {
+            for j in unk.interior() {
+                for i in unk.interior() {
+                    let v = unk.get(DENS, i, j, 0, id.idx());
+                    assert!(
+                        (0.999..=10.001).contains(&v),
+                        "overshoot {v} at ({i},{j}) of {id:?}"
+                    );
+                }
+            }
+        }
+    }
+}

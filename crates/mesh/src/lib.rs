@@ -1,0 +1,40 @@
+//! PARAMESH-like block-structured adaptive mesh.
+//!
+//! FLASH manages its mesh with the PARAMESH library: a quadtree/octree of
+//! fixed-size blocks (16×16 zones in 2-d, 16³ in 3-d in the paper's runs),
+//! each padded with guard cells, with all solution data in one big
+//! dynamically-allocated container
+//! `unk(nvar, il:iu, jl:ju, kl:ku, maxblocks)`. The strided access into
+//! `unk` is what motivated the authors' interest in huge pages (§I.C), so
+//! this crate reproduces that container byte-for-byte in spirit:
+//!
+//! * [`UnkStorage`] — one policy-backed allocation holding every block,
+//!   with the FLASH index order (`var` fastest, `block` slowest) plus
+//!   alternative layouts for the ablation benches;
+//! * [`Tree`] — the block tree: Morton-keyed blocks, refinement and
+//!   derefinement with 2:1 balance, neighbor lookup;
+//! * [`guardcell`] — guard-cell fill: same-level copies, restriction,
+//!   monotone prolongation, and physical boundary conditions;
+//! * [`refine`] — the Löhner second-derivative error estimator;
+//! * [`flux`] — flux registers for conservation at fine–coarse boundaries;
+//! * [`domain`] — the rank decomposition (Morton-curve splitting, one
+//!   thread per simulated MPI rank via crossbeam).
+
+pub mod block;
+pub mod domain;
+pub mod flux;
+pub mod geometry;
+pub mod guardcell;
+pub mod refine;
+pub mod stats;
+pub mod tree;
+pub mod unk;
+pub mod vars;
+
+pub use block::{BlockId, BlockMeta, BlockState, MortonKey};
+pub use domain::Domain;
+pub use geometry::Geometry;
+pub use stats::MeshStats;
+pub use tree::{BoundaryCondition, MeshConfig, Tree};
+pub use unk::{Layout, UnkStorage};
+pub use vars::*;

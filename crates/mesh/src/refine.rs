@@ -1,0 +1,162 @@
+//! Refinement criterion: the Löhner second-derivative error estimator,
+//! PARAMESH/FLASH's default (`RuntimeParameters`: `refine_var_*`,
+//! `refine_cutoff`, `derefine_cutoff`).
+
+use std::collections::HashMap;
+
+use crate::block::BlockId;
+use crate::tree::{Mark, Tree};
+use crate::unk::UnkStorage;
+
+/// Estimator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LohnerConfig {
+    /// Refine when the max error in a block exceeds this (FLASH: 0.8).
+    pub refine_cutoff: f64,
+    /// Derefine when the max error falls below this (FLASH: 0.2).
+    pub derefine_cutoff: f64,
+    /// Noise filter ε in the denominator (FLASH: 0.01).
+    pub filter: f64,
+}
+
+impl Default for LohnerConfig {
+    fn default() -> Self {
+        LohnerConfig {
+            refine_cutoff: 0.8,
+            derefine_cutoff: 0.2,
+            filter: 0.01,
+        }
+    }
+}
+
+/// Normalized second-derivative error of `var` at interior cell (i, j, k):
+/// the 1-d Löhner ratio per axis, combined as the max over axes.
+fn cell_error(
+    unk: &UnkStorage,
+    var: usize,
+    i: usize,
+    j: usize,
+    k: usize,
+    blk: usize,
+    filter: f64,
+    ndim: usize,
+) -> f64 {
+    let mut worst: f64 = 0.0;
+    for axis in 0..ndim {
+        let at = |o: i32| -> f64 {
+            let (mut ii, mut jj, mut kk) = (i as i32, j as i32, k as i32);
+            match axis {
+                0 => ii += o,
+                1 => jj += o,
+                _ => kk += o,
+            }
+            unk.get(var, ii as usize, jj as usize, kk as usize, blk)
+        };
+        let num = (at(1) - 2.0 * at(0) + at(-1)).abs();
+        let den = (at(1) - at(0)).abs()
+            + (at(0) - at(-1)).abs()
+            + filter * (at(1).abs() + 2.0 * at(0).abs() + at(-1).abs());
+        if den > 0.0 {
+            worst = worst.max(num / den);
+        }
+    }
+    worst
+}
+
+/// Evaluate the estimator on every leaf for each variable in `vars`
+/// (guard cells must be filled) and produce adaptation marks.
+pub fn lohner_marks(
+    tree: &Tree,
+    unk: &UnkStorage,
+    vars: &[usize],
+    config: &LohnerConfig,
+) -> HashMap<BlockId, Mark> {
+    let mut marks = HashMap::new();
+    let ndim = tree.config().ndim;
+    for id in tree.leaves() {
+        let mut err: f64 = 0.0;
+        for &var in vars {
+            for k in unk.interior_k() {
+                for j in unk.interior() {
+                    for i in unk.interior() {
+                        err = err.max(cell_error(unk, var, i, j, k, id.idx(), config.filter, ndim));
+                    }
+                }
+            }
+        }
+        let mark = if err > config.refine_cutoff {
+            Mark::Refine
+        } else if err < config.derefine_cutoff {
+            Mark::Derefine
+        } else {
+            Mark::Keep
+        };
+        marks.insert(id, mark);
+    }
+    marks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::MeshConfig;
+    use crate::vars::DENS;
+    use rflash_hugepages::Policy;
+
+    #[test]
+    fn smooth_field_derefines_sharp_feature_refines() {
+        let tree = Tree::new(MeshConfig::test_2d());
+        let mut unk = tree.make_unk(Policy::None);
+        let id = tree.leaves()[0];
+        // Constant: zero error everywhere.
+        for j in 0..unk.padded().1 {
+            for i in 0..unk.padded().0 {
+                unk.set(DENS, i, j, 0, id.idx(), 5.0);
+            }
+        }
+        let marks = lohner_marks(&tree, &unk, &[DENS], &LohnerConfig::default());
+        assert_eq!(marks[&id], Mark::Derefine);
+
+        // A sharp step through the middle: must refine.
+        for j in 0..unk.padded().1 {
+            for i in 0..unk.padded().0 {
+                let v = if i < unk.padded().0 / 2 { 1.0 } else { 100.0 };
+                unk.set(DENS, i, j, 0, id.idx(), v);
+            }
+        }
+        let marks = lohner_marks(&tree, &unk, &[DENS], &LohnerConfig::default());
+        assert_eq!(marks[&id], Mark::Refine);
+    }
+
+    #[test]
+    fn linear_gradient_is_not_refined() {
+        // First derivatives alone must not trigger (that's the point of the
+        // second-derivative estimator).
+        let tree = Tree::new(MeshConfig::test_2d());
+        let mut unk = tree.make_unk(Policy::None);
+        let id = tree.leaves()[0];
+        for j in 0..unk.padded().1 {
+            for i in 0..unk.padded().0 {
+                unk.set(DENS, i, j, 0, id.idx(), 1.0 + 10.0 * i as f64);
+            }
+        }
+        let marks = lohner_marks(&tree, &unk, &[DENS], &LohnerConfig::default());
+        assert_eq!(marks[&id], Mark::Derefine);
+    }
+
+    #[test]
+    fn filter_suppresses_tiny_ripples() {
+        let tree = Tree::new(MeshConfig::test_2d());
+        let mut unk = tree.make_unk(Policy::None);
+        let id = tree.leaves()[0];
+        // 1e-10 ripples on a large background.
+        for j in 0..unk.padded().1 {
+            for i in 0..unk.padded().0 {
+                let ripple = if i % 2 == 0 { 1e-10 } else { -1e-10 };
+                unk.set(DENS, i, j, 0, id.idx(), 1.0e6 + ripple);
+            }
+        }
+        let marks = lohner_marks(&tree, &unk, &[DENS], &LohnerConfig::default());
+        assert_eq!(marks[&id], Mark::Derefine, "noise must not refine");
+    }
+}

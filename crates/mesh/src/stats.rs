@@ -1,0 +1,98 @@
+//! Mesh statistics — PARAMESH's block/level accounting, used by drivers to
+//! print the "N leaf blocks at levels …" lines FLASH logs each regrid.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tree::Tree;
+
+/// Snapshot of the tree's composition.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeshStats {
+    pub leaf_blocks: usize,
+    pub parent_blocks: usize,
+    /// Leaf count per refinement level (index = level).
+    pub leaves_per_level: Vec<usize>,
+    /// Total interior zones over all leaves.
+    pub total_zones: usize,
+    /// Fraction of an equivalent uniform finest-level grid this mesh
+    /// represents (the AMR saving: 1.0 = fully refined everywhere).
+    pub fill_fraction: f64,
+}
+
+impl MeshStats {
+    /// Gather statistics from a tree.
+    pub fn gather(tree: &Tree) -> MeshStats {
+        let cfg = tree.config();
+        let leaves = tree.leaves();
+        let max_level = leaves
+            .iter()
+            .map(|id| tree.block(*id).key.level)
+            .max()
+            .unwrap_or(0);
+        let mut per_level = vec![0usize; max_level as usize + 1];
+        for id in &leaves {
+            per_level[tree.block(*id).key.level as usize] += 1;
+        }
+        let zones_per_block = cfg.nxb.pow(cfg.ndim as u32);
+        // Equivalent uniform grid at the deepest *present* level.
+        let nroot: usize = cfg.nroot[..cfg.ndim].iter().product();
+        let uniform_blocks = nroot * (1usize << (cfg.ndim as u32 * max_level as u32));
+        MeshStats {
+            leaf_blocks: leaves.len(),
+            parent_blocks: tree.active_blocks() - leaves.len(),
+            leaves_per_level: per_level,
+            total_zones: leaves.len() * zones_per_block,
+            fill_fraction: leaves.len() as f64 / uniform_blocks as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for MeshStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} leaves ({} zones), {} parents, per level {:?}, {:.1}% of uniform",
+            self.leaf_blocks,
+            self.total_zones,
+            self.parent_blocks,
+            self.leaves_per_level,
+            self.fill_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::MeshConfig;
+    use rflash_hugepages::Policy;
+
+    #[test]
+    fn uniform_root_stats() {
+        let tree = Tree::new(MeshConfig::test_2d());
+        let s = MeshStats::gather(&tree);
+        assert_eq!(s.leaf_blocks, 1);
+        assert_eq!(s.parent_blocks, 0);
+        assert_eq!(s.leaves_per_level, vec![1]);
+        assert_eq!(s.total_zones, 64);
+        assert_eq!(s.fill_fraction, 1.0);
+    }
+
+    #[test]
+    fn refined_corner_stats() {
+        let mut tree = Tree::new(MeshConfig::test_2d());
+        let mut unk = tree.make_unk(Policy::None);
+        let root = tree.leaves()[0];
+        let children = tree.refine_block(root, &mut unk);
+        tree.refine_block(children[0], &mut unk);
+        let s = MeshStats::gather(&tree);
+        assert_eq!(s.leaf_blocks, 7);
+        assert_eq!(s.parent_blocks, 2);
+        assert_eq!(s.leaves_per_level, vec![0, 3, 4]);
+        // Uniform level-2 grid would be 16 blocks; 3 level-1 leaves cover 12
+        // of them plus 4 level-2 leaves: AMR uses 7/16 of the blocks.
+        assert!((s.fill_fraction - 7.0 / 16.0).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("7 leaves"));
+    }
+}

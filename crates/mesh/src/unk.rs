@@ -1,0 +1,495 @@
+//! The `unk` solution container.
+//!
+//! FLASH/PARAMESH stores every variable of every zone of every block in one
+//! dynamically allocated Fortran array
+//! `unk(nvar, il_bnd:iu_bnd, jl_bnd:ju_bnd, kl_bnd:ku_bnd, maxblocks)`.
+//! Fortran's column-major order makes `nvar` the fastest-varying index: a
+//! kernel sweeping one variable over one block strides by `nvar × 8` bytes
+//! per zone, and block-to-block hops are megabytes apart. The paper singles
+//! this stride structure out as the motivation for huge pages (§I.C).
+//!
+//! [`UnkStorage`] reproduces the container in one policy-backed allocation
+//! and exposes the same index order as [`Layout::VarFirst`] (the FLASH
+//! layout), plus [`Layout::VarLast`] (structure-of-arrays within a block)
+//! for the layout-ablation experiment E6.
+
+use rflash_hugepages::{BackingReport, PageBuffer, Policy};
+use rflash_tlbsim::AccessPattern;
+use serde::{Deserialize, Serialize};
+
+/// Index order within a block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layout {
+    /// FLASH order: `var` fastest, then i, j, k; block slowest.
+    /// One variable's zones are `nvar × 8` bytes apart.
+    VarFirst,
+    /// SoA order: i fastest, then j, k, then var; block slowest.
+    /// One variable's zones are contiguous.
+    VarLast,
+}
+
+/// The solution container: `max_blocks` fixed-size blocks in one mapping.
+pub struct UnkStorage {
+    layout: Layout,
+    nvar: usize,
+    ndim: usize,
+    nxb: usize,
+    nguard: usize,
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    per_block: usize,
+    max_blocks: usize,
+    buf: PageBuffer<f64>,
+}
+
+impl UnkStorage {
+    /// Allocate the container. `nxb` is zones per side (FLASH: 16),
+    /// `nguard` guard cells per side (FLASH: 4 for PPM).
+    pub fn new(
+        ndim: usize,
+        nxb: usize,
+        nguard: usize,
+        nvar: usize,
+        max_blocks: usize,
+        layout: Layout,
+        policy: Policy,
+    ) -> UnkStorage {
+        assert!(ndim == 2 || ndim == 3, "FLASH runs 1–3D; we support 2D/3D");
+        assert!(nxb > 0 && nvar > 0 && max_blocks > 0);
+        assert!(nguard >= 1, "PPM needs guard cells");
+        let ni = nxb + 2 * nguard;
+        let nj = nxb + 2 * nguard;
+        let nk = if ndim == 3 { nxb + 2 * nguard } else { 1 };
+        let per_block = nvar * ni * nj * nk;
+        let buf = PageBuffer::<f64>::zeroed(per_block * max_blocks, policy)
+            .expect("unk allocation failed");
+        UnkStorage {
+            layout,
+            nvar,
+            ndim,
+            nxb,
+            nguard,
+            ni,
+            nj,
+            nk,
+            per_block,
+            max_blocks,
+            buf,
+        }
+    }
+
+    // ---- geometry of the container ------------------------------------
+
+    #[inline]
+    /// Number of solution variables.
+    pub fn nvar(&self) -> usize {
+        self.nvar
+    }
+    #[inline]
+    /// Dimensionality (2 or 3).
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+    #[inline]
+    /// Zones per block side.
+    pub fn nxb(&self) -> usize {
+        self.nxb
+    }
+    #[inline]
+    /// Guard cells per side.
+    pub fn nguard(&self) -> usize {
+        self.nguard
+    }
+    /// Padded extent in i (= j; k is 1 in 2-d).
+    #[inline]
+    pub fn padded(&self) -> (usize, usize, usize) {
+        (self.ni, self.nj, self.nk)
+    }
+    /// Interior index range along i or j (k in 3-d): `nguard..nguard+nxb`.
+    #[inline]
+    pub fn interior(&self) -> std::ops::Range<usize> {
+        self.nguard..self.nguard + self.nxb
+    }
+    /// Interior range along k: the full `0..1` in 2-d.
+    #[inline]
+    pub fn interior_k(&self) -> std::ops::Range<usize> {
+        if self.ndim == 3 {
+            self.interior()
+        } else {
+            0..1
+        }
+    }
+    #[inline]
+    /// Block-pool capacity (PARAMESH's `maxblocks`).
+    pub fn max_blocks(&self) -> usize {
+        self.max_blocks
+    }
+    /// Doubles per block slab.
+    #[inline]
+    pub fn per_block(&self) -> usize {
+        self.per_block
+    }
+    #[inline]
+    /// The storage order in use.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+    /// Total container size in bytes — FLASH's "unk is big" number.
+    pub fn bytes(&self) -> usize {
+        self.buf.len() * 8
+    }
+    /// Base virtual address for TLB-model registration.
+    pub fn base_addr(&self) -> usize {
+        self.buf.base_addr()
+    }
+    /// Kernel-verified backing of the container.
+    pub fn backing_report(&self) -> BackingReport {
+        self.buf.backing_report()
+    }
+
+    // ---- indexing ------------------------------------------------------
+
+    /// Flat element index of `(var, i, j, k, blk)`; `i/j/k` are padded
+    /// coordinates (guards included), `k` must be 0 in 2-d.
+    #[inline]
+    pub fn idx(&self, var: usize, i: usize, j: usize, k: usize, blk: usize) -> usize {
+        debug_assert!(var < self.nvar && i < self.ni && j < self.nj && k < self.nk);
+        debug_assert!(blk < self.max_blocks);
+        let cell = i + self.ni * (j + self.nj * k);
+        blk * self.per_block
+            + match self.layout {
+                Layout::VarFirst => var + self.nvar * cell,
+                Layout::VarLast => cell + self.ni * self.nj * self.nk * var,
+            }
+    }
+
+    #[inline]
+    /// Read one element (padded coordinates, guards included).
+    pub fn get(&self, var: usize, i: usize, j: usize, k: usize, blk: usize) -> f64 {
+        self.buf[self.idx(var, i, j, k, blk)]
+    }
+
+    #[inline]
+    /// Write one element (padded coordinates, guards included).
+    pub fn set(&mut self, var: usize, i: usize, j: usize, k: usize, blk: usize, v: f64) {
+        let idx = self.idx(var, i, j, k, blk);
+        self.buf[idx] = v;
+    }
+
+    /// Byte address of an element (trace generation).
+    #[inline]
+    pub fn addr(&self, var: usize, i: usize, j: usize, k: usize, blk: usize) -> usize {
+        self.base_addr() + 8 * self.idx(var, i, j, k, blk)
+    }
+
+    /// Byte stride between consecutive zones of the same variable along i.
+    #[inline]
+    pub fn zone_stride(&self) -> usize {
+        match self.layout {
+            Layout::VarFirst => 8 * self.nvar,
+            Layout::VarLast => 8,
+        }
+    }
+
+    // ---- slabs ----------------------------------------------------------
+
+    /// One block's contiguous slab.
+    pub fn block_slab(&self, blk: usize) -> &[f64] {
+        &self.buf.as_slice()[blk * self.per_block..(blk + 1) * self.per_block]
+    }
+
+    /// One block's contiguous slab, mutable.
+    pub fn block_slab_mut(&mut self, blk: usize) -> &mut [f64] {
+        &mut self.buf.as_mut_slice()[blk * self.per_block..(blk + 1) * self.per_block]
+    }
+
+    /// Disjoint mutable slabs for every block slot — the safe foundation
+    /// for thread-parallel block updates.
+    pub fn slabs_mut(&mut self) -> std::slice::ChunksMut<'_, f64> {
+        let per = self.per_block;
+        self.buf.as_mut_slice().chunks_mut(per)
+    }
+
+    /// Flat index of `(var, i, j, k)` *within* a block slab, matching
+    /// [`UnkStorage::idx`] minus the block offset. Kernels operating on a
+    /// slab from [`UnkStorage::slabs_mut`] use this.
+    #[inline]
+    pub fn slab_idx(&self, var: usize, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(var < self.nvar && i < self.ni && j < self.nj && k < self.nk);
+        let cell = i + self.ni * (j + self.nj * k);
+        match self.layout {
+            Layout::VarFirst => var + self.nvar * cell,
+            Layout::VarLast => cell + self.ni * self.nj * self.nk * var,
+        }
+    }
+
+    /// Copyable geometry handle for pattern generation inside parallel
+    /// closures (where `self` is mutably split into slabs).
+    pub fn geom(&self) -> UnkGeom {
+        UnkGeom {
+            layout: self.layout,
+            nvar: self.nvar,
+            ndim: self.ndim,
+            nxb: self.nxb,
+            nguard: self.nguard,
+            ni: self.ni,
+            nj: self.nj,
+            nk: self.nk,
+            per_block: self.per_block,
+            base_addr: self.base_addr(),
+        }
+    }
+
+    // ---- access-pattern generation ---------------------------------------
+
+    /// The access pattern of sweeping one variable along an interior i-row
+    /// `(j, k)` of block `blk` — the paper's motivating stride.
+    pub fn row_pattern(&self, var: usize, j: usize, k: usize, blk: usize) -> AccessPattern {
+        AccessPattern::Strided {
+            base: self.addr(var, self.nguard, j, k, blk),
+            stride: self.zone_stride(),
+            count: self.nxb,
+            elem: 8,
+        }
+    }
+
+    /// All row patterns for sweeping a set of variables over the interior
+    /// of a block, in loop order (k outer, j middle, var inner — the order
+    /// a FLASH kernel touches them).
+    pub fn block_sweep_patterns(&self, vars: &[usize], blk: usize, out: &mut Vec<AccessPattern>) {
+        for k in self.interior_k() {
+            for j in self.interior() {
+                for &var in vars {
+                    out.push(self.row_pattern(var, j, k, blk));
+                }
+            }
+        }
+    }
+}
+
+/// Copyable geometry of an [`UnkStorage`]: index arithmetic and access
+/// pattern generation without borrowing the storage itself.
+#[derive(Clone, Copy, Debug)]
+pub struct UnkGeom {
+    pub layout: Layout,
+    pub nvar: usize,
+    pub ndim: usize,
+    pub nxb: usize,
+    pub nguard: usize,
+    pub ni: usize,
+    pub nj: usize,
+    pub nk: usize,
+    pub per_block: usize,
+    pub base_addr: usize,
+}
+
+impl UnkGeom {
+    /// Flat element index within a block slab (matches
+    /// [`UnkStorage::slab_idx`]).
+    #[inline]
+    pub fn slab_idx(&self, var: usize, i: usize, j: usize, k: usize) -> usize {
+        let cell = i + self.ni * (j + self.nj * k);
+        match self.layout {
+            Layout::VarFirst => var + self.nvar * cell,
+            Layout::VarLast => cell + self.ni * self.nj * self.nk * var,
+        }
+    }
+
+    /// Byte address of `(var, i, j, k, blk)`.
+    #[inline]
+    pub fn addr(&self, var: usize, i: usize, j: usize, k: usize, blk: usize) -> usize {
+        self.base_addr + 8 * (blk * self.per_block + self.slab_idx(var, i, j, k))
+    }
+
+    /// Element byte stride along direction `dir` for one variable.
+    #[inline]
+    pub fn dir_stride(&self, dir: usize) -> usize {
+        let cells = match dir {
+            0 => 1,
+            1 => self.ni,
+            2 => self.ni * self.nj,
+            _ => panic!("dir < 3"),
+        };
+        8 * match self.layout {
+            Layout::VarFirst => self.nvar * cells,
+            Layout::VarLast => cells,
+        }
+    }
+
+    /// The access pattern of sweeping one variable along a full padded
+    /// pencil in direction `dir` at transverse coordinates (t1, t2):
+    /// dir 0 → (i varies; j=t1, k=t2), dir 1 → (j varies; i=t1, k=t2),
+    /// dir 2 → (k varies; i=t1, j=t2).
+    pub fn pencil_pattern(
+        &self,
+        var: usize,
+        dir: usize,
+        t1: usize,
+        t2: usize,
+        blk: usize,
+    ) -> rflash_tlbsim::AccessPattern {
+        let (i0, j0, k0, count) = match dir {
+            0 => (0, t1, t2, self.ni),
+            1 => (t1, 0, t2, self.nj),
+            2 => (t1, t2, 0, self.nk),
+            _ => panic!("dir < 3"),
+        };
+        rflash_tlbsim::AccessPattern::Strided {
+            base: self.addr(var, i0, j0, k0, blk),
+            stride: self.dir_stride(dir),
+            count,
+            elem: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(layout: Layout) -> UnkStorage {
+        UnkStorage::new(2, 8, 2, 4, 3, layout, Policy::None)
+    }
+
+    #[test]
+    fn sizes_2d() {
+        let u = mk(Layout::VarFirst);
+        assert_eq!(u.padded(), (12, 12, 1));
+        assert_eq!(u.per_block(), 4 * 12 * 12);
+        assert_eq!(u.bytes(), 4 * 12 * 12 * 3 * 8);
+        assert_eq!(u.interior(), 2..10);
+        assert_eq!(u.interior_k(), 0..1);
+    }
+
+    #[test]
+    fn sizes_3d() {
+        let u = UnkStorage::new(3, 16, 4, 11, 2, Layout::VarFirst, Policy::None);
+        assert_eq!(u.padded(), (24, 24, 24));
+        assert_eq!(u.per_block(), 11 * 24 * 24 * 24);
+        assert_eq!(u.interior_k(), 4..20);
+    }
+
+    #[test]
+    fn varfirst_strides_match_flash() {
+        let u = mk(Layout::VarFirst);
+        // Consecutive vars in the same zone are adjacent.
+        assert_eq!(u.idx(1, 5, 5, 0, 0) - u.idx(0, 5, 5, 0, 0), 1);
+        // Same var, consecutive i: stride nvar.
+        assert_eq!(u.idx(0, 6, 5, 0, 0) - u.idx(0, 5, 5, 0, 0), 4);
+        assert_eq!(u.zone_stride(), 32);
+        // Block stride is the full slab.
+        assert_eq!(u.idx(0, 0, 0, 0, 1) - u.idx(0, 0, 0, 0, 0), u.per_block());
+    }
+
+    #[test]
+    fn varlast_strides_are_contiguous() {
+        let u = mk(Layout::VarLast);
+        assert_eq!(u.idx(0, 6, 5, 0, 0) - u.idx(0, 5, 5, 0, 0), 1);
+        assert_eq!(u.zone_stride(), 8);
+        // Var plane stride within a block.
+        assert_eq!(u.idx(1, 5, 5, 0, 0) - u.idx(0, 5, 5, 0, 0), 12 * 12);
+    }
+
+    #[test]
+    fn get_set_round_trip_all_layouts() {
+        for layout in [Layout::VarFirst, Layout::VarLast] {
+            let mut u = mk(layout);
+            u.set(2, 3, 4, 0, 1, 7.5);
+            assert_eq!(u.get(2, 3, 4, 0, 1), 7.5);
+            assert_eq!(u.get(2, 3, 4, 0, 0), 0.0, "other blocks untouched");
+            // Via slab view.
+            let slab = u.block_slab(1);
+            assert_eq!(slab[u.slab_idx(2, 3, 4, 0)], 7.5);
+        }
+    }
+
+    #[test]
+    fn slabs_are_disjoint_and_cover() {
+        let mut u = mk(Layout::VarFirst);
+        let per = u.per_block();
+        let mut count = 0;
+        for (b, slab) in u.slabs_mut().enumerate() {
+            assert_eq!(slab.len(), per);
+            slab[0] = b as f64;
+            count += 1;
+        }
+        assert_eq!(count, 3);
+        for b in 0..3 {
+            assert_eq!(u.block_slab(b)[0], b as f64);
+        }
+    }
+
+    #[test]
+    fn row_pattern_describes_the_flash_stride() {
+        let u = mk(Layout::VarFirst);
+        match u.row_pattern(1, 5, 0, 2) {
+            AccessPattern::Strided {
+                base,
+                stride,
+                count,
+                elem,
+            } => {
+                assert_eq!(base, u.addr(1, 2, 5, 0, 2));
+                assert_eq!(stride, 32);
+                assert_eq!(count, 8);
+                assert_eq!(elem, 8);
+            }
+            other => panic!("unexpected pattern {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_sweep_emits_rows_in_loop_order() {
+        let u = mk(Layout::VarFirst);
+        let mut pats = Vec::new();
+        u.block_sweep_patterns(&[0, 3], 0, &mut pats);
+        // 8 interior rows × 2 vars.
+        assert_eq!(pats.len(), 16);
+    }
+
+    #[test]
+    fn addr_is_byte_scaled() {
+        let u = mk(Layout::VarFirst);
+        assert_eq!(u.addr(0, 3, 4, 0, 0) - u.base_addr(), 8 * u.idx(0, 3, 4, 0, 0));
+    }
+
+    #[test]
+    fn geom_matches_storage() {
+        for layout in [Layout::VarFirst, Layout::VarLast] {
+            let u = mk(layout);
+            let g = u.geom();
+            assert_eq!(g.slab_idx(2, 3, 4, 0), u.slab_idx(2, 3, 4, 0));
+            assert_eq!(g.addr(1, 2, 3, 0, 2), u.addr(1, 2, 3, 0, 2));
+            assert_eq!(g.dir_stride(0), u.zone_stride());
+        }
+    }
+
+    #[test]
+    fn pencil_patterns_by_direction() {
+        let u = UnkStorage::new(3, 4, 2, 5, 2, Layout::VarFirst, Policy::None);
+        let g = u.geom();
+        // dir 1 (j) stride: nvar * ni doubles.
+        match g.pencil_pattern(0, 1, 3, 2, 1) {
+            rflash_tlbsim::AccessPattern::Strided { stride, count, base, .. } => {
+                assert_eq!(stride, 8 * 5 * 8);
+                assert_eq!(count, 8);
+                assert_eq!(base, u.addr(0, 3, 0, 2, 1));
+            }
+            _ => unreachable!(),
+        }
+        // dir 2 (k) stride: nvar * ni * nj doubles.
+        match g.pencil_pattern(1, 2, 1, 2, 0) {
+            rflash_tlbsim::AccessPattern::Strided { stride, .. } => {
+                assert_eq!(stride, 8 * 5 * 64);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ndim_1_unsupported() {
+        let _ = UnkStorage::new(1, 8, 2, 4, 1, Layout::VarFirst, Policy::None);
+    }
+}

@@ -1,0 +1,48 @@
+//! Solution-variable indices into the `unk` container.
+//!
+//! FLASH addresses `unk(ivar, …)` with named integer indices (DENS_VAR,
+//! PRES_VAR, …). The paper's supernova application carries hydrodynamic
+//! state, thermodynamic cache variables, and the flame progress variable.
+
+/// Mass density, g/cm³.
+pub const DENS: usize = 0;
+/// x-velocity, cm/s.
+pub const VELX: usize = 1;
+/// y-velocity, cm/s.
+pub const VELY: usize = 2;
+/// z-velocity, cm/s.
+pub const VELZ: usize = 3;
+/// Pressure, erg/cm³.
+pub const PRES: usize = 4;
+/// Specific total energy (internal + kinetic), erg/g.
+pub const ENER: usize = 5;
+/// Temperature, K.
+pub const TEMP: usize = 6;
+/// Specific internal energy, erg/g.
+pub const EINT: usize = 7;
+/// First adiabatic index Γ₁ (EOS cache).
+pub const GAMC: usize = 8;
+/// Energy gamma Γₑ = 1 + P/(ρe) (EOS cache).
+pub const GAME: usize = 9;
+/// Flame progress variable φ ∈ [0, 1].
+pub const FLAM: usize = 10;
+
+/// Number of solution variables.
+pub const NVAR: usize = 11;
+
+/// Human-readable names, index-aligned with the constants.
+pub const VAR_NAMES: [&str; NVAR] = [
+    "dens", "velx", "vely", "velz", "pres", "ener", "temp", "eint", "gamc", "game", "flam",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_align_with_indices() {
+        assert_eq!(VAR_NAMES[DENS], "dens");
+        assert_eq!(VAR_NAMES[FLAM], "flam");
+        assert_eq!(VAR_NAMES.len(), NVAR);
+    }
+}

@@ -1,0 +1,143 @@
+//! Software accounting of the work kernels perform.
+//!
+//! Hardware counters tell you what the machine did; these counters tell you
+//! what the *kernels* did (bytes they logically moved, floating-point lane
+//! operations they issued). The ratio of the two is how the harness forms
+//! the paper's "Memory (Gbytes/s)" and "SVE instructions/cycle" analogs on
+//! machines without SVE or uncore counters.
+
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Per-region work counters, accumulated by instrumented kernels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Bytes logically read by the kernel.
+    pub bytes_read: u64,
+    /// Bytes logically written.
+    pub bytes_written: u64,
+    /// Scalar floating-point operations.
+    pub fp_ops: u64,
+    /// Vectorizable lane operations (the SVE-instruction analog: ops issued
+    /// in inner loops a vectorizing compiler would turn into SVE lanes).
+    pub vec_ops: u64,
+    /// Zones (cells) processed — FLASH's natural work unit.
+    pub zones: u64,
+    /// EOS evaluations performed (table lookups + Newton iterations).
+    pub eos_calls: u64,
+}
+
+impl KernelStats {
+    /// Total bytes moved in either direction.
+    #[inline]
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Bandwidth in GB/s over an elapsed time.
+    pub fn gb_per_s(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes_total() as f64 / 1e9 / elapsed_secs
+        }
+    }
+
+    /// Vector-lane operations per cycle, given a cycle count.
+    pub fn vec_ops_per_cycle(&self, cycles: f64) -> f64 {
+        if cycles <= 0.0 {
+            0.0
+        } else {
+            self.vec_ops as f64 / cycles
+        }
+    }
+
+    #[inline]
+    /// Account `bytes` of logical reads.
+    pub fn add_read(&mut self, bytes: u64) {
+        self.bytes_read += bytes;
+    }
+
+    #[inline]
+    /// Account `bytes` of logical writes.
+    pub fn add_write(&mut self, bytes: u64) {
+        self.bytes_written += bytes;
+    }
+
+    #[inline]
+    /// Account scalar floating-point operations.
+    pub fn add_fp(&mut self, ops: u64) {
+        self.fp_ops += ops;
+    }
+
+    #[inline]
+    /// Account vectorizable lane operations.
+    pub fn add_vec(&mut self, ops: u64) {
+        self.vec_ops += ops;
+    }
+}
+
+impl Add for KernelStats {
+    type Output = KernelStats;
+    fn add(self, r: KernelStats) -> KernelStats {
+        KernelStats {
+            bytes_read: self.bytes_read + r.bytes_read,
+            bytes_written: self.bytes_written + r.bytes_written,
+            fp_ops: self.fp_ops + r.fp_ops,
+            vec_ops: self.vec_ops + r.vec_ops,
+            zones: self.zones + r.zones,
+            eos_calls: self.eos_calls + r.eos_calls,
+        }
+    }
+}
+
+impl AddAssign for KernelStats {
+    fn add_assign(&mut self, r: KernelStats) {
+        *self = *self + r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_rates() {
+        let mut s = KernelStats::default();
+        s.add_read(3_000_000_000);
+        s.add_write(1_000_000_000);
+        s.add_fp(100);
+        s.add_vec(2_000);
+        s.zones = 10;
+        assert_eq!(s.bytes_total(), 4_000_000_000);
+        assert!((s.gb_per_s(2.0) - 2.0).abs() < 1e-12);
+        assert!((s.vec_ops_per_cycle(1000.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_denominators() {
+        let s = KernelStats::default();
+        assert_eq!(s.gb_per_s(0.0), 0.0);
+        assert_eq!(s.vec_ops_per_cycle(0.0), 0.0);
+        assert_eq!(s.gb_per_s(-1.0), 0.0);
+    }
+
+    #[test]
+    fn add_merges_all_fields() {
+        let a = KernelStats {
+            bytes_read: 1,
+            bytes_written: 2,
+            fp_ops: 3,
+            vec_ops: 4,
+            zones: 5,
+            eos_calls: 6,
+        };
+        let sum = a + a;
+        assert_eq!(sum.eos_calls, 12);
+        assert_eq!(sum.zones, 10);
+        let mut acc = KernelStats::default();
+        acc += a;
+        assert_eq!(acc, a);
+    }
+}

@@ -1,0 +1,34 @@
+//! PAPI-like performance monitoring for the FLASH reproduction.
+//!
+//! The paper instruments FLASH with PAPI for five measures (hardware cycles,
+//! elapsed time, SVE instructions per cycle, memory bandwidth, DTLB misses
+//! per second) plus the code's internal timers. This crate provides the same
+//! interface shape with two counter backends:
+//!
+//! * [`hw`] — real hardware counters via `perf_event_open(2)` where the
+//!   kernel allows it (it frequently does not in containers; the probe
+//!   degrades gracefully and the harness reports which backend produced
+//!   each number).
+//! * the *simulated* backend — a [`rflash_tlbsim::Tlb`] model fed by the
+//!   kernels' access patterns, plus software accounting of bytes moved and
+//!   vector-lane operations ([`KernelStats`]).
+//!
+//! [`PerfSession`] ties both together around an instrumented region, the way
+//! the paper wraps the EOS and hydro routines, and produces [`Measures`]
+//! rows formatted like the paper's Tables I/II.
+
+pub mod hw;
+pub mod kernel_stats;
+pub mod report;
+pub mod session;
+pub mod timers;
+
+pub use hw::HwCounters;
+pub use kernel_stats::KernelStats;
+pub use report::{Measures, RatioReport};
+pub use session::{PerfSession, Probe, SessionConfig};
+pub use timers::Timers;
+
+/// Nominal clock used to convert wall time to "cycles" when hardware
+/// counters are unavailable — the A64FX's 1.8 GHz.
+pub const NOMINAL_HZ: f64 = 1.8e9;

@@ -1,0 +1,251 @@
+//! Paper-style measure rows and with/without-huge-pages ratio reports.
+//!
+//! Tables I and II of the paper have six rows; [`Measures`] carries the same
+//! six (plus bookkeeping about which backend produced the DTLB number), and
+//! [`RatioReport`] reproduces Figure 1's ratio series.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One column of the paper's Tables I/II.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Measures {
+    /// "Hardware (cycles)".
+    pub cycles: f64,
+    /// "Time (s)" — instrumented-region seconds.
+    pub time_s: f64,
+    /// "SVE Instructions/cycle" analog: vector-lane ops per cycle.
+    pub vec_ops_per_cycle: f64,
+    /// "Memory (Gbytes/s)".
+    pub mem_gb_per_s: f64,
+    /// "DTLB misses (1/s)" from the TLB model.
+    pub dtlb_miss_per_s: f64,
+    /// "FLASH Timer (s)" — total run time.
+    pub total_time_s: f64,
+    /// Absolute modeled DTLB miss count (not a paper row; useful raw datum).
+    pub dtlb_misses: u64,
+    /// Whether cycles came from hardware counters (else nominal-clock estimate).
+    pub hw_backend: bool,
+    /// Modeled fraction of all cycles spent in TLB stalls (L2-TLB hits +
+    /// page walks, costed by the TLB model). This is the quantity that
+    /// *answers the paper's open question*: if it is small without huge
+    /// pages, eliminating the misses cannot move the runtime much.
+    #[serde(default)]
+    pub stall_fraction: f64,
+    /// Hardware DTLB misses/s when counters were available.
+    pub hw_dtlb_miss_per_s: Option<f64>,
+}
+
+impl Measures {
+    /// Row labels in the paper's order.
+    pub const ROW_LABELS: [&'static str; 6] = [
+        "Hardware (cycles)",
+        "Time (s)",
+        "Vec ops/cycle (SVE analog)",
+        "Memory (Gbytes/s)",
+        "DTLB misses (1/s)",
+        "FLASH Timer (s)",
+    ];
+
+    /// Values in the paper's row order.
+    pub fn rows(&self) -> [f64; 6] {
+        [
+            self.cycles,
+            self.time_s,
+            self.vec_ops_per_cycle,
+            self.mem_gb_per_s,
+            self.dtlb_miss_per_s,
+            self.total_time_s,
+        ]
+    }
+
+    /// Per-row ratios `self / baseline` — Figure 1's bar heights, where
+    /// `self` is the with-huge-pages run and `baseline` is without.
+    pub fn ratios(&self, baseline: &Measures) -> [f64; 6] {
+        let a = self.rows();
+        let b = baseline.rows();
+        let mut out = [0.0; 6];
+        for i in 0..6 {
+            out[i] = if b[i] == 0.0 { f64::NAN } else { a[i] / b[i] };
+        }
+        out
+    }
+}
+
+/// Scientific-notation formatting like the paper ("1.25 × 10^11").
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let exp = v.abs().log10().floor() as i32;
+    if (-2..4).contains(&exp) {
+        format!("{v:.3}")
+    } else {
+        let mant = v / 10f64.powi(exp);
+        format!("{mant:.2}e{exp}")
+    }
+}
+
+/// A two-column (without / with huge pages) table in the paper's layout.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RatioReport {
+    /// Experiment label, e.g. "EOS" or "3-d Hydro".
+    pub name: String,
+    pub without_hp: Measures,
+    pub with_hp: Measures,
+}
+
+impl RatioReport {
+    /// Per-measure with/without ratios in the paper's row order.
+    pub fn ratios(&self) -> [f64; 6] {
+        self.with_hp.ratios(&self.without_hp)
+    }
+
+    /// The paper's headline number: the DTLB-miss ratio (0.047 for EOS,
+    /// 0.324 for 3-d Hydro on Ookami).
+    pub fn dtlb_ratio(&self) -> f64 {
+        self.ratios()[4]
+    }
+}
+
+impl fmt::Display for RatioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "RESULTS FOR THE {} PROBLEM (backend: {})",
+            self.name.to_uppercase(),
+            if self.without_hp.hw_backend {
+                "hardware+model"
+            } else {
+                "model (perf_event unavailable)"
+            }
+        )?;
+        writeln!(
+            f,
+            "| {:<28} | {:>13} | {:>13} | {:>7} |",
+            "Measure", "Without HPs", "With HPs", "Ratio"
+        )?;
+        writeln!(f, "|{:-<30}|{:-<15}|{:-<15}|{:-<9}|", "", "", "", "")?;
+        let without = self.without_hp.rows();
+        let with = self.with_hp.rows();
+        let ratios = self.ratios();
+        for i in 0..6 {
+            writeln!(
+                f,
+                "| {:<28} | {:>13} | {:>13} | {:>7.3} |",
+                Measures::ROW_LABELS[i],
+                sci(without[i]),
+                sci(with[i]),
+                ratios[i]
+            )?;
+        }
+        writeln!(
+            f,
+            "| {:<28} | {:>12.2}% | {:>12.2}% |  (model)|",
+            "TLB-stall share of cycles",
+            self.without_hp.stall_fraction * 100.0,
+            self.with_hp.stall_fraction * 100.0,
+        )?;
+        if let (Some(a), Some(b)) = (
+            self.without_hp.hw_dtlb_miss_per_s,
+            self.with_hp.hw_dtlb_miss_per_s,
+        ) {
+            writeln!(
+                f,
+                "| {:<28} | {:>13} | {:>13} | {:>7.3} |",
+                "DTLB misses (1/s) [hw]",
+                sci(a),
+                sci(b),
+                if a == 0.0 { f64::NAN } else { b / a }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measures(dtlb: f64, time: f64) -> Measures {
+        Measures {
+            cycles: time * 1.8e9,
+            time_s: time,
+            vec_ops_per_cycle: 0.5,
+            mem_gb_per_s: 4.0,
+            dtlb_miss_per_s: dtlb,
+            total_time_s: time * 5.0,
+            dtlb_misses: (dtlb * time) as u64,
+            hw_backend: false,
+            hw_dtlb_miss_per_s: None,
+            stall_fraction: 0.01,
+        }
+    }
+
+    #[test]
+    fn ratios_match_paper_shape() {
+        // Numbers shaped like Table I.
+        let without = measures(2.34e7, 69.7);
+        let with = measures(1.10e6, 65.2);
+        let report = RatioReport {
+            name: "EOS".into(),
+            without_hp: without,
+            with_hp: with,
+        };
+        let r = report.ratios();
+        assert!((report.dtlb_ratio() - 0.047).abs() < 0.001);
+        assert!((r[1] - 65.2 / 69.7).abs() < 1e-12);
+        assert!((r[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_gives_nan_not_panic() {
+        let mut base = measures(0.0, 1.0);
+        base.mem_gb_per_s = 0.0;
+        let with = measures(1.0, 1.0);
+        let r = with.ratios(&base);
+        assert!(r[4].is_nan());
+        assert!(r[3].is_nan());
+    }
+
+    #[test]
+    fn sci_formatting() {
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(1.25e11), "1.25e11");
+        assert_eq!(sci(69.7), "69.700");
+        assert_eq!(sci(0.47), "0.470");
+        assert_eq!(sci(2.34e7), "2.34e7");
+        assert_eq!(sci(1.10e-6), "1.10e-6");
+    }
+
+    #[test]
+    fn display_contains_all_rows() {
+        let report = RatioReport {
+            name: "3-d Hydro".into(),
+            without_hp: measures(2.42e6, 670.0),
+            with_hp: measures(7.83e5, 669.0),
+        };
+        let text = report.to_string();
+        for label in Measures::ROW_LABELS {
+            assert!(text.contains(label), "missing row {label}");
+        }
+        assert!(text.contains("3-D HYDRO"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let report = RatioReport {
+            name: "EOS".into(),
+            without_hp: measures(2.34e7, 69.7),
+            with_hp: measures(1.10e6, 65.2),
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RatioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, "EOS");
+        assert!((back.dtlb_ratio() - report.dtlb_ratio()).abs() < 1e-12);
+    }
+}

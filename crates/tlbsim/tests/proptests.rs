@@ -1,0 +1,114 @@
+//! Property-based tests of the TLB model's invariants.
+
+use proptest::prelude::*;
+use rflash_tlbsim::{AccessPattern, FrameSizing, PageTable, Tlb, TlbConfig};
+
+fn tiny_config() -> TlbConfig {
+    TlbConfig {
+        l1_entries: 4,
+        l2_entries: 32,
+        l2_assoc: 4,
+        base_page: 4096,
+        ..TlbConfig::a64fx_like()
+    }
+}
+
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        (0usize..1 << 24, 8usize..1 << 16, 1usize..256).prop_map(|(base, stride, count)| {
+            AccessPattern::Strided {
+                base,
+                stride,
+                count,
+                elem: 8,
+            }
+        }),
+        (0usize..1 << 24, 1usize..1 << 18)
+            .prop_map(|(base, len)| AccessPattern::Range { base, len }),
+        (
+            0usize..1 << 20,
+            proptest::collection::vec(0usize..1 << 16, 1..64)
+        )
+            .prop_map(|(base, indices)| AccessPattern::Gather {
+                base,
+                elem: 8,
+                indices
+            }),
+    ]
+}
+
+proptest! {
+    /// Huge frames never *increase* page walks for any access sequence:
+    /// a huge frame covers strictly more addresses per TLB entry.
+    #[test]
+    fn huge_frames_never_increase_walks(patterns in proptest::collection::vec(arb_pattern(), 1..12)) {
+        let span = 1usize << 26;
+        let mut base_tlb = Tlb::new(tiny_config());
+        base_tlb.map_region(0, span, FrameSizing::Base);
+        let mut huge_tlb = Tlb::new(tiny_config());
+        huge_tlb.map_region(0, span, FrameSizing::huge(2 << 20));
+        for p in &patterns {
+            p.replay(&mut base_tlb);
+            p.replay(&mut huge_tlb);
+        }
+        prop_assert!(huge_tlb.stats().walks <= base_tlb.stats().walks,
+            "huge {} > base {}", huge_tlb.stats().walks, base_tlb.stats().walks);
+        // Accesses must agree exactly (same logical stream).
+        prop_assert_eq!(huge_tlb.stats().accesses, base_tlb.stats().accesses);
+    }
+
+    /// Counter consistency: hits + walks == accesses.
+    #[test]
+    fn counters_partition_accesses(patterns in proptest::collection::vec(arb_pattern(), 1..8)) {
+        let mut tlb = Tlb::new(tiny_config());
+        tlb.map_region(0, 1 << 26, FrameSizing::huge(1 << 21));
+        for p in &patterns {
+            p.replay(&mut tlb);
+        }
+        let s = tlb.stats();
+        prop_assert_eq!(s.l1_hits + s.l2_hits + s.walks, s.accesses);
+        prop_assert!(s.huge_walks <= s.walks);
+    }
+
+    /// The page table's resolved page always contains the address.
+    #[test]
+    fn resolved_page_contains_address(
+        addr in 0usize..1 << 40,
+        base in 0usize..1 << 30,
+        len in 1usize..1 << 28,
+        huge in prop::bool::ANY,
+    ) {
+        let mut pt = PageTable::new(4096);
+        let sizing = if huge { FrameSizing::huge(2 << 20) } else { FrameSizing::Base };
+        pt.map_region(base, len, sizing);
+        let page = pt.resolve(addr);
+        let start = page.vpn * page.size;
+        prop_assert!(start <= addr && addr < start + page.size);
+        prop_assert!(page.size.is_power_of_two());
+    }
+
+    /// Replay determinism: the same pattern list gives identical stats.
+    #[test]
+    fn replay_is_deterministic(patterns in proptest::collection::vec(arb_pattern(), 1..8)) {
+        let run = || {
+            let mut tlb = Tlb::new(tiny_config());
+            tlb.map_region(0, 1 << 26, FrameSizing::Base);
+            for p in &patterns {
+                p.replay(&mut tlb);
+            }
+            tlb.stats()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Footprint: number of pages covering a range is within one page of
+    /// len/page_size for base sizing.
+    #[test]
+    fn footprint_matches_arithmetic(base in 0usize..1 << 30, len in 1usize..1 << 26) {
+        let mut pt = PageTable::new(4096);
+        pt.map_region(base, len, FrameSizing::Base);
+        let fp = pt.page_footprint(base, len);
+        let lo = len / 4096;
+        prop_assert!(fp >= lo.max(1) && fp <= lo + 2, "fp={fp} len={len}");
+    }
+}

@@ -1,0 +1,47 @@
+//! `hugeadm`-style host inspection — the tooling the paper installed on the
+//! modified Ookami nodes (`libhugetlbfs-utils`), reimplemented read-only.
+//!
+//! ```text
+//! cargo run --example hugepage_probe [--pool N]
+//! ```
+//!
+//! `--pool N` additionally tries to resize the 2 MiB pool to N pages
+//! (requires privilege), like `hugeadm --pool-pages-min 2M:N`.
+
+use rflash::hugepages::{probe_system, PageBuffer, PageSize, Policy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--pool") {
+        let pages: u64 = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--pool N");
+        match rflash::hugepages::probe::set_pool_size(PageSize::Huge2M, pages) {
+            Ok(granted) => println!("2M pool resized: {granted} pages granted"),
+            Err(e) => println!("pool resize failed: {e}"),
+        }
+    }
+
+    let report = probe_system();
+    println!("{report}");
+
+    println!("\nviable policies on this host:");
+    for p in report.viable_policies() {
+        println!("  {p}");
+    }
+
+    // Live demonstration: allocate 64 MiB under each policy and show the
+    // kernel's verdict.
+    println!("\nallocation check (64 MiB each):");
+    for policy in [
+        Policy::None,
+        Policy::Thp,
+        Policy::HugeTlbFs(PageSize::Huge2M),
+    ] {
+        match PageBuffer::<u8>::zeroed(64 << 20, policy) {
+            Ok(buf) => println!("  {policy:<14} -> {}", buf.backing_report()),
+            Err(e) => println!("  {policy:<14} -> allocation failed: {e}"),
+        }
+    }
+}

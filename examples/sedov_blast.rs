@@ -1,0 +1,73 @@
+//! Sedov blast validation: evolve the explosion and compare the computed
+//! radial profile against the analytic self-similar solution.
+//!
+//! ```text
+//! cargo run --release --example sedov_blast [--3d] [steps]
+//! ```
+
+use rflash::core::output::RadialProfile;
+use rflash::core::setups::sedov::SedovSetup;
+use rflash::core::RuntimeParams;
+use rflash::hugepages::Policy;
+use rflash::hydro::SedovSolution;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let three_d = args.iter().any(|a| a == "--3d");
+    let steps: u64 = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if three_d { 60 } else { 150 });
+
+    let setup = SedovSetup {
+        ndim: if three_d { 3 } else { 2 },
+        nxb: 8,
+        max_refine: if three_d { 3 } else { 4 },
+        max_blocks: 4096,
+        ..SedovSetup::default()
+    };
+    let params = RuntimeParams {
+        policy: Policy::Thp,
+        pattern_every: 0, // pure physics run: no instrumentation overhead
+        gather_every: 0,
+        ..RuntimeParams::with_mesh(setup.mesh_config())
+    };
+    let mut sim = setup.build(params);
+    println!(
+        "Sedov {}-d: {} initial leaves, dx_min = {:.4}",
+        setup.ndim,
+        sim.domain.tree.leaves().len(),
+        setup.dx_min()
+    );
+    sim.evolve(steps);
+    println!(
+        "t = {:.4e} after {steps} steps ({} leaves)",
+        sim.time,
+        sim.domain.tree.leaves().len()
+    );
+
+    let analytic = SedovSolution::new(setup.gamma, setup.ndim, setup.e0, setup.rho0, setup.p_ambient);
+    let r_shock = analytic.shock_radius(sim.time);
+    println!("analytic shock radius: {r_shock:.4} (xi0 = {:.4})", analytic.xi0());
+
+    let profile = RadialProfile::extract(&sim.domain, setup.center(), 0.5, 48);
+    if let Some(r_num) = profile.shock_radius() {
+        println!(
+            "numerical shock radius: {r_num:.4}  (rel. error {:+.2}%)",
+            (r_num - r_shock) / r_shock * 100.0
+        );
+    }
+
+    println!("\n{:>8} {:>12} {:>12} {:>12} {:>12}", "r", "dens", "dens_exact", "velr", "velr_exact");
+    for b in (0..profile.r.len()).step_by(3) {
+        if profile.count[b] == 0 {
+            continue;
+        }
+        let r = profile.r[b];
+        let (rho_a, u_a, _) = analytic.state(r, sim.time);
+        println!(
+            "{:>8.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            r, profile.dens[b], rho_a, profile.velr[b], u_a
+        );
+    }
+}
