@@ -1,0 +1,44 @@
+//! Rank-pool scaling microbenchmark: full time steps on a fixed 2-d Sedov
+//! mesh at nranks ∈ {1, 2, 4, 8}. Regridding is disabled so every rank
+//! count steps the identical block list and the cached partition is built
+//! exactly once — the measurement isolates the executor, not the AMR.
+//!
+//! On a single hardware core the simulated ranks time-slice and the curve
+//! is flat (or slightly worse from dispatch overhead); on a multi-core
+//! host the same binary shows the pool's speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rflash_core::setups::sedov::SedovSetup;
+use rflash_core::RuntimeParams;
+use rflash_hugepages::Policy;
+
+fn bench_step_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_scaling");
+    group.sample_size(10);
+    for nranks in [1usize, 2, 4, 8] {
+        let setup = SedovSetup {
+            ndim: 2,
+            nxb: 16,
+            max_refine: 3,
+            max_blocks: 1024,
+            ..SedovSetup::default()
+        };
+        let mut sim = setup.build(RuntimeParams {
+            policy: Policy::None,
+            nranks,
+            regrid_every: 0,
+            pattern_every: 0,
+            gather_every: 0,
+            ..RuntimeParams::with_mesh(setup.mesh_config())
+        });
+        // Warm the pool, the cached partition, and the shock profile.
+        sim.evolve(2);
+        group.bench_function(BenchmarkId::from_parameter(format!("nranks_{nranks}")), |b| {
+            b.iter(|| sim.step())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_scaling);
+criterion_main!(benches);

@@ -9,6 +9,25 @@ use rflash_core::setups::supernova::SupernovaSetup;
 use rflash_core::RuntimeParams;
 use rflash_hugepages::Policy;
 
+fn rank_report(loads: &[rflash_perfmon::RankLoad]) {
+    if loads.is_empty() {
+        println!("  (serial run: rank pool never engaged)");
+        return;
+    }
+    println!("  rank pool: {} dispatches", loads[0].dispatches);
+    for l in loads {
+        println!(
+            "    rank {:<2} busy {:>7.3} s  idle {:>7.3} s",
+            l.rank, l.busy_s, l.idle_s
+        );
+    }
+    println!(
+        "  -> imbalance (max/mean busy): {:.2}, idle fraction: {:.0}%",
+        rflash_perfmon::imbalance(loads),
+        rflash_perfmon::idle_fraction(loads) * 100.0
+    );
+}
+
 fn breakdown(name: &str, timers: &rflash_perfmon::Timers) {
     let labels = ["hydro", "eos", "flame", "gravity", "regrid", "dt"];
     let total: f64 = labels.iter().map(|l| timers.seconds(l)).sum();
@@ -38,6 +57,7 @@ fn main() {
         policy: Policy::None,
         pattern_every: 0,
         gather_every: 0,
+        nranks: 2,
         ..RuntimeParams::with_mesh(setup.mesh_config())
     });
     sim.evolve(steps);
@@ -45,6 +65,7 @@ fn main() {
     let eos_share = sim.timers.seconds("eos")
         / (sim.timers.seconds("eos") + sim.timers.seconds("hydro")).max(1e-12);
     println!("  -> EOS fraction of (hydro+eos): {:.0}%", eos_share * 100.0);
+    rank_report(&sim.rank_loads());
 
     let setup = SedovSetup {
         ndim: 3,
@@ -57,8 +78,10 @@ fn main() {
         policy: Policy::None,
         pattern_every: 0,
         gather_every: 0,
+        nranks: 2,
         ..RuntimeParams::with_mesh(setup.mesh_config())
     });
     sim.evolve(steps.min(30));
     breakdown("3-d Sedov (hydro-dominated)", &sim.timers);
+    rank_report(&sim.rank_loads());
 }

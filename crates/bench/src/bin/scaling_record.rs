@@ -1,0 +1,115 @@
+//! Record steps/sec against simulated rank count → `BENCH_scaling.json`.
+//!
+//! Two workloads, matching the paper's two instrumented cases: the 2-d
+//! supernova (EOS-dominated) and the 3-d Sedov (hydro-dominated), each run
+//! at nranks ∈ {1, 4} over the persistent rank pool. The JSON also carries
+//! the pool's imbalance and idle-fraction counters so a flat curve can be
+//! told apart from a skewed partition.
+
+use std::time::Instant;
+
+use rflash_bench::RunScale;
+use rflash_core::setups::sedov::SedovSetup;
+use rflash_core::setups::supernova::SupernovaSetup;
+use rflash_core::{RuntimeParams, Simulation};
+use rflash_hugepages::Policy;
+use rflash_perfmon::{idle_fraction, imbalance};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScalingPoint {
+    config: String,
+    nranks: usize,
+    steps: u64,
+    seconds: f64,
+    steps_per_sec: f64,
+    /// max/mean busy time over the pool's ranks (1.0 = perfectly even).
+    imbalance: f64,
+    /// Fraction of pool time spent waiting at dispatch barriers.
+    idle_fraction: f64,
+    hardware_threads: usize,
+}
+
+fn measure(config: &str, mut sim: Simulation, nranks: usize, steps: u64) -> ScalingPoint {
+    // Warm the pool, the cached partition, and the table caches outside
+    // the timed window.
+    sim.evolve(2);
+    let t0 = Instant::now();
+    sim.evolve(steps);
+    let seconds = t0.elapsed().as_secs_f64();
+    let loads = sim.rank_loads();
+    ScalingPoint {
+        config: config.to_string(),
+        nranks,
+        steps,
+        seconds,
+        steps_per_sec: steps as f64 / seconds.max(1e-12),
+        imbalance: imbalance(&loads),
+        idle_fraction: idle_fraction(&loads),
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = RunScale::from_args(&args);
+    let steps = if scale.steps == 0 { 20 } else { scale.steps };
+
+    let mut points = Vec::new();
+    for nranks in [1usize, 4] {
+        let setup = SupernovaSetup {
+            max_refine: scale.max_refine,
+            max_blocks: scale.max_blocks,
+            coarse_table: scale.coarse_table,
+            ..SupernovaSetup::default()
+        };
+        let sim = setup.build(RuntimeParams {
+            policy: Policy::None,
+            nranks,
+            pattern_every: 0,
+            gather_every: 0,
+            ..RuntimeParams::with_mesh(setup.mesh_config())
+        });
+        let p = measure("supernova_2d_eos", sim, nranks, steps);
+        println!(
+            "{:<18} nranks={}  {:.2} steps/s  imbalance {:.2}  idle {:.0}%",
+            p.config,
+            p.nranks,
+            p.steps_per_sec,
+            p.imbalance,
+            p.idle_fraction * 100.0
+        );
+        points.push(p);
+    }
+
+    for nranks in [1usize, 4] {
+        let setup = SedovSetup {
+            ndim: 3,
+            nxb: 8,
+            max_refine: scale.max_refine,
+            max_blocks: scale.max_blocks,
+            ..SedovSetup::default()
+        };
+        let sim = setup.build(RuntimeParams {
+            policy: Policy::None,
+            nranks,
+            pattern_every: 0,
+            gather_every: 0,
+            ..RuntimeParams::with_mesh(setup.mesh_config())
+        });
+        let p = measure("sedov_3d_hydro", sim, nranks, steps.min(30));
+        println!(
+            "{:<18} nranks={}  {:.2} steps/s  imbalance {:.2}  idle {:.0}%",
+            p.config,
+            p.nranks,
+            p.steps_per_sec,
+            p.imbalance,
+            p.idle_fraction * 100.0
+        );
+        points.push(p);
+    }
+
+    let json = serde_json::to_string_pretty(&points).expect("serialize scaling points");
+    std::fs::write("BENCH_scaling.json", json).expect("write BENCH_scaling.json");
+    println!("-> BENCH_scaling.json");
+}

@@ -2,11 +2,11 @@
 
 use rflash_flame::AdrFlame;
 use rflash_gravity::{apply_gravity, GravityField, MonopoleSolver};
-use rflash_hydro::{compute_dt, sweep_direction, SweepConfig, NFLUX};
+use rflash_hydro::{compute_dt_parallel, sweep_direction, SweepConfig, NFLUX};
 use rflash_mesh::flux::FluxRegister;
 use rflash_mesh::refine::{lohner_marks, LohnerConfig};
-use rflash_mesh::{guardcell, vars, Domain};
-use rflash_perfmon::{Measures, PerfSession, SessionConfig, Timers};
+use rflash_mesh::{vars, Domain};
+use rflash_perfmon::{Measures, PerfSession, RankLoad, SessionConfig, Timers};
 
 use crate::eos_choice::{Composition, EosChoice};
 use crate::instrument::{eos_pass, register_buffers};
@@ -112,7 +112,7 @@ impl Simulation {
         self.timers.start("step");
 
         self.timers.start("dt");
-        let dt = compute_dt(&self.domain, self.params.cfl);
+        let dt = compute_dt_parallel(&mut self.domain, self.params.cfl, self.params.nranks);
         self.timers.stop("dt");
 
         let sweep_cfg = SweepConfig {
@@ -156,7 +156,7 @@ impl Simulation {
 
         if let Some(flame) = &self.flame {
             self.timers.start("flame");
-            guardcell::fill_guardcells(&self.domain.tree, &mut self.domain.unk);
+            self.domain.fill_guardcells(self.params.nranks);
             let (probes, released) = flame.advance(&mut self.domain, dt);
             for probe in probes {
                 self.hydro_session.absorb(probe);
@@ -175,7 +175,7 @@ impl Simulation {
                     self.gravity.field = GravityField::Monopole(solver.solve(&self.domain));
                 }
             }
-            apply_gravity(&mut self.domain, &self.gravity.field, dt);
+            apply_gravity(&mut self.domain, &self.gravity.field, dt, self.params.nranks);
             self.timers.stop("gravity");
         }
 
@@ -184,7 +184,7 @@ impl Simulation {
 
         if self.params.regrid_every > 0 && self.step.is_multiple_of(self.params.regrid_every) {
             self.timers.start("regrid");
-            guardcell::fill_guardcells(&self.domain.tree, &mut self.domain.unk);
+            self.domain.fill_guardcells(self.params.nranks);
             let marks = lohner_marks(
                 &self.domain.tree,
                 &self.domain.unk,
@@ -222,6 +222,12 @@ impl Simulation {
     /// Paper-style measures for the Hydro region (Table II column).
     pub fn hydro_measures(&self) -> Measures {
         self.hydro_session.measures(self.flash_timer())
+    }
+
+    /// Cumulative per-rank executor load (busy/idle seconds, dispatches).
+    /// Empty when `nranks == 1` — the serial path never touches the pool.
+    pub fn rank_loads(&self) -> Vec<RankLoad> {
+        self.domain.rank_loads()
     }
 
     /// Total mass on the mesh (conservation checks).

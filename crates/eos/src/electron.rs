@@ -68,13 +68,13 @@ pub fn solve_eta_with_guess(
     temp: f64,
     guess: Option<f64>,
 ) -> Result<f64, EosError> {
-    if !(n_net > 0.0) || !n_net.is_finite() {
+    if !(n_net.is_finite() && n_net > 0.0) {
         return Err(EosError::BadInput {
             what: "n_net",
             value: n_net,
         });
     }
-    if !(temp > 0.0) || !temp.is_finite() {
+    if !(temp.is_finite() && temp > 0.0) {
         return Err(EosError::BadInput {
             what: "temp",
             value: temp,

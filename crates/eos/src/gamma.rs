@@ -39,7 +39,7 @@ impl Default for GammaLaw {
 
 impl Eos for GammaLaw {
     fn call(&self, mode: EosMode, s: &mut EosState) -> Result<(), EosError> {
-        if !(s.dens > 0.0) || !s.dens.is_finite() {
+        if !(s.dens.is_finite() && s.dens > 0.0) {
             return Err(EosError::BadInput {
                 what: "dens",
                 value: s.dens,
@@ -48,7 +48,7 @@ impl Eos for GammaLaw {
         let cv = self.cv(s.abar);
         match mode {
             EosMode::DensTemp => {
-                if !(s.temp > 0.0) {
+                if s.temp.is_nan() || s.temp <= 0.0 {
                     return Err(EosError::BadInput {
                         what: "temp",
                         value: s.temp,
@@ -57,7 +57,7 @@ impl Eos for GammaLaw {
                 s.eint = cv * s.temp;
             }
             EosMode::DensEi => {
-                if !(s.eint > 0.0) {
+                if s.eint.is_nan() || s.eint <= 0.0 {
                     return Err(EosError::BadInput {
                         what: "eint",
                         value: s.eint,
@@ -66,7 +66,7 @@ impl Eos for GammaLaw {
                 s.temp = s.eint / cv;
             }
             EosMode::DensPres => {
-                if !(s.pres > 0.0) {
+                if s.pres.is_nan() || s.pres <= 0.0 {
                     return Err(EosError::BadInput {
                         what: "pres",
                         value: s.pres,

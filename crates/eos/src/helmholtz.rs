@@ -210,7 +210,7 @@ fn add_coulomb(ev: &mut Eval, dens: f64, temp: f64, abar: f64, zbar: f64) {
     let a_ion = (3.0 / (4.0 * std::f64::consts::PI * n_ion)).cbrt();
     let kt = K_B * temp;
     let gamma = zbar * zbar * E2 / (a_ion * kt);
-    if !(gamma > 0.0) || !gamma.is_finite() {
+    if !(gamma.is_finite() && gamma > 0.0) {
         return;
     }
 
@@ -259,13 +259,13 @@ fn sackur_tetrode(dens: f64, temp: f64, abar: f64) -> f64 {
 
 impl Eos for Helmholtz {
     fn call(&self, mode: EosMode, s: &mut EosState) -> Result<(), EosError> {
-        if !(s.dens > 0.0) || !s.dens.is_finite() {
+        if !(s.dens.is_finite() && s.dens > 0.0) {
             return Err(EosError::BadInput {
                 what: "dens",
                 value: s.dens,
             });
         }
-        if !(s.abar > 0.0) || !(s.zbar > 0.0) {
+        if !(s.abar > 0.0 && s.zbar > 0.0) {
             return Err(EosError::BadInput {
                 what: "abar/zbar",
                 value: s.abar,
@@ -278,7 +278,7 @@ impl Eos for Helmholtz {
             }
             EosMode::DensEi => {
                 let goal = s.eint;
-                if !(goal > 0.0) {
+                if goal.is_nan() || goal <= 0.0 {
                     return Err(EosError::BadInput {
                         what: "eint",
                         value: goal,
@@ -292,7 +292,7 @@ impl Eos for Helmholtz {
             }
             EosMode::DensPres => {
                 let goal = s.pres;
-                if !(goal > 0.0) {
+                if goal.is_nan() || goal <= 0.0 {
                     return Err(EosError::BadInput {
                         what: "pres",
                         value: goal,

@@ -184,35 +184,36 @@ impl MonopoleSolver {
 
 /// Apply gravity as an operator-split source term over `dt`: kick the
 /// velocities and adjust total energy to stay consistent.
-pub fn apply_gravity(domain: &mut Domain, field: &GravityField, dt: f64) {
+pub fn apply_gravity(domain: &mut Domain, field: &GravityField, dt: f64, nranks: usize) {
     if matches!(field, GravityField::None) {
         return;
     }
     let ndim = domain.tree.config().ndim;
     let vel = [vars::VELX, vars::VELY, vars::VELZ];
-    for id in domain.tree.leaves() {
-        for k in domain.unk.interior_k() {
-            for j in domain.unk.interior() {
-                for i in domain.unk.interior() {
-                    let x = domain.tree.cell_center(id, i, j, k);
+    let geom = domain.unk.geom();
+    let (ri, rk) = (domain.unk.interior(), domain.unk.interior_k());
+    domain.par_leaf_update(nranks, |tree, id, slab, _probe| {
+        for k in rk.clone() {
+            for j in ri.clone() {
+                for i in ri.clone() {
+                    let x = tree.cell_center(id, i, j, k);
                     let g = field.accel(x);
                     let mut ekin_old = 0.0;
                     let mut ekin_new = 0.0;
-                    for d in 0..ndim {
-                        let v = domain.unk.get(vel[d], i, j, k, id.idx());
+                    for (&vd, &gd) in vel.iter().zip(&g).take(ndim) {
+                        let vi = geom.slab_idx(vd, i, j, k);
+                        let v = slab[vi];
                         ekin_old += 0.5 * v * v;
-                        let vn = v + dt * g[d];
+                        let vn = v + dt * gd;
                         ekin_new += 0.5 * vn * vn;
-                        domain.unk.set(vel[d], i, j, k, id.idx(), vn);
+                        slab[vi] = vn;
                     }
-                    let ener = domain.unk.get(vars::ENER, i, j, k, id.idx());
-                    domain
-                        .unk
-                        .set(vars::ENER, i, j, k, id.idx(), ener + ekin_new - ekin_old);
+                    let ei = geom.slab_idx(vars::ENER, i, j, k);
+                    slab[ei] = slab[ei] + ekin_new - ekin_old;
                 }
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]
@@ -311,14 +312,14 @@ mod tests {
             }
         }
         let g = GravityField::Constant([2.0, 0.0, 0.0]);
-        apply_gravity(&mut d, &g, 0.5);
+        apply_gravity(&mut d, &g, 0.5, 2);
         let id = d.tree.leaves()[0];
         let (i, j) = (5, 5);
         assert_eq!(d.unk.get(vars::VELX, i, j, 0, id.idx()), 1.0);
         // ΔE = ½(1² − 0²) = 0.5.
         assert_eq!(d.unk.get(vars::ENER, i, j, 0, id.idx()), 10.5);
         // None field is a no-op.
-        apply_gravity(&mut d, &GravityField::None, 0.5);
+        apply_gravity(&mut d, &GravityField::None, 0.5, 1);
         assert_eq!(d.unk.get(vars::VELX, i, j, 0, id.idx()), 1.0);
     }
 

@@ -156,6 +156,14 @@ impl<T: Pod> PageBuffer<T> {
     }
 }
 
+// SAFETY: the buffer exclusively owns its anonymous mapping (the raw
+// pointer inside MmapRegion is never aliased by another object), there is
+// no interior mutability, and `T: Pod` is plain data — so moving a buffer
+// across threads, or sharing `&PageBuffer` for concurrent reads, is safe.
+// Mutation still requires `&mut`, which the borrow checker serializes.
+unsafe impl<T: Pod> Send for PageBuffer<T> {}
+unsafe impl<T: Pod> Sync for PageBuffer<T> {}
+
 impl<T: Pod> Deref for PageBuffer<T> {
     type Target = [T];
     #[inline]

@@ -1,34 +1,56 @@
 //! CFL time-step control (FLASH's `Driver_computeDt` / `Hydro_computeDt`).
 
-use rflash_mesh::{vars, Domain};
+use rflash_mesh::{vars, BlockId, Domain, Tree, UnkStorage};
 
-/// Largest stable time step: `cfl · min(dx_d / (|u_d| + c_s))` over every
-/// interior zone of every leaf and every direction.
-pub fn compute_dt(domain: &Domain, cfl: f64) -> f64 {
-    assert!(cfl > 0.0 && cfl < 1.0, "CFL must be in (0, 1)");
-    let ndim = domain.tree.config().ndim;
-    let mut dt = f64::INFINITY;
+/// Smallest `dx_d / (|u_d| + c_s)` over the interior zones of one leaf —
+/// the per-block piece shared by the serial scan and the pooled reduction.
+fn block_min_wavetime(tree: &Tree, unk: &UnkStorage, id: BlockId) -> f64 {
+    let ndim = tree.config().ndim;
     let vel = [vars::VELX, vars::VELY, vars::VELZ];
-    for id in domain.tree.leaves() {
-        let dx = domain.tree.cell_size(id);
-        for k in domain.unk.interior_k() {
-            for j in domain.unk.interior() {
-                for i in domain.unk.interior() {
-                    let dens = domain.unk.get(vars::DENS, i, j, k, id.idx());
-                    let pres = domain.unk.get(vars::PRES, i, j, k, id.idx());
-                    let gamc = domain.unk.get(vars::GAMC, i, j, k, id.idx());
-                    let cs = (gamc * pres / dens).max(0.0).sqrt();
-                    for d in 0..ndim {
-                        let u = domain.unk.get(vel[d], i, j, k, id.idx()).abs();
-                        let speed = u + cs;
-                        if speed > 0.0 {
-                            dt = dt.min(dx[d] / speed);
-                        }
+    let dx = tree.cell_size(id);
+    let mut dt = f64::INFINITY;
+    for k in unk.interior_k() {
+        for j in unk.interior() {
+            for i in unk.interior() {
+                let dens = unk.get(vars::DENS, i, j, k, id.idx());
+                let pres = unk.get(vars::PRES, i, j, k, id.idx());
+                let gamc = unk.get(vars::GAMC, i, j, k, id.idx());
+                let cs = (gamc * pres / dens).max(0.0).sqrt();
+                for d in 0..ndim {
+                    let u = unk.get(vel[d], i, j, k, id.idx()).abs();
+                    let speed = u + cs;
+                    if speed > 0.0 {
+                        dt = dt.min(dx[d] / speed);
                     }
                 }
             }
         }
     }
+    dt
+}
+
+/// Largest stable time step: `cfl · min(dx_d / (|u_d| + c_s))` over every
+/// interior zone of every leaf and every direction. Serial reference scan.
+pub fn compute_dt(domain: &Domain, cfl: f64) -> f64 {
+    assert!(cfl > 0.0 && cfl < 1.0, "CFL must be in (0, 1)");
+    let mut dt = f64::INFINITY;
+    for id in domain.tree.leaves() {
+        dt = dt.min(block_min_wavetime(&domain.tree, &domain.unk, id));
+    }
+    assert!(
+        dt.is_finite(),
+        "no finite time step: mesh uninitialized or all-zero state"
+    );
+    cfl * dt
+}
+
+/// [`compute_dt`] as a reduction over the persistent rank pool: each rank
+/// scans its Morton segment and the minima are folded in rank order. `min`
+/// is exact (associative and commutative), so the result is bit-identical
+/// to the serial scan for any `nranks`.
+pub fn compute_dt_parallel(domain: &mut Domain, cfl: f64, nranks: usize) -> f64 {
+    assert!(cfl > 0.0 && cfl < 1.0, "CFL must be in (0, 1)");
+    let dt = domain.par_leaf_min(nranks, block_min_wavetime);
     assert!(
         dt.is_finite(),
         "no finite time step: mesh uninitialized or all-zero state"
@@ -85,9 +107,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_dt_is_bit_identical_to_serial() {
+        let mut d = domain_with(1.3, 0.9, 1.6, 2.5);
+        let root = d.tree.leaves()[0];
+        let children = d.tree.refine_block(root, &mut d.unk);
+        d.tree.refine_block(children[0], &mut d.unk);
+        let serial = compute_dt(&d, 0.7);
+        for nranks in [1, 2, 4, 7] {
+            let par = compute_dt_parallel(&mut d, 0.7, nranks);
+            assert_eq!(par.to_bits(), serial.to_bits(), "nranks={nranks}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "CFL must be in")]
     fn cfl_validated() {
         let d = domain_with(1.0, 1.0, 1.6, 0.0);
         let _ = compute_dt(&d, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "CFL must be in")]
+    fn parallel_cfl_validated() {
+        let mut d = domain_with(1.0, 1.0, 1.6, 0.0);
+        let _ = compute_dt_parallel(&mut d, 1.5, 2);
     }
 }

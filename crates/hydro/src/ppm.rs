@@ -154,10 +154,10 @@ mod tests {
     fn step_is_monotone() {
         let a = [1.0, 1.0, 1.0, 1.0, 10.0, 10.0, 10.0, 10.0];
         let out = reconstruct_simple(&a);
-        for i in 2..6 {
-            assert!(out[i].minus >= 1.0 - 1e-12 && out[i].minus <= 10.0 + 1e-12);
-            assert!(out[i].plus >= 1.0 - 1e-12 && out[i].plus <= 10.0 + 1e-12);
-            assert!(out[i].minus <= out[i].plus + 1e-12, "monotone within zone");
+        for f in out.iter().take(6).skip(2) {
+            assert!(f.minus >= 1.0 - 1e-12 && f.minus <= 10.0 + 1e-12);
+            assert!(f.plus >= 1.0 - 1e-12 && f.plus <= 10.0 + 1e-12);
+            assert!(f.minus <= f.plus + 1e-12, "monotone within zone");
         }
     }
 

@@ -41,11 +41,12 @@ fn solve3(a: [[f64; 3]; 3], b: [f64; 3]) -> [f64; 3] {
         m.swap(col, piv);
         let p = m[col][col];
         assert!(p.abs() > 1e-300, "singular similarity system");
-        for r in 0..3 {
+        let prow = m[col];
+        for (r, row) in m.iter_mut().enumerate() {
             if r != col {
-                let f = m[r][col] / p;
-                for c in col..4 {
-                    m[r][c] -= f * m[col][c];
+                let f = row[col] / p;
+                for (mc, &pc) in row.iter_mut().zip(&prow).skip(col) {
+                    *mc -= f * pc;
                 }
             }
         }

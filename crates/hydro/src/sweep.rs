@@ -10,7 +10,7 @@
 use rflash_eos::{EosError, EosState};
 use rflash_mesh::flux::{Face, FluxRegister};
 use rflash_mesh::unk::UnkGeom;
-use rflash_mesh::{guardcell, vars, BlockId, Domain};
+use rflash_mesh::{vars, BlockId, Domain};
 use rflash_perfmon::Probe;
 
 use crate::ppm::{flattening, reconstruct, FacePair};
@@ -170,7 +170,7 @@ pub fn sweep_direction(
     let ng = domain.tree.config().nguard;
     assert!(ng >= 4, "PPM needs 4 guard cells");
 
-    guardcell::fill_guardcells(&domain.tree, &mut domain.unk);
+    domain.fill_guardcells(cfg.nranks);
 
     let geom = domain.unk.geom();
     let vm = vel_map(dir);
@@ -209,11 +209,11 @@ pub fn sweep_direction(
         for t2 in t2_range.clone() {
             for t1 in t1_range.clone() {
                 // Load the pencil.
-                for p in 0..n_pencil {
+                for (p, wp) in w.iter_mut().enumerate() {
                     let prim = load_prim(slab, &geom, dir, p, t1, t2, &vm, cfg_local.dens_floor);
                     let (i, j, k) = pencil_cell(dir, p, t1, t2);
                     let game = slab[geom.slab_idx(vars::GAME, i, j, k)].max(1.01);
-                    w[p] = [
+                    *wp = [
                         prim.dens, prim.vel[0], prim.vel[1], prim.vel[2], prim.pres, game,
                         prim.gamc, prim.ener,
                     ];
@@ -284,7 +284,7 @@ pub fn sweep_direction(
                         let (dens, vel, ener) = cons_to_vel_ener(u, cfg_local.dens_floor);
                         let eint =
                             ener - 0.5 * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
-                        if !(eint > 0.0) || !(dens > 0.0) {
+                        if !(eint > 0.0 && dens > 0.0) {
                             // Predictor produced an unphysical state (strong
                             // wave in one zone): keep the unevolved face.
                             return [
@@ -309,10 +309,10 @@ pub fn sweep_direction(
                 }
 
                 // Interface fluxes at faces ng..=ng+nxb.
-                for f in ng..=ng + nxb {
+                for (f, face) in iface.iter_mut().enumerate().take(ng + nxb + 1).skip(ng) {
                     let l = mk(f - 1, true, &faces);
                     let r = mk(f, false, &faces);
-                    iface[f] = hllc(&l, &r);
+                    *face = hllc(&l, &r);
                     // ~90 lane ops per Riemann solve + 5×~30 per zone of
                     // reconstruction, amortized here.
                     probe.stats.add_vec(240);

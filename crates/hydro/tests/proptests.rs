@@ -87,9 +87,9 @@ proptest! {
         let flat = vec![1.0; n];
         let mut out = vec![FacePair::default(); n];
         reconstruct(&cells, 2, n - 2, &flat, &mut out);
-        for i in 2..n - 2 {
-            prop_assert_eq!(out[i].minus, v);
-            prop_assert_eq!(out[i].plus, v);
+        for f in out.iter().take(n - 2).skip(2) {
+            prop_assert_eq!(f.minus, v);
+            prop_assert_eq!(f.plus, v);
         }
     }
 }

@@ -3,23 +3,200 @@
 //! FLASH distributes blocks over MPI ranks along the Morton space-filling
 //! curve; within a time step every rank sweeps its own blocks
 //! independently (guard cells were exchanged beforehand). We reproduce the
-//! same structure with threads: leaves are split into contiguous
-//! Morton-curve segments and each simulated rank updates its blocks on its
-//! own thread. Disjointness is by construction — every block's data is a
-//! contiguous slab of `unk`, and each slab is handed to exactly one rank.
+//! same structure with a persistent pool of rank threads ([`RankPool`]):
+//! leaves are split into contiguous Morton-curve segments, cost-weighted by
+//! interior zone count, and each simulated rank updates its blocks on its
+//! own long-lived thread. Disjointness is by construction — every block's
+//! data is a contiguous slab of `unk`, and each slab is handed to exactly
+//! one rank.
+//!
+//! The partition is cached on the tree's topology [`Tree::epoch`] and only
+//! rebuilt after a regrid, so the steady-state per-call cost of a parallel
+//! section is one channel message per rank — no thread spawns, no handout
+//! vector allocation.
 
-use rflash_perfmon::Probe;
+use rflash_perfmon::{Probe, RankLoad};
 
-use crate::block::BlockId;
-use crate::tree::{MeshConfig, Tree};
+use crate::block::{BlockId, BlockState};
+use crate::executor::{PerRank, RankPool};
+use crate::guardcell;
+use crate::tree::{MeshConfig, Neighbor, Tree};
 use crate::unk::UnkStorage;
 
 use rflash_hugepages::Policy;
+
+/// One staged guard-exchange write: destination block, flat offset within
+/// its slab, value. The destination is always a block the packing rank
+/// owns, so the unpack phase writes rank-disjoint slabs.
+type Staged = (u32, u32, f64);
+
+/// A cached work distribution for one (tree epoch, nranks) pair.
+struct RankPlan {
+    /// Tree topology revision this plan was built at.
+    epoch: u64,
+    /// Requested rank count (the pool width it pairs with).
+    nranks: usize,
+    /// Ranks that actually receive leaves: `min(nranks, leaves)`.
+    eff_ranks: usize,
+    /// `parts[r]` — contiguous Morton segment of leaves owned by rank `r`.
+    /// Always `nranks` entries; trailing ones are empty when there are
+    /// fewer leaves than ranks.
+    parts: Vec<Vec<BlockId>>,
+    /// `level_active[l][r]` — active (leaf + parent) blocks at tree level
+    /// `l` whose guard fill rank `r` performs.
+    level_active: Vec<Vec<Vec<BlockId>>>,
+    /// `level_parents[l][r]` — parent blocks at level `l` whose child
+    /// restriction rank `r` performs.
+    level_parents: Vec<Vec<Vec<BlockId>>>,
+}
+
+/// Executor state carried by the [`Domain`]: the persistent rank pool, the
+/// cached work distribution, and reusable staging buffers for the
+/// two-phase guard exchange.
+#[derive(Default)]
+struct Exec {
+    pool: Option<RankPool>,
+    plan: Option<RankPlan>,
+    stage: Vec<Vec<Staged>>,
+}
+
+impl Exec {
+    /// Make pool, plan, and staging buffers current for (`tree`, `nranks`).
+    fn ensure(&mut self, tree: &Tree, nranks: usize) {
+        let plan_stale = match &self.plan {
+            Some(p) => p.epoch != tree.epoch() || p.nranks != nranks,
+            None => true,
+        };
+        if plan_stale {
+            self.plan = Some(build_plan(tree, nranks));
+        }
+        let pool_stale = match &self.pool {
+            Some(p) => p.nranks() != nranks,
+            None => true,
+        };
+        if nranks > 1 && pool_stale {
+            self.pool = Some(RankPool::new(nranks));
+        }
+        if self.stage.len() != nranks {
+            self.stage.resize_with(nranks, Vec::new);
+        }
+    }
+}
+
+/// Cost-weighted contiguous Morton split: a leaf's cost is its interior
+/// zone count, and rank cuts fall where the cumulative cost crosses
+/// multiples of `total/eff`. With today's uniform block sizes this
+/// degenerates to the classic balanced `r = i·R/n` split (counts within
+/// one of each other); the cut logic is written against per-leaf costs so
+/// non-uniform weights (e.g. per-block kernel masks) rebalance for free.
+fn partition_by_cost(tree: &Tree, nranks: usize) -> Vec<Vec<BlockId>> {
+    let leaves = tree.leaves();
+    let mut parts = vec![Vec::new(); nranks];
+    if leaves.is_empty() {
+        // Degenerate mesh (no leaves): nothing to distribute.
+        return parts;
+    }
+    let eff = nranks.min(leaves.len());
+    let cfg = tree.config();
+    let cost_of = |_id: BlockId| -> u64 { cfg.nxb.pow(cfg.ndim as u32) as u64 };
+    let total: u64 = leaves.iter().map(|&id| cost_of(id)).sum();
+    let mut cum = 0u64;
+    for id in leaves {
+        let r = ((cum * eff as u64) / total.max(1)) as usize;
+        parts[r.min(eff - 1)].push(id);
+        cum += cost_of(id);
+    }
+    parts
+}
+
+/// Split `list` into `nranks` contiguous count-balanced chunks, using at
+/// most `min(nranks, len)` of them.
+fn split_contiguous(list: &[BlockId], nranks: usize) -> Vec<Vec<BlockId>> {
+    let mut out = vec![Vec::new(); nranks];
+    if list.is_empty() {
+        return out;
+    }
+    let eff = nranks.min(list.len());
+    for (i, &id) in list.iter().enumerate() {
+        out[(i * eff / list.len()).min(eff - 1)].push(id);
+    }
+    out
+}
+
+fn build_plan(tree: &Tree, nranks: usize) -> RankPlan {
+    let parts = partition_by_cost(tree, nranks);
+    let eff_ranks = parts.iter().filter(|p| !p.is_empty()).count();
+
+    // Per-level block lists for the guard exchange, BlockId-ascending within
+    // each level (the same order the serial fill's stable sort produces).
+    let mut act: Vec<Vec<BlockId>> = Vec::new();
+    let mut par: Vec<Vec<BlockId>> = Vec::new();
+    for raw in 0..tree.config().max_blocks as u32 {
+        let id = BlockId(raw);
+        let meta = tree.block(id);
+        if meta.state == BlockState::Free {
+            continue;
+        }
+        let lvl = meta.key.level as usize;
+        if lvl >= act.len() {
+            act.resize_with(lvl + 1, Vec::new);
+            par.resize_with(lvl + 1, Vec::new);
+        }
+        act[lvl].push(id);
+        if meta.state == BlockState::Parent {
+            par[lvl].push(id);
+        }
+    }
+    RankPlan {
+        epoch: tree.epoch(),
+        nranks,
+        eff_ranks,
+        level_active: act.iter().map(|l| split_contiguous(l, nranks)).collect(),
+        level_parents: par.iter().map(|l| split_contiguous(l, nranks)).collect(),
+        parts,
+    }
+}
+
+/// Raw handout of `unk`'s per-block slabs for the worker ranks. Each block
+/// id appears in exactly one rank's work list (the partition invariant), so
+/// the slabs materialized through this are disjoint — the raw-pointer
+/// analog of [`UnkStorage::slabs_mut`], minus the per-call `Vec` handout
+/// the scoped-thread implementation rebuilt on every parallel section.
+#[derive(Clone, Copy)]
+struct RawSlabs {
+    ptr: *mut f64,
+    per_block: usize,
+}
+
+// SAFETY: the pointer spans a plain-f64 region; callers uphold the
+// one-rank-per-block discipline documented on `slab`.
+unsafe impl Send for RawSlabs {}
+unsafe impl Sync for RawSlabs {}
+
+impl RawSlabs {
+    fn of(unk: &mut UnkStorage) -> RawSlabs {
+        RawSlabs {
+            per_block: unk.per_block(),
+            ptr: unk.base_ptr_mut(),
+        }
+    }
+
+    /// Block `blk`'s slab.
+    ///
+    /// # Safety
+    /// During one pool dispatch, `blk` must be touched by exactly one rank,
+    /// and no `&UnkStorage` reads of the same storage may be live.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slab(&self, blk: usize) -> &mut [f64] {
+        std::slice::from_raw_parts_mut(self.ptr.add(blk * self.per_block), self.per_block)
+    }
+}
 
 /// Tree + solution container, the pair every solver operates on.
 pub struct Domain {
     pub tree: Tree,
     pub unk: UnkStorage,
+    exec: Exec,
 }
 
 impl Domain {
@@ -27,22 +204,18 @@ impl Domain {
     pub fn new(config: MeshConfig, policy: Policy) -> Domain {
         let tree = Tree::new(config);
         let unk = tree.make_unk(policy);
-        Domain { tree, unk }
+        Domain {
+            tree,
+            unk,
+            exec: Exec::default(),
+        }
     }
 
     /// Split the leaves into `nranks` contiguous Morton-curve segments with
-    /// balanced counts (PARAMESH's work distribution).
+    /// cost-balanced zone counts (PARAMESH's work distribution).
     pub fn rank_partition(&self, nranks: usize) -> Vec<Vec<BlockId>> {
         assert!(nranks > 0);
-        let leaves = self.tree.leaves();
-        let n = leaves.len();
-        let mut parts = vec![Vec::new(); nranks];
-        for (i, id) in leaves.into_iter().enumerate() {
-            // Balanced contiguous split: rank r gets [r·n/R, (r+1)·n/R).
-            let r = i * nranks / n.max(1);
-            parts[r.min(nranks - 1)].push(id);
-        }
-        parts
+        partition_by_cost(&self.tree, nranks)
     }
 
     /// Update every leaf in parallel over `nranks` simulated ranks.
@@ -69,67 +242,244 @@ impl Domain {
         R: Send,
         F: Fn(&Tree, BlockId, &mut [f64], &mut Probe) -> R + Sync,
     {
-        let parts = self.rank_partition(nranks);
-        let tree = &self.tree;
+        assert!(nranks > 0);
+        let Domain { tree, unk, exec } = self;
+        exec.ensure(tree, nranks);
+        let plan = exec.plan.as_ref().expect("plan ensured");
 
-        // Hand out each block's slab exactly once.
-        let mut slabs: Vec<Option<&mut [f64]>> = Vec::new();
-        {
-            let mut it = self.unk.slabs_mut();
-            for _ in 0..tree.config().max_blocks {
-                slabs.push(it.next());
-            }
-        }
-        let mut rank_work: Vec<Vec<(BlockId, &mut [f64])>> = Vec::with_capacity(nranks);
-        for part in &parts {
-            let mut work = Vec::with_capacity(part.len());
-            for &id in part {
-                let slab = slabs[id.idx()]
-                    .take()
-                    .expect("each block is assigned to exactly one rank");
-                work.push((id, slab));
-            }
-            rank_work.push(work);
-        }
-        if nranks == 1 {
-            // Fast path: no thread spawn.
+        if nranks == 1 || plan.eff_ranks <= 1 {
+            // Serial fast path: no dispatch, same Morton visit order.
             let mut probe = Probe::new();
             let mut results = Vec::new();
-            for (id, slab) in rank_work.pop().unwrap() {
-                let r = f(tree, id, slab, &mut probe);
-                results.push((id, r));
+            for part in &plan.parts {
+                for &id in part {
+                    let r = f(tree, id, unk.block_slab_mut(id.idx()), &mut probe);
+                    results.push((id, r));
+                }
             }
-            return (vec![probe], results);
+            let mut probes = vec![probe];
+            probes.resize_with(nranks, Probe::new);
+            return (probes, results);
         }
 
-        let per_rank = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(nranks);
-            for work in rank_work {
-                let fref = &f;
-                handles.push(scope.spawn(move |_| {
-                    let mut probe = Probe::new();
-                    let mut results = Vec::with_capacity(work.len());
-                    for (id, slab) in work {
-                        let r = fref(tree, id, slab, &mut probe);
-                        results.push((id, r));
-                    }
-                    (probe, results)
-                }));
+        let pool = exec.pool.as_mut().expect("pool ensured for nranks > 1");
+        let slabs = RawSlabs::of(unk);
+        let out: PerRank<(Probe, Vec<(BlockId, R)>)> =
+            PerRank::new(nranks, || (Probe::new(), Vec::new()));
+        let parts = &plan.parts;
+        let tree_ref: &Tree = tree;
+        pool.run(&|rank| {
+            // SAFETY: each rank writes only its own output slot and the
+            // slabs of its own Morton segment (disjoint by the partition).
+            let (probe, results) = unsafe { out.slot(rank) };
+            results.reserve(parts[rank].len());
+            for &id in &parts[rank] {
+                let slab = unsafe { slabs.slab(id.idx()) };
+                let r = f(tree_ref, id, slab, probe);
+                results.push((id, r));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect::<Vec<(Probe, Vec<(BlockId, R)>)>>()
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut probes = Vec::with_capacity(nranks);
         let mut results = Vec::new();
-        for (probe, mut rs) in per_rank {
+        for (probe, mut rs) in out.into_inner() {
             probes.push(probe);
             results.append(&mut rs);
         }
         (probes, results)
+    }
+
+    /// Exact parallel min-reduction over the leaves (the CFL time-step
+    /// scan). Each rank reduces its Morton segment; the caller reduces
+    /// across ranks. `min` is associative and commutative, so the result is
+    /// bit-identical to a serial scan for any rank count.
+    pub fn par_leaf_min<F>(&mut self, nranks: usize, f: F) -> f64
+    where
+        F: Fn(&Tree, &UnkStorage, BlockId) -> f64 + Sync,
+    {
+        assert!(nranks > 0);
+        let Domain { tree, unk, exec } = self;
+        exec.ensure(tree, nranks);
+        let plan = exec.plan.as_ref().expect("plan ensured");
+
+        if nranks == 1 || plan.eff_ranks <= 1 {
+            let mut m = f64::INFINITY;
+            for part in &plan.parts {
+                for &id in part {
+                    m = m.min(f(tree, unk, id));
+                }
+            }
+            return m;
+        }
+
+        let pool = exec.pool.as_mut().expect("pool ensured for nranks > 1");
+        let out: PerRank<f64> = PerRank::new(nranks, || f64::INFINITY);
+        let parts = &plan.parts;
+        let tree_ref: &Tree = tree;
+        let unk_ref: &UnkStorage = unk;
+        pool.run(&|rank| {
+            // SAFETY: each rank writes only its own slot; `unk` is only read.
+            let m = unsafe { out.slot(rank) };
+            for &id in &parts[rank] {
+                *m = m.min(f(tree_ref, unk_ref, id));
+            }
+        });
+        out.into_inner().into_iter().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Parallel guard-cell exchange over the persistent rank pool.
+    ///
+    /// Every refinement level is processed with two pool dispatches. In
+    /// phase 1 ("pack") each rank reads the shared `unk` immutably and
+    /// stages `(block, offset, value)` writes for the blocks it owns —
+    /// parent restrictions on the downward pass, then same-level copies and
+    /// fine–coarse prolongations on the upward pass. The dispatch return is
+    /// the barrier. In phase 2 ("unpack") each rank applies its staged
+    /// values to its own blocks' slabs and then runs the physical boundary
+    /// conditions for those blocks. All phase-2 writes land in rank-owned
+    /// slabs, and no kernel reads another same-level block's guard cells,
+    /// so the result is bit-identical to the serial
+    /// [`guardcell::fill_guardcells`] — the parity tests assert exactness.
+    pub fn fill_guardcells(&mut self, nranks: usize) {
+        assert!(nranks > 0);
+        let Domain { tree, unk, exec } = self;
+        exec.ensure(tree, nranks);
+        let Exec { pool, plan, stage } = exec;
+        let plan = plan.as_ref().expect("plan ensured");
+
+        if nranks == 1 || plan.eff_ranks <= 1 {
+            guardcell::fill_guardcells(tree, unk);
+            return;
+        }
+        let pool = pool.as_mut().expect("pool ensured for nranks > 1");
+
+        // Reusable per-rank staging buffers, handed out as rank slots for
+        // the duration of the exchange (capacity persists across calls).
+        let stage_cells = PerRank::from_vec(std::mem::take(stage));
+        let geom = unk.geom();
+        let dirs = tree.config().neighbor_dirs();
+
+        // Downward pass: restrict child interiors into parents, deepest
+        // parent level first, two dispatches per level.
+        for lvl in (0..plan.level_parents.len()).rev() {
+            let per_rank = &plan.level_parents[lvl];
+            if per_rank.iter().all(|v| v.is_empty()) {
+                continue;
+            }
+            {
+                let unk_ref: &UnkStorage = unk;
+                pool.run(&|rank| {
+                    // SAFETY: rank-private staging slot; `unk` is only read.
+                    let buf = unsafe { stage_cells.slot(rank) };
+                    for &pid in &per_rank[rank] {
+                        let meta = tree.block(pid);
+                        let children = meta.children.expect("parent has children");
+                        for (c, &cid) in
+                            children.iter().enumerate().take(meta.n_children as usize)
+                        {
+                            guardcell::pack_restrict(tree, unk_ref, cid, pid, c, &mut |off, v| {
+                                buf.push((pid.0, off as u32, v));
+                            });
+                        }
+                    }
+                });
+            }
+            {
+                let slabs = RawSlabs::of(unk);
+                pool.run(&|rank| {
+                    // SAFETY: every staged destination is a parent this rank
+                    // packed for — blocks no other rank touches this level.
+                    let buf = unsafe { stage_cells.slot(rank) };
+                    for &(blk, off, v) in buf.iter() {
+                        let slab = unsafe { slabs.slab(blk as usize) };
+                        slab[off as usize] = v;
+                    }
+                    buf.clear();
+                });
+            }
+        }
+
+        // Upward pass: fill guards coarse level → fine level so
+        // prolongation sources are always current.
+        for lvl in 0..plan.level_active.len() {
+            let per_rank = &plan.level_active[lvl];
+            if per_rank.iter().all(|v| v.is_empty()) {
+                continue;
+            }
+            {
+                let unk_ref: &UnkStorage = unk;
+                pool.run(&|rank| {
+                    // SAFETY: rank-private staging slot; `unk` is only read.
+                    let buf = unsafe { stage_cells.slot(rank) };
+                    for &id in &per_rank[rank] {
+                        for &d in &dirs {
+                            match tree.neighbor(id, d) {
+                                Neighbor::Same(nid) => guardcell::pack_copy_same(
+                                    tree,
+                                    unk_ref,
+                                    id,
+                                    nid,
+                                    d,
+                                    &mut |off, v| buf.push((id.0, off as u32, v)),
+                                ),
+                                Neighbor::Coarser(nid) => guardcell::pack_prolong(
+                                    tree,
+                                    unk_ref,
+                                    id,
+                                    nid,
+                                    d,
+                                    &mut |off, v| buf.push((id.0, off as u32, v)),
+                                ),
+                                Neighbor::Boundary => {}
+                            }
+                        }
+                    }
+                });
+            }
+            {
+                let slabs = RawSlabs::of(unk);
+                pool.run(&|rank| {
+                    // SAFETY: staged destinations and boundary fills touch
+                    // only this rank's blocks at this level.
+                    let buf = unsafe { stage_cells.slot(rank) };
+                    for &(blk, off, v) in buf.iter() {
+                        let slab = unsafe { slabs.slab(blk as usize) };
+                        slab[off as usize] = v;
+                    }
+                    buf.clear();
+                    for &id in &per_rank[rank] {
+                        for &d in &dirs {
+                            if tree.neighbor(id, d) == Neighbor::Boundary {
+                                guardcell::fill_boundary_slab(tree, &geom, id, d, unsafe {
+                                    slabs.slab(id.idx())
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+        }
+
+        *stage = stage_cells.into_inner();
+    }
+
+    /// Cumulative per-rank load counters from the persistent pool. Empty
+    /// when every parallel section so far took the serial path.
+    pub fn rank_loads(&self) -> Vec<RankLoad> {
+        match &self.exec.pool {
+            Some(pool) => pool
+                .counters()
+                .iter()
+                .enumerate()
+                .map(|(rank, c)| RankLoad {
+                    rank,
+                    busy_s: c.busy_ns as f64 * 1e-9,
+                    idle_s: c.idle_ns as f64 * 1e-9,
+                    dispatches: pool.dispatches(),
+                })
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Total interior zones over all leaves.
@@ -160,7 +510,7 @@ mod tests {
         let parts = d.rank_partition(3);
         let total: usize = parts.iter().map(Vec::len).sum();
         assert_eq!(total, d.tree.leaves().len());
-        // Counts are balanced within 1.
+        // Counts are balanced within 1 (uniform costs today).
         let (min, max) = (
             parts.iter().map(Vec::len).min().unwrap(),
             parts.iter().map(Vec::len).max().unwrap(),
@@ -211,6 +561,75 @@ mod tests {
         let a: Vec<u64> = probes.iter().map(|p| p.stats.fp_ops).collect();
         let b: Vec<u64> = again.iter().map(|p| p.stats.fp_ops).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn excess_ranks_get_empty_segments_and_padded_probes() {
+        let mut d = refined_domain(); // 7 leaves
+        let probes = d.par_leaf_update(9, |_tree, _id, _slab, probe| {
+            probe.stats.zones += 1;
+        });
+        assert_eq!(probes.len(), 9);
+        let zones: u64 = probes.iter().map(|p| p.stats.zones).sum();
+        assert_eq!(zones, 7);
+    }
+
+    #[test]
+    fn pool_and_partition_persist_across_calls() {
+        let mut d = refined_domain();
+        d.par_leaf_update(2, |_, _, _, _| {});
+        d.par_leaf_update(2, |_, _, _, _| {});
+        let loads = d.rank_loads();
+        assert_eq!(loads.len(), 2);
+        // One pool served both calls: the dispatch counter accumulated.
+        assert_eq!(loads[0].dispatches, 2);
+        // And the plan was built exactly once (same epoch, same nranks).
+        assert_eq!(d.exec.plan.as_ref().unwrap().epoch, d.tree.epoch());
+    }
+
+    #[test]
+    fn adapt_invalidates_cached_partition() {
+        let mut d = refined_domain();
+        d.par_leaf_update(2, |_, _, _, _| {});
+        let epoch_before = d.exec.plan.as_ref().unwrap().epoch;
+        let leaves_before = d.tree.leaves().len();
+
+        // A regrid (here: direct refine) bumps the tree epoch…
+        let coarse_leaf = *d.tree.leaves().last().unwrap();
+        d.tree.refine_block(coarse_leaf, &mut d.unk);
+        assert!(d.tree.epoch() > epoch_before);
+
+        // …so the next parallel call rebuilds the plan over the new leaves.
+        let probes = d.par_leaf_update(2, |_tree, _id, _slab, probe| {
+            probe.stats.zones += 1;
+        });
+        let plan = d.exec.plan.as_ref().unwrap();
+        assert_eq!(plan.epoch, d.tree.epoch());
+        let covered: usize = plan.parts.iter().map(Vec::len).sum();
+        assert_eq!(covered, d.tree.leaves().len());
+        assert!(d.tree.leaves().len() > leaves_before);
+        let zones: u64 = probes.iter().map(|p| p.stats.zones).sum();
+        assert_eq!(zones as usize, d.tree.leaves().len());
+    }
+
+    #[test]
+    fn par_leaf_min_matches_serial_scan() {
+        let mut d = refined_domain();
+        let g = d.tree.config().nguard;
+        for (n, id) in d.tree.leaves().into_iter().enumerate() {
+            d.unk.set(DENS, g, g, 0, id.idx(), 10.0 - n as f64);
+        }
+        let serial = d.par_leaf_min(1, |tree, unk, id| {
+            let _ = tree;
+            unk.get(DENS, g, g, 0, id.idx())
+        });
+        for nranks in [2, 4, 7] {
+            let par = d.par_leaf_min(nranks, |tree, unk, id| {
+                let _ = tree;
+                unk.get(DENS, g, g, 0, id.idx())
+            });
+            assert_eq!(par.to_bits(), serial.to_bits());
+        }
     }
 
     #[test]

@@ -6,10 +6,19 @@
 //! neighbors (monotone linear prolongation), and the physical boundary
 //! conditions. Fill order is coarse → fine so prolongation sources are
 //! always current.
+//!
+//! The exchange kernels are written in pack/apply form: `pack_restrict`,
+//! `pack_copy_same`, and `pack_prolong` read the source data immutably and
+//! emit `(destination slab offset, value)` pairs through a sink. The serial
+//! [`fill_guardcells`] stages those pairs into a scratch vector and applies
+//! them block by block; the parallel exchange in `Domain::fill_guardcells`
+//! stages them into per-rank buffers between two pool barriers. Both paths
+//! run the *same* arithmetic in the same order per destination block, which
+//! is what makes the parallel fill bit-identical to the serial one.
 
 use crate::block::{BlockId, BlockState};
 use crate::tree::{BoundaryCondition, Neighbor, Tree};
-use crate::unk::UnkStorage;
+use crate::unk::{UnkGeom, UnkStorage};
 use crate::vars::{VELX, VELY, VELZ};
 
 /// minmod slope limiter.
@@ -79,9 +88,9 @@ pub fn prolong_interior(
                     let base = unk.get(var, p[0], p[1], p[2], pb);
                     let mut v = base;
                     let fracs = [fi & 1, fj & 1, fk & 1];
-                    for axis in 0..cfg.ndim {
+                    for (axis, &frac) in fracs.iter().enumerate().take(cfg.ndim) {
                         let s = slope(unk, var, p, axis);
-                        let off = if fracs[axis] == 0 { -0.25 } else { 0.25 };
+                        let off = if frac == 0 { -0.25 } else { 0.25 };
                         v += s * off;
                     }
                     unk.set(var, i, j, k, cb, v);
@@ -91,22 +100,25 @@ pub fn prolong_interior(
     }
 }
 
-/// Restrict child `c`'s interior into the corresponding quadrant/octant of
-/// the parent's interior (plain averaging — conservative for cell means).
-pub fn restrict_interior(
+/// Emit the restriction of child `c`'s interior into the corresponding
+/// quadrant/octant of the parent: `sink(offset_in_parent_slab, value)`.
+/// Reads only child interiors, so every restriction at one tree level can
+/// run concurrently.
+pub(crate) fn pack_restrict(
     tree: &Tree,
-    unk: &mut UnkStorage,
+    unk: &UnkStorage,
     child: BlockId,
     parent: BlockId,
     c: usize,
+    sink: &mut dyn FnMut(usize, f64),
 ) {
     let cfg = tree.config();
     let ng = cfg.nguard;
     let nxb = cfg.nxb;
     let half = nxb / 2;
     let (ox, oy, oz) = (c & 1, (c >> 1) & 1, (c >> 2) & 1);
-    let pb = parent.idx();
     let cb = child.idx();
+    let _ = parent; // destination identity is carried by the caller's sink
     let kcells = if cfg.ndim == 3 { half } else { 1 };
     let weight = 1.0 / (1 << cfg.ndim) as f64;
 
@@ -131,17 +143,34 @@ pub fn restrict_interior(
                         ng + oy * half + pj,
                         if cfg.ndim == 3 { ng + oz * half + pk } else { 0 },
                     ];
-                    unk.set(var, p[0], p[1], p[2], pb, sum * weight);
+                    sink(unk.slab_idx(var, p[0], p[1], p[2]), sum * weight);
                 }
             }
         }
     }
 }
 
+/// Restrict child `c`'s interior into the corresponding quadrant/octant of
+/// the parent's interior (plain averaging — conservative for cell means).
+pub fn restrict_interior(
+    tree: &Tree,
+    unk: &mut UnkStorage,
+    child: BlockId,
+    parent: BlockId,
+    c: usize,
+) {
+    let mut staged: Vec<(usize, f64)> = Vec::new();
+    pack_restrict(tree, unk, child, parent, c, &mut |off, v| {
+        staged.push((off, v))
+    });
+    let slab = unk.block_slab_mut(parent.idx());
+    for (off, v) in staged {
+        slab[off] = v;
+    }
+}
+
 /// Per-axis destination range of the guard region in direction `d`.
-fn guard_range(unk: &UnkStorage, da: i32, axis_is_k_in_2d: bool) -> std::ops::Range<usize> {
-    let ng = unk.nguard();
-    let nxb = unk.nxb();
+fn guard_range(ng: usize, nxb: usize, da: i32, axis_is_k_in_2d: bool) -> std::ops::Range<usize> {
     if axis_is_k_in_2d {
         return 0..1;
     }
@@ -156,7 +185,13 @@ fn guard_range(unk: &UnkStorage, da: i32, axis_is_k_in_2d: bool) -> std::ops::Ra
 /// Fill every active block's guard cells. Restriction of leaf data into
 /// parent nodes happens first so same-level copies from "virtual" coarse
 /// data work; then blocks are filled coarse → fine.
+///
+/// This is the serial reference path (and the `nranks == 1` path of
+/// `Domain::fill_guardcells`); it shares its pack kernels with the parallel
+/// two-phase exchange, so the two produce bit-identical results.
 pub fn fill_guardcells(tree: &Tree, unk: &mut UnkStorage) {
+    let mut staged: Vec<(usize, f64)> = Vec::new();
+
     // 1. Restrict into parents, deepest parents first.
     let mut parents: Vec<BlockId> = (0..unk.max_blocks() as u32)
         .map(BlockId)
@@ -164,11 +199,7 @@ pub fn fill_guardcells(tree: &Tree, unk: &mut UnkStorage) {
         .collect();
     parents.sort_by_key(|id| std::cmp::Reverse(tree.block(*id).key.level));
     for pid in parents {
-        let meta = tree.block(pid);
-        let children = meta.children.expect("parent has children");
-        for (c, &cid) in children.iter().enumerate().take(meta.n_children as usize) {
-            restrict_interior(tree, unk, cid, pid, c);
-        }
+        restrict_into_parent(tree, unk, pid, &mut staged);
     }
 
     // 2. Fill guards, coarse levels first.
@@ -178,34 +209,72 @@ pub fn fill_guardcells(tree: &Tree, unk: &mut UnkStorage) {
         .collect();
     active.sort_by_key(|id| tree.block(*id).key.level);
 
+    let geom = unk.geom();
     let dirs = tree.config().neighbor_dirs();
     for &id in &active {
         // Non-boundary directions first; boundary fills may read guards the
         // neighbor copies produced (e.g. corners at a wall).
+        staged.clear();
         for &d in &dirs {
             match tree.neighbor(id, d) {
-                Neighbor::Same(nid) => copy_same_level(tree, unk, id, nid, d),
-                Neighbor::Coarser(nid) => prolong_guards(tree, unk, id, nid, d),
+                Neighbor::Same(nid) => pack_copy_same(tree, unk, id, nid, d, &mut |off, v| {
+                    staged.push((off, v))
+                }),
+                Neighbor::Coarser(nid) => pack_prolong(tree, unk, id, nid, d, &mut |off, v| {
+                    staged.push((off, v))
+                }),
                 Neighbor::Boundary => {}
             }
         }
+        let slab = unk.block_slab_mut(id.idx());
+        for &(off, v) in &staged {
+            slab[off] = v;
+        }
         for &d in &dirs {
             if tree.neighbor(id, d) == Neighbor::Boundary {
-                fill_boundary(tree, unk, id, d);
+                fill_boundary_slab(tree, &geom, id, d, slab);
             }
         }
     }
 }
 
-/// Copy the guard region of `dst` in direction `d` from the same-level
-/// block `src` (interior shifted by one block).
-fn copy_same_level(tree: &Tree, unk: &mut UnkStorage, dst: BlockId, src: BlockId, d: [i32; 3]) {
+/// Restrict all of `pid`'s children into it, using `staged` as scratch.
+pub(crate) fn restrict_into_parent(
+    tree: &Tree,
+    unk: &mut UnkStorage,
+    pid: BlockId,
+    staged: &mut Vec<(usize, f64)>,
+) {
+    staged.clear();
+    let meta = tree.block(pid);
+    let children = meta.children.expect("parent has children");
+    for (c, &cid) in children.iter().enumerate().take(meta.n_children as usize) {
+        pack_restrict(tree, unk, cid, pid, c, &mut |off, v| staged.push((off, v)));
+    }
+    let slab = unk.block_slab_mut(pid.idx());
+    for &(off, v) in staged.iter() {
+        slab[off] = v;
+    }
+}
+
+/// Emit the guard region of `dst` in direction `d` copied from the
+/// same-level block `src` (interior shifted by one block):
+/// `sink(offset_in_dst_slab, value)`. Reads only `src`'s interior.
+pub(crate) fn pack_copy_same(
+    tree: &Tree,
+    unk: &UnkStorage,
+    dst: BlockId,
+    src: BlockId,
+    d: [i32; 3],
+    sink: &mut dyn FnMut(usize, f64),
+) {
     let cfg = tree.config();
     let nxb = cfg.nxb as i64;
-    let ri = guard_range(unk, d[0], false);
-    let rj = guard_range(unk, d[1], false);
-    let rk = guard_range(unk, d[2], cfg.ndim == 2);
-    let (db, sb) = (dst.idx(), src.idx());
+    let ri = guard_range(cfg.nguard, cfg.nxb, d[0], false);
+    let rj = guard_range(cfg.nguard, cfg.nxb, d[1], false);
+    let rk = guard_range(cfg.nguard, cfg.nxb, d[2], cfg.ndim == 2);
+    let _ = dst; // destination identity is carried by the caller's sink
+    let sb = src.idx();
     for var in 0..cfg.nvar {
         for k in rk.clone() {
             let sk = if cfg.ndim == 3 {
@@ -217,17 +286,25 @@ fn copy_same_level(tree: &Tree, unk: &mut UnkStorage, dst: BlockId, src: BlockId
                 let sj = (j as i64 - d[1] as i64 * nxb) as usize;
                 for i in ri.clone() {
                     let si = (i as i64 - d[0] as i64 * nxb) as usize;
-                    let v = unk.get(var, si, sj, sk, sb);
-                    unk.set(var, i, j, k, db, v);
+                    sink(unk.slab_idx(var, i, j, k), unk.get(var, si, sj, sk, sb));
                 }
             }
         }
     }
 }
 
-/// Prolongate the guard region of fine block `dst` in direction `d` from
-/// its coarser neighbor `src`.
-fn prolong_guards(tree: &Tree, unk: &mut UnkStorage, dst: BlockId, src: BlockId, d: [i32; 3]) {
+/// Emit the prolongated guard region of fine block `dst` in direction `d`
+/// from its coarser neighbor `src`: `sink(offset_in_dst_slab, value)`.
+/// Reads only `src` (one level coarser — already fully filled when the
+/// exchange proceeds coarse → fine).
+pub(crate) fn pack_prolong(
+    tree: &Tree,
+    unk: &UnkStorage,
+    dst: BlockId,
+    src: BlockId,
+    d: [i32; 3],
+    sink: &mut dyn FnMut(usize, f64),
+) {
     let cfg = tree.config();
     let ng = cfg.nguard as i64;
     let nxb = cfg.nxb as i64;
@@ -237,10 +314,10 @@ fn prolong_guards(tree: &Tree, unk: &mut UnkStorage, dst: BlockId, src: BlockId,
         (key.iy & 1) as i64,
         (key.iz & 1) as i64,
     ];
-    let ri = guard_range(unk, d[0], false);
-    let rj = guard_range(unk, d[1], false);
-    let rk = guard_range(unk, d[2], cfg.ndim == 2);
-    let (db, sb) = (dst.idx(), src.idx());
+    let ri = guard_range(cfg.nguard, cfg.nxb, d[0], false);
+    let rj = guard_range(cfg.nguard, cfg.nxb, d[1], false);
+    let rk = guard_range(cfg.nguard, cfg.nxb, d[2], cfg.ndim == 2);
+    let sb = src.idx();
 
     // Map a destination padded index to (source padded index, ±¼ offset).
     // The coarse source block's offset from the fine block's parent along
@@ -288,10 +365,10 @@ fn prolong_guards(tree: &Tree, unk: &mut UnkStorage, dst: BlockId, src: BlockId,
                     let s = [si, sj, sk];
                     let mut v = unk.get(var, si, sj, sk, sb);
                     let offs = [oi, oj, ok];
-                    for axis in 0..cfg.ndim {
-                        v += slope(unk, var, s, axis) * offs[axis];
+                    for (axis, &off) in offs.iter().enumerate().take(cfg.ndim) {
+                        v += slope(unk, var, s, axis) * off;
                     }
-                    unk.set(var, i, j, k, db, v);
+                    sink(unk.slab_idx(var, i, j, k), v);
                 }
             }
         }
@@ -300,16 +377,23 @@ fn prolong_guards(tree: &Tree, unk: &mut UnkStorage, dst: BlockId, src: BlockId,
 
 /// Apply the physical boundary condition to the guard region of `id` in
 /// direction `d` (some axes of which may point at real neighbors; those are
-/// handled by per-axis clamping into already-filled guard data).
-fn fill_boundary(tree: &Tree, unk: &mut UnkStorage, id: BlockId, d: [i32; 3]) {
+/// handled by per-axis clamping into already-filled guard data). Operates on
+/// the block's own slab only, so each rank can run it for the blocks it owns
+/// once its staged neighbor data has been applied.
+pub(crate) fn fill_boundary_slab(
+    tree: &Tree,
+    geom: &UnkGeom,
+    id: BlockId,
+    d: [i32; 3],
+    slab: &mut [f64],
+) {
     let cfg = tree.config();
     let ng = cfg.nguard as i64;
     let nxb = cfg.nxb as i64;
     let key = tree.block(id).key;
-    let ri = guard_range(unk, d[0], false);
-    let rj = guard_range(unk, d[1], false);
-    let rk = guard_range(unk, d[2], cfg.ndim == 2);
-    let b = id.idx();
+    let ri = guard_range(cfg.nguard, cfg.nxb, d[0], false);
+    let rj = guard_range(cfg.nguard, cfg.nxb, d[1], false);
+    let rk = guard_range(cfg.nguard, cfg.nxb, d[2], cfg.ndim == 2);
 
     // Is the block face in direction d[axis] on the physical boundary?
     let on_boundary = |axis: usize| -> bool {
@@ -358,7 +442,7 @@ fn fill_boundary(tree: &Tree, unk: &mut UnkStorage, id: BlockId, d: [i32; 3]) {
                 let (sj, fj) = map(1, j);
                 for i in ri.clone() {
                     let (si, fi) = map(0, i);
-                    let mut v = unk.get(var, si, sj, sk, b);
+                    let mut v = slab[geom.slab_idx(var, si, sj, sk)];
                     // Flip the normal velocity component on reflection.
                     for axis in 0..cfg.ndim {
                         if var == vel_var[axis] {
@@ -366,7 +450,7 @@ fn fill_boundary(tree: &Tree, unk: &mut UnkStorage, id: BlockId, d: [i32; 3]) {
                             v *= f;
                         }
                     }
-                    unk.set(var, i, j, k, b, v);
+                    slab[geom.slab_idx(var, i, j, k)] = v;
                 }
             }
         }

@@ -17,11 +17,16 @@
 //!   monotone prolongation, and physical boundary conditions;
 //! * [`refine`] — the Löhner second-derivative error estimator;
 //! * [`flux`] — flux registers for conservation at fine–coarse boundaries;
-//! * [`domain`] — the rank decomposition (Morton-curve splitting, one
-//!   thread per simulated MPI rank via crossbeam).
+//! * [`executor`] — the persistent rank pool: one long-lived thread per
+//!   simulated MPI rank, created once per simulation and reused by every
+//!   parallel section (sweeps, EOS passes, guard exchange, reductions);
+//! * [`domain`] — the rank decomposition: cost-weighted Morton-curve
+//!   splitting cached on the tree epoch, parallel block updates, and the
+//!   two-phase parallel guard-cell exchange.
 
 pub mod block;
 pub mod domain;
+pub mod executor;
 pub mod flux;
 pub mod geometry;
 pub mod guardcell;

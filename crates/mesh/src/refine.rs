@@ -31,6 +31,7 @@ impl Default for LohnerConfig {
 
 /// Normalized second-derivative error of `var` at interior cell (i, j, k):
 /// the 1-d Löhner ratio per axis, combined as the max over axes.
+#[allow(clippy::too_many_arguments)]
 fn cell_error(
     unk: &UnkStorage,
     var: usize,

@@ -121,6 +121,10 @@ pub struct Tree {
     lookup: HashMap<MortonKey, BlockId>,
     free: Vec<BlockId>,
     n_active: usize,
+    /// Bumped on every block allocation/release; cached work distributions
+    /// (rank partitions, guard-exchange schedules) key on this to detect
+    /// that a regrid made them stale.
+    epoch: u64,
 }
 
 /// Refinement marks produced by the error estimator.
@@ -145,6 +149,7 @@ impl Tree {
             lookup: HashMap::new(),
             free: (0..config.max_blocks as u32).rev().map(BlockId).collect(),
             n_active: 0,
+            epoch: 0,
             config,
         };
         let nz = if config.ndim == 3 { config.nroot[2] } else { 1 };
@@ -192,6 +197,13 @@ impl Tree {
         self.n_active
     }
 
+    /// Topology revision: changes whenever any block is allocated or
+    /// released (refine, derefine, `adapt`). Equal epochs guarantee an
+    /// identical block population, so epoch-keyed caches stay valid.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// All leaf block ids, sorted along the Morton curve (PARAMESH's
     /// work-distribution order).
     pub fn leaves(&self) -> Vec<BlockId> {
@@ -225,6 +237,7 @@ impl Tree {
         meta.n_children = 0;
         self.lookup.insert(key, id);
         self.n_active += 1;
+        self.epoch += 1;
         id
     }
 
@@ -234,6 +247,7 @@ impl Tree {
         self.metas[id.idx()] = BlockMeta::free();
         self.free.push(id);
         self.n_active -= 1;
+        self.epoch += 1;
     }
 
     // ---- geometry --------------------------------------------------------
@@ -296,13 +310,13 @@ impl Tree {
             coords[a] += d[a] as i64;
         }
         // Domain extent at this level.
-        for a in 0..self.config.ndim {
+        for (a, coord) in coords.iter_mut().enumerate().take(self.config.ndim) {
             let extent = ((self.config.nroot[a] as u64) << key.level) as i64;
-            if coords[a] < 0 || coords[a] >= extent {
-                let side = if coords[a] < 0 { 0 } else { 1 };
+            if *coord < 0 || *coord >= extent {
+                let side = if *coord < 0 { 0 } else { 1 };
                 match self.config.bc_at(a, side) {
                     BoundaryCondition::Periodic => {
-                        coords[a] = coords[a].rem_euclid(extent);
+                        *coord = coord.rem_euclid(extent);
                     }
                     _ => return Neighbor::Boundary,
                 }

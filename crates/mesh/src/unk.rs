@@ -211,6 +211,14 @@ impl UnkStorage {
         self.buf.as_mut_slice().chunks_mut(per)
     }
 
+    /// Raw base pointer of the whole container, for the executor's
+    /// per-rank slab handout. Callers must uphold the same disjointness
+    /// the safe [`UnkStorage::slabs_mut`] enforces: each block slab is
+    /// touched by at most one rank during a dispatch.
+    pub(crate) fn base_ptr_mut(&mut self) -> *mut f64 {
+        self.buf.as_mut_slice().as_mut_ptr()
+    }
+
     /// Flat index of `(var, i, j, k)` *within* a block slab, matching
     /// [`UnkStorage::idx`] minus the block offset. Kernels operating on a
     /// slab from [`UnkStorage::slabs_mut`] use this.

@@ -19,12 +19,14 @@
 
 pub mod hw;
 pub mod kernel_stats;
+pub mod rank_load;
 pub mod report;
 pub mod session;
 pub mod timers;
 
 pub use hw::HwCounters;
 pub use kernel_stats::KernelStats;
+pub use rank_load::{idle_fraction, imbalance, RankLoad};
 pub use report::{Measures, RatioReport};
 pub use session::{PerfSession, Probe, SessionConfig};
 pub use timers::Timers;

@@ -1,0 +1,92 @@
+//! Per-rank load accounting for the persistent executor.
+//!
+//! FLASH's MPI ranks advance in lockstep: every collective (guard exchange,
+//! reduction, sweep barrier) makes the fastest rank wait for the slowest.
+//! The simulated-rank pool keeps the same ledger — per-rank busy seconds
+//! inside dispatched work and idle seconds at the dispatch barrier — so
+//! `profile_report` can show how well the cost-weighted Morton partition
+//! balances the block distribution.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative load of one simulated rank on the persistent executor.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RankLoad {
+    /// Rank index (also the pool thread index).
+    pub rank: usize,
+    /// Seconds spent executing dispatched work.
+    pub busy_s: f64,
+    /// Seconds spent waiting at the dispatch barrier for slower ranks.
+    pub idle_s: f64,
+    /// Pool dispatches this rank participated in.
+    pub dispatches: u64,
+}
+
+/// Load imbalance of a dispatch history: `max(busy) / mean(busy)`.
+/// 1.0 is a perfectly balanced partition; FLASH's own Morton distribution
+/// typically sits a few percent above it.
+pub fn imbalance(loads: &[RankLoad]) -> f64 {
+    let mean = loads.iter().map(|l| l.busy_s).sum::<f64>() / loads.len().max(1) as f64;
+    if mean <= 0.0 {
+        return 1.0;
+    }
+    let max = loads.iter().map(|l| l.busy_s).fold(0.0, f64::max);
+    max / mean
+}
+
+/// Fraction of total rank-seconds spent idle at dispatch barriers:
+/// `Σ idle / Σ (busy + idle)`. Zero when every rank finishes together.
+pub fn idle_fraction(loads: &[RankLoad]) -> f64 {
+    let idle: f64 = loads.iter().map(|l| l.idle_s).sum();
+    let total: f64 = loads.iter().map(|l| l.busy_s + l.idle_s).sum();
+    if total <= 0.0 {
+        0.0
+    } else {
+        idle / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(rank: usize, busy_s: f64, idle_s: f64) -> RankLoad {
+        RankLoad {
+            rank,
+            busy_s,
+            idle_s,
+            dispatches: 1,
+        }
+    }
+
+    #[test]
+    fn balanced_ranks_have_unit_imbalance() {
+        let loads = [load(0, 2.0, 0.0), load(1, 2.0, 0.0)];
+        assert!((imbalance(&loads) - 1.0).abs() < 1e-12);
+        assert_eq!(idle_fraction(&loads), 0.0);
+    }
+
+    #[test]
+    fn skewed_ranks_show_up() {
+        let loads = [load(0, 3.0, 0.0), load(1, 1.0, 2.0)];
+        assert!((imbalance(&loads) - 1.5).abs() < 1e-12);
+        assert!((idle_fraction(&loads) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_are_defined() {
+        assert_eq!(imbalance(&[]), 1.0);
+        assert_eq!(idle_fraction(&[]), 0.0);
+        let zeros = [load(0, 0.0, 0.0)];
+        assert_eq!(imbalance(&zeros), 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = load(3, 1.25, 0.5);
+        let json = serde_json::to_string(&l).unwrap();
+        let back: RankLoad = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rank, 3);
+        assert_eq!(back.busy_s, 1.25);
+    }
+}

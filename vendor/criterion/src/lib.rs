@@ -1,0 +1,214 @@
+//! Vendored mini-criterion for offline builds.
+//!
+//! Mirrors the slice of the criterion 0.5 API the workspace benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `black_box`, the `criterion_group!`/`criterion_main!`
+//! macros) but replaces the statistical engine with a fast min-of-N timer
+//! so `cargo bench` finishes quickly on a single-core container. Output is
+//! one line per benchmark: `name ... <best> ns/iter (<throughput>)`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl ToString, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.to_string(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark id: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+pub struct Bencher {
+    /// Best observed per-iteration time.
+    best: Duration,
+    /// Sample budget requested via `sample_size` (we cap it aggressively).
+    samples: usize,
+}
+
+/// `cargo test` runs harness=false bench binaries with `--test`; in that
+/// mode every bench body executes exactly once (a smoke run, no timing loop).
+fn smoke_run() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call, then `samples` timed calls keeping the minimum.
+        black_box(f());
+        let deadline = Instant::now() + Duration::from_millis(300);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            if dt < self.best {
+                self.best = dt;
+            }
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if self.samples > 0 {
+            self.samples = n.min(20);
+        }
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher { best: Duration::MAX, samples: self.samples };
+        f(&mut b);
+        self.criterion.report(&label, b.best, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher { best: Duration::MAX, samples: self.samples };
+        f(&mut b, input);
+        self.criterion.report(&label, b.best, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        let samples = if smoke_run() { 0 } else { 10 };
+        BenchmarkGroup { criterion: self, name: name.to_string(), samples, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_id();
+        let samples = if smoke_run() { 0 } else { 10 };
+        let mut b = Bencher { best: Duration::MAX, samples };
+        f(&mut b);
+        self.report(&label, b.best, None);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn report(&mut self, label: &str, best: Duration, throughput: Option<Throughput>) {
+        if best == Duration::MAX {
+            println!("{label:<56}        smoke ok");
+            return;
+        }
+        let mut line = format!("{label:<56} {:>12.0} ns/iter", best.as_nanos() as f64);
+        if let Some(t) = throughput {
+            let per_s = |n: u64| n as f64 / best.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => {
+                    let _ = write!(line, "  ({:.3e} elem/s)", per_s(n));
+                }
+                Throughput::Bytes(n) => {
+                    let _ = write!(line, "  ({:.3e} B/s)", per_s(n));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` invokes harness=false bench binaries with
+            // `--test`; mirror real criterion and treat that as a smoke run
+            // (still executes each bench once via the warmup call).
+            $( $group(); )+
+        }
+    };
+}

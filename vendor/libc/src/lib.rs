@@ -1,0 +1,52 @@
+//! Vendored subset of the `libc` crate for offline builds.
+//!
+//! The container image has no crates.io registry access, so the workspace
+//! resolves `libc` to this path crate instead. It declares exactly the
+//! symbols rflash uses, with signatures and constant values matching
+//! glibc on `x86_64-unknown-linux-gnu` (the only supported target).
+//! The actual functions come from the system C library, which the Rust
+//! toolchain links into every binary on gnu targets anyway.
+
+#![allow(non_camel_case_types)]
+#![allow(non_upper_case_globals)]
+
+pub use core::ffi::c_void;
+
+pub type c_char = i8;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type off_t = i64;
+pub type pid_t = i32;
+
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+pub const MAP_PRIVATE: c_int = 0x0002;
+pub const MAP_ANONYMOUS: c_int = 0x0020;
+pub const MAP_HUGETLB: c_int = 0x040000;
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+pub const MADV_HUGEPAGE: c_int = 14;
+pub const MADV_NOHUGEPAGE: c_int = 15;
+pub const _SC_PAGESIZE: c_int = 30;
+/// x86_64 syscall number.
+pub const SYS_perf_event_open: c_long = 298;
+
+extern "C" {
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn syscall(num: c_long, ...) -> c_long;
+}

@@ -1,0 +1,535 @@
+//! Vendored mini-proptest for offline builds.
+//!
+//! Implements the subset of the proptest 1.x API the workspace test suites
+//! use: the `proptest!`, `prop_assert!`, `prop_assert_eq!` and `prop_oneof!`
+//! macros, range / tuple / vec / regex-string strategies, `any::<T>()`,
+//! `Strategy::prop_map`, and `ProptestConfig::with_cases`. Generation is a
+//! deterministic xorshift stream seeded per test function, and there is no
+//! shrinking: a failing case panics with the case index so it can be
+//! reproduced by rerunning the same binary.
+
+pub mod test_runner {
+    /// Deterministic generator; same sequence on every run of a given test.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name so distinct tests draw distinct
+            // streams while staying reproducible across runs.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+
+        /// Uniform in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Deliberately lower than upstream's 256: the tier-1 gate runs
+            // these suites unoptimized on a single core.
+            ProptestConfig { cases: 16 }
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: String) -> Self {
+            TestCaseError { message }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: Box::new(move |rng| self.generate(rng)) }
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct BoxedStrategy<V> {
+        inner: Box<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.inner)(rng)
+        }
+    }
+
+    /// One arm of a `prop_oneof!`: a boxed generator closure.
+    pub type OneOfArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// Uniform choice between same-valued strategies; built by `prop_oneof!`.
+    pub struct OneOf<V> {
+        arms: Vec<OneOfArm<V>>,
+    }
+
+    impl<V> OneOf<V> {
+        pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            (self.arms[i])(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.abs_diff(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// String-literal strategies: a small regex subset (literals, `[...]`
+    /// classes with ranges, `(...)` groups, postfix `? + * {n} {m,n}`).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let nodes = crate::pattern::parse(self);
+            let mut out = String::new();
+            crate::pattern::emit(&nodes, rng, &mut out);
+            out
+        }
+    }
+
+    pub struct Any<T> {
+        _marker: ::std::marker::PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: crate::arbitrary::Arbitrary>() -> Any<T> {
+        Any { _marker: ::std::marker::PhantomData }
+    }
+
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::test_runner::TestRng;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, broad magnitude spread.
+            let m = rng.unit_f64() * 2.0 - 1.0;
+            let e = (rng.below(120) as i32) - 60;
+            m * (e as f64).exp2()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: ::std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: ::std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod bool {
+    /// `prop::bool::ANY`.
+    pub struct AnyBool;
+
+    impl crate::strategy::Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub const ANY: AnyBool = AnyBool;
+}
+
+/// Tiny regex-subset parser backing string-literal strategies.
+mod pattern {
+    use crate::test_runner::TestRng;
+
+    pub enum Node {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<(Node, Rep)>),
+    }
+
+    pub struct Rep {
+        min: usize,
+        max: usize,
+    }
+
+    pub fn parse(pat: &str) -> Vec<(Node, Rep)> {
+        let chars: Vec<char> = pat.chars().collect();
+        let (nodes, used) = parse_seq(&chars, 0);
+        assert!(used == chars.len(), "unsupported pattern: {pat}");
+        nodes
+    }
+
+    fn parse_seq(chars: &[char], mut i: usize) -> (Vec<(Node, Rep)>, usize) {
+        let mut out = Vec::new();
+        while i < chars.len() && chars[i] != ')' {
+            let node = match chars[i] {
+                '[' => {
+                    let close = chars[i..].iter().position(|&c| c == ']').expect("unclosed [") + i;
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Node::Class(ranges)
+                }
+                '(' => {
+                    let (inner, after) = parse_seq(chars, i + 1);
+                    assert!(after < chars.len() && chars[after] == ')', "unclosed (");
+                    i = after + 1;
+                    Node::Group(inner)
+                }
+                '\\' => {
+                    let c = chars[i + 1];
+                    i += 2;
+                    Node::Lit(c)
+                }
+                c => {
+                    i += 1;
+                    Node::Lit(c)
+                }
+            };
+            let rep = if i < chars.len() {
+                match chars[i] {
+                    '?' => {
+                        i += 1;
+                        Rep { min: 0, max: 1 }
+                    }
+                    '+' => {
+                        i += 1;
+                        Rep { min: 1, max: 8 }
+                    }
+                    '*' => {
+                        i += 1;
+                        Rep { min: 0, max: 8 }
+                    }
+                    '{' => {
+                        let close =
+                            chars[i..].iter().position(|&c| c == '}').expect("unclosed {") + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        let (lo, hi) = match body.split_once(',') {
+                            Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+                            None => {
+                                let n = body.parse().unwrap();
+                                (n, n)
+                            }
+                        };
+                        Rep { min: lo, max: hi }
+                    }
+                    _ => Rep { min: 1, max: 1 },
+                }
+            } else {
+                Rep { min: 1, max: 1 }
+            };
+            out.push((node, rep));
+        }
+        (out, i)
+    }
+
+    pub fn emit(nodes: &[(Node, Rep)], rng: &mut TestRng, out: &mut String) {
+        for (node, rep) in nodes {
+            let n = rep.min + rng.below((rep.max - rep.min + 1) as u64) as usize;
+            for _ in 0..n {
+                match node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                        let span = hi as u32 - lo as u32 + 1;
+                        out.push(char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap());
+                    }
+                    Node::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    let ( $($pat,)* ) =
+                        ( $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )* );
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!("proptest case {} of {}: {}", __case, stringify!($name), e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(
+                {
+                    let __s = $arm;
+                    ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                        $crate::strategy::Strategy::generate(&__s, rng)
+                    }) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+                }
+            ),+
+        ])
+    };
+}

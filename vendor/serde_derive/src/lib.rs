@@ -1,0 +1,404 @@
+//! Vendored serde derive for offline builds.
+//!
+//! Emits impls of the mini-serde `Serialize`/`Deserialize` traits (see
+//! `vendor/serde`) for the shapes this workspace actually derives on:
+//! named-field structs (with `#[serde(default)]`), tuple structs, unit
+//! structs, and enums with unit / newtype / tuple / struct variants.
+//! Lifetime-only generics are supported; type parameters are rejected.
+//! The parser walks the raw `TokenStream`
+//! directly — `syn`/`quote` are unavailable offline — and the generated
+//! code is assembled as a string and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (item, generics) = parse_item(input);
+    gen_serialize(&item, &generics)
+        .parse()
+        .expect("serde_derive: generated Serialize does not parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (item, generics) = parse_item(input);
+    gen_deserialize(&item, &generics)
+        .parse()
+        .expect("serde_derive: generated Deserialize does not parse")
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+enum Item {
+    Struct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+/// Skip a `#[...]` attribute at `i`; returns the new position and whether
+/// the attribute was `#[serde(default)]` (the only helper we honor).
+fn skip_attr(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut is_default = false;
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+        i += 1;
+        if let TokenTree::Group(g) = &tokens[i] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        is_default = args.stream().into_iter().any(
+                            |t| matches!(&t, TokenTree::Ident(d) if d.to_string() == "default"),
+                        );
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    (i, is_default)
+}
+
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    loop {
+        let (next, d) = skip_attr(tokens, i);
+        has_default |= d;
+        if next == i {
+            return (i, has_default);
+        }
+        i = next;
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, etc.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a token slice on top-level commas, treating `<...>` nesting as
+/// depth (delimiter groups are already nested by tokenization).
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(group: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    split_commas(&tokens)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let (i, has_default) = skip_attrs(seg, 0);
+            let i = skip_vis(seg, i);
+            match &seg[i] {
+                TokenTree::Ident(id) => Field { name: id.to_string(), has_default },
+                other => panic!("serde_derive: expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> (Item, String) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    // Lifetime-only generics (`struct Header<'a> { ... }`) are supported by
+    // copying the parameter list verbatim onto the impl; type parameters
+    // would need trait bounds and stay unsupported.
+    let mut generics = String::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        let mut params = Vec::new();
+        let mut after_quote = false;
+        loop {
+            let t = tokens
+                .get(i)
+                .unwrap_or_else(|| panic!("serde_derive: unclosed generics on `{name}`"));
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => after_quote = true,
+                TokenTree::Ident(_) if !after_quote => panic!(
+                    "serde_derive: type parameters are not supported by the vendored derive"
+                ),
+                TokenTree::Ident(_) => after_quote = false,
+                _ => {}
+            }
+            if depth > 0 && !matches!(t, TokenTree::Punct(p) if p.as_char() == '<') {
+                params.push(t.to_string());
+            }
+            i += 1;
+        }
+        generics = format!("<{}>", params.join(""));
+    }
+    let item = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(name, parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let arity = split_commas(&inner).iter().filter(|s| !s.is_empty()).count();
+                Item::TupleStruct(name, arity)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct(name),
+            other => panic!("serde_derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+            let variants = split_commas(&body_tokens)
+                .iter()
+                .filter(|seg| !seg.is_empty())
+                .map(|seg| {
+                    let (j, _) = skip_attrs(seg, 0);
+                    let vname = match &seg[j] {
+                        TokenTree::Ident(id) => id.to_string(),
+                        other => panic!("serde_derive: expected variant name, found {other}"),
+                    };
+                    match seg.get(j + 1) {
+                        None => Variant::Unit(vname),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Variant::Struct(vname, parse_named_fields(&g.stream()))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            let arity =
+                                split_commas(&inner).iter().filter(|s| !s.is_empty()).count();
+                            if arity == 1 {
+                                Variant::Newtype(vname)
+                            } else {
+                                Variant::Tuple(vname, arity)
+                            }
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                            // Explicit discriminant: serialization ignores it.
+                            Variant::Unit(vname)
+                        }
+                        other => panic!("serde_derive: unsupported variant body: {other:?}"),
+                    }
+                })
+                .collect();
+            Item::Enum(name, variants)
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    (item, generics)
+}
+
+fn gen_serialize(item: &Item, generics: &str) -> String {
+    let (name, body) = match item {
+        Item::Struct(name, fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            (name, format!("::serde::Value::Object(::std::vec![{}])", entries.join(", ")))
+        }
+        Item::TupleStruct(name, 1) => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct(name, arity) => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            (name, format!("::serde::Value::Array(::std::vec![{}])", items.join(", ")))
+        }
+        Item::UnitStruct(name) => (name, "::serde::Value::Null".to_string()),
+        Item::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    ),
+                    Variant::Newtype(vn) => format!(
+                        "{name}::{vn}(x0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    Variant::Tuple(vn, arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{generics} ::serde::Serialize for {name}{generics} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item, generics: &str) -> String {
+    let (name, body) = match item {
+        Item::Struct(name, fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let getter = if f.has_default { "field_or_default" } else { "field" };
+                    format!("{0}: ::serde::{getter}(v, \"{0}\")?", f.name)
+                })
+                .collect();
+            (name, format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", ")))
+        }
+        Item::TupleStruct(name, 1) => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Item::TupleStruct(name, arity) => {
+            let elems: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::element(v, {i}, {arity})?")).collect();
+            (name, format!("::std::result::Result::Ok({name}({}))", elems.join(", ")))
+        }
+        Item::UnitStruct(name) => (name, format!("::std::result::Result::Ok({name})")),
+        Item::Enum(name, variants) => {
+            let tags: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn)
+                    | Variant::Newtype(vn)
+                    | Variant::Tuple(vn, _)
+                    | Variant::Struct(vn, _) => format!("\"{vn}\""),
+                })
+                .collect();
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => {
+                        format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                    }
+                    Variant::Newtype(vn) => format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(_payload)?)),"
+                    ),
+                    Variant::Tuple(vn, arity) => {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::element(_payload, {i}, {arity})?"))
+                            .collect();
+                        format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({})),",
+                            elems.join(", ")
+                        )
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let getter =
+                                    if f.has_default { "field_or_default" } else { "field" };
+                                format!("{0}: ::serde::{getter}(_payload, \"{0}\")?", f.name)
+                            })
+                            .collect();
+                        format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                            inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "let (tag, _payload) = ::serde::variant(v, &[{tags}])?; \
+                     match tag {{ {arms} other => ::std::result::Result::Err(\
+                       ::serde::Error::msg(::std::format!(\"unknown variant `{{other}}`\"))), }}",
+                    tags = tags.join(", "),
+                    arms = arms.join(" ")
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{generics} ::serde::Deserialize for {name}{generics} {{ \
+           fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
