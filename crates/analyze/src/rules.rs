@@ -1,0 +1,643 @@
+//! The project-specific rule set.
+//!
+//! | rule id            | enforces                                              |
+//! |--------------------|-------------------------------------------------------|
+//! | `safety_comment`   | every `unsafe` block/fn/impl/trait carries `SAFETY:`  |
+//! | `alloc_confinement`| raw page syscalls / `libc` only in `crates/hugepages` |
+//! | `panic`            | no unwrap/expect/panic!/todo!/unimplemented! in hot paths |
+//! | `send_sync`        | `unsafe impl Send/Sync` names its invariant           |
+//! | `allow_syntax`     | malformed escape-hatch annotations                    |
+//! | `unused_allow`     | escape hatches that suppress nothing                  |
+//!
+//! Escape hatch: an `analyze::allow` comment — rule id in parentheses, then
+//! a colon and a reason (full syntax in README.md) — on the violating line,
+//! or on the comment line directly above it, suppresses that rule at that
+//! site. The reason is mandatory — an allow is a reviewed, documented
+//! decision, not an off switch.
+
+use crate::source::SourceFile;
+
+/// Rules that may be named in an allow annotation.
+pub const ALLOWABLE_RULES: &[&str] = &["safety_comment", "alloc_confinement", "panic", "send_sync"];
+
+/// Page-level syscall identifiers confined to `crates/hugepages` (rule 2).
+/// These are matched as identifier tokens, so prose in comments/strings
+/// never trips them.
+const CONFINED_IDENTS: &[&str] = &[
+    "mmap",
+    "mmap64",
+    "munmap",
+    "madvise",
+    "mlock",
+    "mlock2",
+    "munlock",
+    "mlockall",
+    "munlockall",
+    "MAP_HUGETLB",
+];
+
+/// Files allowed to use `libc` outside the hugepages crate. `perfmon`'s
+/// hardware backend needs `perf_event_open(2)`/`read(2)`/`close(2)` — which
+/// are not allocation paths — and is the single reviewed exception.
+const LIBC_ALLOWLIST: &[&str] = &["crates/perfmon/src/hw.rs"];
+
+/// Hot paths (rule 3): panic-capable calls are forbidden in non-test code.
+const HOT_PATH_PREFIXES: &[&str] = &[
+    "crates/hydro/src/",
+    "crates/eos/src/",
+    "crates/hugepages/src/",
+];
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/mesh/src/executor.rs",
+    "crates/mesh/src/guardcell.rs",
+];
+
+/// Macros that abort the simulation when expanded in non-test code.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// One finding. `line` is 1-based.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub rel: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.rel, self.line, self.rule, self.msg)
+    }
+}
+
+/// Kind of an `unsafe` site, for the audit and the inventory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnsafeKind {
+    Block,
+    Fn,
+    Impl,
+    ImplSend,
+    ImplSync,
+    Trait,
+    Extern,
+}
+
+impl UnsafeKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::ImplSend => "impl_send",
+            UnsafeKind::ImplSync => "impl_sync",
+            UnsafeKind::Trait => "trait",
+            UnsafeKind::Extern => "extern",
+        }
+    }
+}
+
+/// One `unsafe` occurrence with its resolved justification comment.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    pub line: usize,
+    pub kind: UnsafeKind,
+    /// Excerpt of the attached `SAFETY:` text (or `# Safety` doc section).
+    pub safety: Option<String>,
+    pub in_test: bool,
+}
+
+/// A parsed `analyze::allow` annotation.
+struct Allow {
+    line: usize,
+    /// First code line at or below the annotation — the line it suppresses.
+    target: usize,
+    rule: String,
+    reason: String,
+    used: std::cell::Cell<bool>,
+}
+
+/// Analyze one file. `rel` must be the workspace-relative path with `/`
+/// separators — the confinement and hot-path rules key off it.
+pub fn check_source(rel: &str, src: &str) -> Vec<Violation> {
+    let sf = SourceFile::parse(rel, src);
+    let allows = collect_allows(&sf);
+    let mut violations = Vec::new();
+
+    // Malformed annotations are themselves violations (rule allow_syntax);
+    // they also never suppress anything.
+    for a in &allows {
+        if !ALLOWABLE_RULES.contains(&a.rule.as_str()) {
+            violations.push(Violation {
+                rel: rel.to_string(),
+                line: a.line,
+                rule: "allow_syntax",
+                msg: format!(
+                    "unknown rule '{}' in allow annotation (known: {})",
+                    a.rule,
+                    ALLOWABLE_RULES.join(", ")
+                ),
+            });
+            a.used.set(true); // don't double-report as unused
+        } else if a.reason.is_empty() {
+            violations.push(Violation {
+                rel: rel.to_string(),
+                line: a.line,
+                rule: "allow_syntax",
+                msg: format!("allow({}) has no reason; write 'analyze::allow({}): <why>'", a.rule, a.rule),
+            });
+            a.used.set(true);
+        }
+    }
+
+    let mut candidate = Vec::new();
+    rule_unsafe_audit(&sf, &mut candidate);
+    rule_alloc_confinement(&sf, &mut candidate);
+    rule_panic_freedom(&sf, &mut candidate);
+
+    for v in candidate {
+        if let Some(a) = allows.iter().find(|a| {
+            a.rule == v.rule && !a.reason.is_empty() && (a.target == v.line || a.line == v.line)
+        }) {
+            a.used.set(true);
+            continue;
+        }
+        violations.push(v);
+    }
+
+    for a in &allows {
+        if !a.used.get() {
+            violations.push(Violation {
+                rel: rel.to_string(),
+                line: a.line,
+                rule: "unused_allow",
+                msg: format!(
+                    "allow({}) suppresses nothing on line {}; remove it",
+                    a.rule, a.target
+                ),
+            });
+        }
+    }
+
+    violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    violations
+}
+
+/// Enumerate the `unsafe` sites of a file (shared by the audit rule and the
+/// inventory emitter).
+pub fn unsafe_sites(sf: &SourceFile) -> Vec<UnsafeSite> {
+    let mut sites = Vec::new();
+    for (i, tok) in sf.tokens.iter().enumerate() {
+        if !tok.is_ident("unsafe") || sf.is_attr[i] {
+            continue;
+        }
+        let kind = classify_unsafe(sf, i);
+        let accept_doc = matches!(kind, UnsafeKind::Fn | UnsafeKind::Trait);
+        let safety = safety_comment_for(sf, tok.line, accept_doc);
+        sites.push(UnsafeSite {
+            line: tok.line,
+            kind,
+            safety,
+            in_test: sf.in_test[i],
+        });
+    }
+    sites
+}
+
+fn classify_unsafe(sf: &SourceFile, i: usize) -> UnsafeKind {
+    // Next non-comment token decides the site kind.
+    let mut j = i + 1;
+    while j < sf.tokens.len() && sf.tokens[j].is_comment() {
+        j += 1;
+    }
+    let Some(next) = sf.tokens.get(j) else {
+        return UnsafeKind::Block;
+    };
+    if next.is_punct('{') {
+        return UnsafeKind::Block;
+    }
+    match next.ident() {
+        Some("fn") => UnsafeKind::Fn,
+        Some("trait") => UnsafeKind::Trait,
+        Some("extern") => UnsafeKind::Extern,
+        Some("impl") => {
+            // Walk the impl header up to `for`/`{`; idents at angle-depth 0
+            // name the implemented trait path.
+            let mut depth = 0isize;
+            let mut k = j + 1;
+            let mut send = false;
+            let mut sync = false;
+            while k < sf.tokens.len() {
+                let t = &sf.tokens[k];
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    depth -= 1;
+                } else if depth == 0 {
+                    if t.is_ident("for") || t.is_punct('{') {
+                        break;
+                    }
+                    send |= t.is_ident("Send");
+                    sync |= t.is_ident("Sync");
+                }
+                k += 1;
+            }
+            if send {
+                UnsafeKind::ImplSend
+            } else if sync {
+                UnsafeKind::ImplSync
+            } else {
+                UnsafeKind::Impl
+            }
+        }
+        _ => UnsafeKind::Block,
+    }
+}
+
+/// Find the justification comment attached to the `unsafe` on `line`:
+/// a `SAFETY:` comment on the same line, or in the contiguous block of
+/// comment/attribute/`unsafe impl` lines directly above. For fns and traits
+/// a rustdoc `# Safety` section also qualifies.
+fn safety_comment_for(sf: &SourceFile, line: usize, accept_doc: bool) -> Option<String> {
+    let mut block: Vec<String> = sf.comments_on(line);
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let li = sf.line(l);
+        if !li.code && (li.comment || !li.comments.is_empty()) {
+            for c in li.comments.iter().rev() {
+                block.insert(0, c.clone());
+            }
+            continue;
+        }
+        if li.code && (li.attr_only || li.unsafe_impl_start) {
+            // Attributes sit between docs and items; a one-line
+            // `unsafe impl` extends its group's shared comment upward.
+            for c in li.comments.iter().rev() {
+                block.insert(0, c.clone());
+            }
+            continue;
+        }
+        // A real code line or a blank line terminates the comment block.
+        break;
+    }
+    extract_safety(&block, accept_doc)
+}
+
+fn extract_safety(block: &[String], accept_doc: bool) -> Option<String> {
+    for (i, text) in block.iter().enumerate() {
+        if let Some(pos) = text.find("SAFETY:") {
+            // Join the tail of this comment with the rest of the block so
+            // multi-line justifications come through whole.
+            let mut s = text[pos + "SAFETY:".len()..].trim().to_string();
+            for extra in &block[i + 1..] {
+                let extra = extra.trim_start_matches(['/', '!']).trim();
+                if !extra.is_empty() {
+                    s.push(' ');
+                    s.push_str(extra);
+                }
+            }
+            s.truncate(200);
+            return Some(s.trim().to_string());
+        }
+        if accept_doc && text.to_ascii_lowercase().contains("# safety") {
+            return Some("# Safety doc section".to_string());
+        }
+    }
+    None
+}
+
+fn rule_unsafe_audit(sf: &SourceFile, out: &mut Vec<Violation>) {
+    for site in unsafe_sites(sf) {
+        let (rule, what): (&'static str, String) = match site.kind {
+            UnsafeKind::ImplSend | UnsafeKind::ImplSync => {
+                ("send_sync", format!("`unsafe {}`", if site.kind == UnsafeKind::ImplSend { "impl Send" } else { "impl Sync" }))
+            }
+            k => ("safety_comment", format!("unsafe {}", k.as_str())),
+        };
+        match &site.safety {
+            None => out.push(Violation {
+                rel: sf.rel.clone(),
+                line: site.line,
+                rule,
+                msg: format!(
+                    "{what} has no `// SAFETY:` comment{}",
+                    if matches!(site.kind, UnsafeKind::Fn | UnsafeKind::Trait) {
+                        " (or `# Safety` doc section)"
+                    } else {
+                        ""
+                    }
+                ),
+            }),
+            Some(text)
+                if matches!(site.kind, UnsafeKind::ImplSend | UnsafeKind::ImplSync)
+                    && text.len() < 12 =>
+            {
+                // A manual Send/Sync claim must actually name the invariant
+                // it relies on; "SAFETY: fine" does not survive review.
+                out.push(Violation {
+                    rel: sf.rel.clone(),
+                    line: site.line,
+                    rule: "send_sync",
+                    msg: format!("{what} SAFETY comment too thin to name an invariant: \"{text}\""),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn rule_alloc_confinement(sf: &SourceFile, out: &mut Vec<Violation>) {
+    if sf.rel.starts_with("crates/hugepages/") {
+        return;
+    }
+    let allowlisted = LIBC_ALLOWLIST.contains(&sf.rel.as_str());
+    for tok in &sf.tokens {
+        let Some(word) = tok.ident() else { continue };
+        if CONFINED_IDENTS.contains(&word) {
+            out.push(Violation {
+                rel: sf.rel.clone(),
+                line: tok.line,
+                rule: "alloc_confinement",
+                msg: format!(
+                    "raw page-level syscall `{word}` outside crates/hugepages — large \
+                     allocations must flow through the hugepage-aware allocator"
+                ),
+            });
+        } else if word == "libc" && !allowlisted {
+            out.push(Violation {
+                rel: sf.rel.clone(),
+                line: tok.line,
+                rule: "alloc_confinement",
+                msg: "direct `libc` use outside crates/hugepages (perfmon/src/hw.rs is the \
+                      only allowlisted exception)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Whole file counts as test code for the panic rule when it lives in a
+/// `tests/`, `benches/`, or `examples/` directory.
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|seg| matches!(seg, "tests" | "benches" | "examples"))
+}
+
+pub fn is_hot_path(rel: &str) -> bool {
+    HOT_PATH_FILES.contains(&rel)
+        || HOT_PATH_PREFIXES.iter().any(|p| rel.starts_with(p))
+}
+
+fn rule_panic_freedom(sf: &SourceFile, out: &mut Vec<Violation>) {
+    if !is_hot_path(&sf.rel) || is_test_path(&sf.rel) {
+        return;
+    }
+    let toks = &sf.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if sf.in_test[i] || sf.is_attr[i] {
+            continue;
+        }
+        let Some(word) = tok.ident() else { continue };
+        let next_is = |c: char| toks.get(i + 1).map(|t| t.is_punct(c)).unwrap_or(false);
+        let prev_is_dot = i > 0 && toks[i - 1].is_punct('.');
+        if (word == "unwrap" || word == "expect") && prev_is_dot && next_is('(') {
+            out.push(Violation {
+                rel: sf.rel.clone(),
+                line: tok.line,
+                rule: "panic",
+                msg: format!(
+                    "`.{word}()` in hot-path code — propagate a Result or document an allow"
+                ),
+            });
+        } else if PANIC_MACROS.contains(&word) && next_is('!') {
+            out.push(Violation {
+                rel: sf.rel.clone(),
+                line: tok.line,
+                rule: "panic",
+                msg: format!("`{word}!` in hot-path code — return an error instead of aborting"),
+            });
+        }
+    }
+}
+
+fn collect_allows(sf: &SourceFile) -> Vec<Allow> {
+    const NEEDLE: &str = "analyze::allow(";
+    let mut allows = Vec::new();
+    for tok in &sf.tokens {
+        let crate::lexer::TokenKind::Comment(text) = &tok.kind else {
+            continue;
+        };
+        let Some(start) = text.find(NEEDLE) else { continue };
+        let rest = &text[start + NEEDLE.len()..];
+        let (rule, reason) = match rest.find(')') {
+            Some(close) => {
+                let rule = rest[..close].trim().to_string();
+                let after = rest[close + 1..].trim_start();
+                let reason = after.strip_prefix(':').unwrap_or("").trim().to_string();
+                (rule, reason)
+            }
+            None => (rest.trim().to_string(), String::new()),
+        };
+        // The annotation suppresses the first code line at or below it.
+        let mut target = tok.line;
+        if !sf.line(tok.line).code {
+            let mut l = tok.line + 1;
+            let limit = sf.line_count();
+            while l <= limit && !sf.line(l).code {
+                l += 1;
+            }
+            target = l.min(limit);
+        }
+        allows.push(Allow {
+            line: tok.line,
+            target,
+            rule,
+            reason,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(rel: &str, src: &str) -> Vec<Violation> {
+        check_source(rel, src)
+    }
+
+    #[test]
+    fn unsafe_block_without_safety_flags() {
+        let v = check("crates/mesh/src/x.rs", "fn f() { unsafe { g(); } }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "safety_comment");
+    }
+
+    #[test]
+    fn unsafe_block_with_safety_passes() {
+        let v = check(
+            "crates/mesh/src/x.rs",
+            "fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g(); }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn trailing_safety_on_same_line_passes() {
+        let v = check(
+            "crates/mesh/src/x.rs",
+            "fn f() {\n    let p = unsafe { q() }; // SAFETY: q is pure.\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unsafe_fn_doc_safety_section_passes() {
+        let v = check(
+            "crates/mesh/src/x.rs",
+            "/// Does things.\n///\n/// # Safety\n/// Caller must own `p`.\npub unsafe fn f(p: *mut u8) {}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn grouped_unsafe_impls_share_one_safety_comment() {
+        let v = check(
+            "crates/mesh/src/x.rs",
+            "// SAFETY: every listed primitive is valid for all bit patterns.\nunsafe impl Pod for u8 {}\nunsafe impl Pod for u16 {}\nunsafe impl Pod for u32 {}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn send_sync_requires_substantive_comment() {
+        let thin = check(
+            "crates/mesh/src/x.rs",
+            "// SAFETY: fine.\nunsafe impl Send for X {}\n",
+        );
+        assert_eq!(thin.len(), 1);
+        assert_eq!(thin[0].rule, "send_sync");
+        let missing = check("crates/mesh/src/x.rs", "unsafe impl Sync for X {}\n");
+        assert_eq!(missing[0].rule, "send_sync");
+        let good = check(
+            "crates/mesh/src/x.rs",
+            "// SAFETY: access is partitioned by rank index, one thread per slot.\nunsafe impl<T: Send> Sync for X<T> {}\n",
+        );
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn confinement_flags_mmap_outside_hugepages() {
+        let v = check(
+            "crates/mesh/src/x.rs",
+            "fn f() { let p = libc::mmap(core::ptr::null_mut(), n, 0, 0, -1, 0); }\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "alloc_confinement"));
+        let ok = check(
+            "crates/hugepages/src/x.rs",
+            "fn f() { let p = libc::mmap(core::ptr::null_mut(), n, 0, 0, -1, 0); }\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn confinement_allowlists_perfmon_hw_for_libc_but_not_mmap() {
+        let ok = check("crates/perfmon/src/hw.rs", "fn f() { libc::close(fd); }\n");
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = check("crates/perfmon/src/hw.rs", "fn f() { libc::mmap(p, n, 0, 0, -1, 0); }\n");
+        assert!(bad.iter().any(|v| v.rule == "alloc_confinement"));
+    }
+
+    #[test]
+    fn mmap_in_comment_or_string_is_ignored() {
+        let v = check(
+            "crates/mesh/src/x.rs",
+            "// we used to call mmap here\nfn f() { let s = \"madvise\"; }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn hot_path_unwrap_flags_but_test_mod_is_exempt() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let hot = check("crates/eos/src/x.rs", src);
+        assert_eq!(hot.len(), 1, "{hot:?}");
+        assert_eq!(hot[0].rule, "panic");
+        assert_eq!(hot[0].line, 1);
+        let cold = check("crates/tlbsim/src/x.rs", src);
+        assert!(cold.is_empty(), "{cold:?}");
+    }
+
+    #[test]
+    fn panic_macro_flags_but_catch_unwind_path_does_not() {
+        let v = check(
+            "crates/hydro/src/x.rs",
+            "use std::panic::catch_unwind;\nfn f() { panic!(\"boom\"); }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn allow_suppresses_from_line_above_and_same_line() {
+        let above = check(
+            "crates/eos/src/x.rs",
+            "fn f(x: Option<u8>) {\n    // analyze::allow(panic): x is Some by construction two lines up.\n    x.unwrap();\n}\n",
+        );
+        assert!(above.is_empty(), "{above:?}");
+        let inline = check(
+            "crates/eos/src/x.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); // analyze::allow(panic): guarded above.\n}\n",
+        );
+        assert!(inline.is_empty(), "{inline:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let v = check(
+            "crates/eos/src/x.rs",
+            "fn f(x: Option<u8>) {\n    // analyze::allow(panic)\n    x.unwrap();\n}\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "allow_syntax"), "{v:?}");
+        assert!(v.iter().any(|v| v.rule == "panic"), "{v:?}");
+    }
+
+    #[test]
+    fn unknown_allow_rule_is_rejected() {
+        let v = check(
+            "crates/mesh/src/x.rs",
+            "// analyze::allow(everything): please\nfn f() {}\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "allow_syntax");
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let v = check(
+            "crates/mesh/src/x.rs",
+            "// analyze::allow(panic): no longer needed.\nfn f() {}\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unused_allow");
+    }
+
+    #[test]
+    fn tests_dir_file_is_exempt_from_panic_rule_only() {
+        let v = check(
+            "crates/eos/tests/integration.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }\nfn g() { unsafe { h(); } }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "safety_comment");
+    }
+
+    #[test]
+    fn unwrap_or_and_expect_err_are_not_flagged() {
+        let v = check(
+            "crates/eos/src/x.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Structured view of one source file: tokens plus the line- and
+//! region-level classification the rules key off (test regions, attribute
+//! spans, comment blocks).
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Per-line classification, 1-based via [`SourceFile::line`].
+#[derive(Clone, Debug, Default)]
+pub struct LineInfo {
+    /// Line carries at least one non-comment token.
+    pub code: bool,
+    /// Line carries code tokens and all of them belong to attributes.
+    pub attr_only: bool,
+    /// First code tokens on the line are `unsafe impl` (lets one SAFETY
+    /// comment cover a contiguous group of one-line unsafe impls).
+    pub unsafe_impl_start: bool,
+    /// Line is covered by a comment (incl. interior lines of `/* */`).
+    pub comment: bool,
+    /// Comment texts that *start* on this line.
+    pub comments: Vec<String>,
+}
+
+/// A parsed file ready for rule evaluation.
+pub struct SourceFile {
+    pub rel: String,
+    pub tokens: Vec<Token>,
+    /// Per-token: inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: Vec<bool>,
+    /// Per-token: part of an attribute (`#[…]` / `#![…]`).
+    pub is_attr: Vec<bool>,
+    lines: Vec<LineInfo>,
+}
+
+impl SourceFile {
+    pub fn parse(rel: &str, src: &str) -> SourceFile {
+        let tokens = tokenize(src);
+        let is_attr = mark_attributes(&tokens);
+        let in_test = mark_test_regions(&tokens, &is_attr);
+        let lines = classify_lines(&tokens, &is_attr, src);
+        SourceFile {
+            rel: rel.to_string(),
+            tokens,
+            in_test,
+            is_attr,
+            lines,
+        }
+    }
+
+    /// 1-based line info; lines past EOF read as default (blank).
+    pub fn line(&self, n: usize) -> LineInfo {
+        if n == 0 || n > self.lines.len() {
+            LineInfo::default()
+        } else {
+            self.lines[n - 1].clone()
+        }
+    }
+
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// All comment texts starting on line `n`.
+    pub fn comments_on(&self, n: usize) -> Vec<String> {
+        self.line(n).comments
+    }
+}
+
+/// Mark every token belonging to an outer (`#[…]`) or inner (`#![…]`)
+/// attribute, bracket-depth aware.
+fn mark_attributes(tokens: &[Token]) -> Vec<bool> {
+    let mut out = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_punct('!') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('[') {
+                let mut depth = 0usize;
+                let start = i;
+                while j < tokens.len() {
+                    if tokens[j].is_punct('[') {
+                        depth += 1;
+                    } else if tokens[j].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                for flag in out.iter_mut().take(j.min(tokens.len() - 1) + 1).skip(start) {
+                    *flag = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Identifiers strictly inside the brackets of the attribute starting at
+/// token `start` (which must be `#`). Returns (idents, index past `]`).
+fn attr_idents(tokens: &[Token], start: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut j = start + 1;
+    if j < tokens.len() && tokens[j].is_punct('!') {
+        j += 1;
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (idents, j + 1);
+            }
+        } else if let Some(w) = tokens[j].ident() {
+            idents.push(w.to_string());
+        }
+        j += 1;
+    }
+    (idents, j)
+}
+
+/// Mark tokens inside items annotated `#[cfg(test)]` or `#[test]`. The span
+/// runs from the attribute through the item's closing brace (or terminating
+/// semicolon for brace-less items). Deliberately conservative: composite
+/// cfgs like `cfg(not(test))` or `cfg(any(test, …))` are NOT test regions.
+fn mark_test_regions(tokens: &[Token], is_attr: &[bool]) -> Vec<bool> {
+    let mut out = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && is_attr[i] {
+            let (idents, past) = attr_idents(tokens, i);
+            let is_test_attr = idents == ["test"]
+                || idents == ["cfg", "test"]
+                || idents == ["should_panic"]
+                || idents.first().map(String::as_str) == Some("should_panic");
+            if is_test_attr {
+                // Skip any stacked attributes and comments after this one.
+                let mut j = past;
+                loop {
+                    while j < tokens.len() && tokens[j].is_comment() {
+                        j += 1;
+                    }
+                    if j < tokens.len() && tokens[j].is_punct('#') && is_attr[j] {
+                        let (_, p) = attr_idents(tokens, j);
+                        j = p;
+                        continue;
+                    }
+                    break;
+                }
+                // Find end of item: matching `}` of its first brace block,
+                // or a top-level `;` if one comes first.
+                let mut end = j;
+                let mut k = j;
+                let mut depth = 0usize;
+                let mut entered = false;
+                while k < tokens.len() {
+                    if tokens[k].is_punct('{') {
+                        depth += 1;
+                        entered = true;
+                    } else if tokens[k].is_punct('}') {
+                        depth = depth.saturating_sub(1);
+                        if entered && depth == 0 {
+                            end = k;
+                            break;
+                        }
+                    } else if tokens[k].is_punct(';') && !entered {
+                        end = k;
+                        break;
+                    }
+                    end = k;
+                    k += 1;
+                }
+                for flag in out.iter_mut().take(end.min(tokens.len() - 1) + 1).skip(i) {
+                    *flag = true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn classify_lines(tokens: &[Token], is_attr: &[bool], src: &str) -> Vec<LineInfo> {
+    let nlines = src.lines().count().max(1);
+    let mut lines = vec![LineInfo::default(); nlines];
+    for (idx, tok) in tokens.iter().enumerate() {
+        let l = tok.line - 1;
+        if l >= lines.len() {
+            continue;
+        }
+        match &tok.kind {
+            TokenKind::Comment(text) => {
+                lines[l].comments.push(text.clone());
+                // A block comment covers every line it spans.
+                for span in 0..=text.matches('\n').count() {
+                    if l + span < lines.len() {
+                        lines[l + span].comment = true;
+                    }
+                }
+            }
+            _ => {
+                let was_code = lines[l].code;
+                lines[l].code = true;
+                if !was_code {
+                    lines[l].attr_only = is_attr[idx];
+                } else {
+                    lines[l].attr_only = lines[l].attr_only && is_attr[idx];
+                }
+                // Detect `unsafe impl` as the first code tokens of the line.
+                if !was_code && tok.is_ident("unsafe") {
+                    if let Some(next) = tokens.get(idx + 1) {
+                        if next.is_ident("impl") {
+                            lines[l].unsafe_impl_start = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_covers_mod_body() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() { x.unwrap(); }\n}\nfn after() {}\n";
+        let sf = SourceFile::parse("a.rs", src);
+        let unwrap_idx = sf
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap token");
+        assert!(sf.in_test[unwrap_idx]);
+        let after_idx = sf
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("after"))
+            .expect("after token");
+        assert!(!sf.in_test[after_idx]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let sf = SourceFile::parse("a.rs", src);
+        let unwrap_idx = sf.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(!sf.in_test[unwrap_idx]);
+    }
+
+    #[test]
+    fn attribute_only_lines_are_flagged() {
+        let src = "#[derive(Debug)]\n#[repr(C)]\nstruct S;\n";
+        let sf = SourceFile::parse("a.rs", src);
+        assert!(sf.line(1).attr_only);
+        assert!(sf.line(2).attr_only);
+        assert!(!sf.line(3).attr_only);
+    }
+
+    #[test]
+    fn unsafe_impl_start_detected() {
+        let src = "// SAFETY: all bit patterns valid.\nunsafe impl Pod for u8 {}\nunsafe impl Pod for u16 {}\n";
+        let sf = SourceFile::parse("a.rs", src);
+        assert!(sf.line(2).unsafe_impl_start);
+        assert!(sf.line(3).unsafe_impl_start);
+        assert!(sf.line(1).comment);
+    }
+
+    #[test]
+    fn block_comment_interior_lines_count_as_comment() {
+        let src = "/* one\ntwo\nthree */\ncode();\n";
+        let sf = SourceFile::parse("a.rs", src);
+        assert!(sf.line(1).comment && sf.line(2).comment && sf.line(3).comment);
+        assert!(sf.line(4).code);
+    }
+}

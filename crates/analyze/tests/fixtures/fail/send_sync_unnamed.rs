@@ -1,0 +1,9 @@
+// Fixture: manual Send/Sync claims that name no invariant.
+// Expected: send_sync (missing comment on Send, too-thin comment on Sync).
+
+struct Handle(*mut u8);
+
+unsafe impl Send for Handle {}
+
+// SAFETY: fine.
+unsafe impl Sync for Handle {}

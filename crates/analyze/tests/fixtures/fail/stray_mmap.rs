@@ -1,0 +1,25 @@
+//@ path: crates/mesh/src/stray.rs
+// Fixture: raw page-level syscalls outside crates/hugepages.
+// Expected: alloc_confinement (for `libc`, `mmap`, `MAP_HUGETLB`, `munmap`).
+
+fn grab(len: usize) -> *mut u8 {
+    // SAFETY: anonymous private mapping; len is page-aligned by the caller.
+    let p = unsafe {
+        libc::mmap(
+            core::ptr::null_mut(),
+            len,
+            libc::PROT_READ | libc::PROT_WRITE,
+            libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_HUGETLB,
+            -1,
+            0,
+        )
+    };
+    p.cast()
+}
+
+fn drop_it(p: *mut u8, len: usize) {
+    // SAFETY: p came from grab() with the same len.
+    unsafe {
+        libc::munmap(p.cast(), len);
+    }
+}

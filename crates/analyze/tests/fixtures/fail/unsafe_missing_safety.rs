@@ -1,0 +1,14 @@
+// Fixture: an unsafe block with no SAFETY justification anywhere near it.
+// Expected: safety_comment.
+
+fn deref(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+// A preceding comment that is not a SAFETY comment does not count.
+fn also_bad(p: *mut u8) {
+    // writes one byte
+    unsafe {
+        *p = 0;
+    }
+}

@@ -1,0 +1,19 @@
+//@ path: crates/hugepages/src/fixture.rs
+// Fixture: raw page syscalls are fine inside the hugepages crate — that is
+// exactly where the confinement rule routes them.
+// Expected: clean.
+
+fn grab(len: usize) -> *mut u8 {
+    // SAFETY: anonymous private mapping; len is page-aligned by the caller.
+    let p = unsafe {
+        libc::mmap(
+            core::ptr::null_mut(),
+            len,
+            libc::PROT_READ | libc::PROT_WRITE,
+            libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_HUGETLB,
+            -1,
+            0,
+        )
+    };
+    p.cast()
+}

@@ -1,0 +1,15 @@
+//@ path: crates/perfmon/src/hw.rs
+// Fixture: the perfmon hardware backend is the one allowlisted non-hugepages
+// user of libc — perf_event_open(2) plumbing, not an allocation path.
+// Expected: clean.
+
+fn read_counter(fd: i32) -> u64 {
+    let mut v: u64 = 0;
+    // SAFETY: fd is a live perf-event descriptor and the buffer is 8 bytes.
+    let n = unsafe { libc::read(fd, (&mut v as *mut u64).cast(), 8) };
+    if n == 8 {
+        v
+    } else {
+        0
+    }
+}

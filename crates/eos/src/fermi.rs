@@ -194,7 +194,7 @@ pub fn fd_diff_set(eta_a: f64, eta_b: f64, beta: f64) -> FdSet {
     let mut bp = breakpoints(eta_a);
     bp.extend(breakpoints(eta_b));
     bp.retain(|u| u.is_finite());
-    bp.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    bp.sort_by(f64::total_cmp);
     bp.dedup();
     let mut out = FdSet::default();
     for seg in bp.windows(2) {
@@ -275,6 +275,8 @@ pub fn fd(k2: u8, eta: f64, beta: f64) -> f64 {
         1 => set.f12,
         3 => set.f32,
         5 => set.f52,
+        // analyze::allow(panic): k2 is a literal 1/3/5 at every call site;
+        // any other value is a caller bug, not runtime data.
         _ => panic!("fd supports k = 1/2, 3/2, 5/2 (k2 = 1, 3, 5)"),
     }
 }

@@ -170,7 +170,15 @@ impl Helmholtz {
         // the table's accuracy — a coarse table can leave ~1e-3-level
         // residuals at the jump. FLASH's helmholtz accepts comparable
         // Newton plateaus with a warning counter.
-        let (best_resid, best_t, best_ev) = best.expect("at least one evaluation");
+        let Some((best_resid, best_t, best_ev)) = best else {
+            // Unreachable in practice (the loop body runs at least once and
+            // either records a best point or propagates an evaluate error),
+            // but a typed error beats an abort mid-simulation.
+            return Err(EosError::NoConvergence {
+                mode,
+                residual: f64::INFINITY,
+            });
+        };
         // Goal below/above the physically representable range (e.g. a
         // rarefaction cooled matter below the table's temperature floor):
         // pin to the table edge, FLASH-style.

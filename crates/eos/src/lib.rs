@@ -126,6 +126,8 @@ pub enum EosError {
     NoConvergence { mode: &'static str, residual: f64 },
     /// Non-physical input (negative density etc.).
     BadInput { what: &'static str, value: f64 },
+    /// Backing-store allocation for a table failed.
+    Allocation { what: &'static str, detail: String },
 }
 
 impl std::fmt::Display for EosError {
@@ -141,6 +143,9 @@ impl std::fmt::Display for EosError {
                 write!(f, "{mode} inversion failed to converge (residual {residual:e})")
             }
             EosError::BadInput { what, value } => write!(f, "bad input {what}={value:e}"),
+            EosError::Allocation { what, detail } => {
+                write!(f, "allocating {what} failed: {detail}")
+            }
         }
     }
 }

@@ -100,7 +100,10 @@ impl HelmTable {
 
         let plane = config.n_rho * config.n_temp;
         let mut data = PageBuffer::<f64>::zeroed(plane * N_QUANT * N_DERIV, policy)
-            .expect("table allocation");
+            .map_err(|e| EosError::Allocation {
+                what: "helm table",
+                detail: e.to_string(),
+            })?;
 
         // Pass 1: values (log10 of p, e, s) at every node, warm-starting the
         // η solve along each density sweep.
@@ -566,6 +569,8 @@ impl HelmTable {
         let mut bytes = vec![0u8; n * 8];
         r.read_exact(&mut bytes)?;
         for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            // analyze::allow(panic): chunks_exact(8) yields exactly 8-byte
+            // chunks, so the array conversion cannot fail.
             data[i] = f64::from_le_bytes(chunk.try_into().unwrap());
         }
         let (x0, x1) = config.log_rho_ye;

@@ -85,6 +85,7 @@ impl HugeArena {
         // previously returned slice because the bump pointer only advances.
         // The &mut self receiver ties the borrow to the arena.
         let ptr = unsafe { self.region.as_ptr().add(start) as *mut T };
+        // SAFETY: same contract as above — `ptr` spans `len` valid `T`s.
         Ok(unsafe { std::slice::from_raw_parts_mut(ptr, len) })
     }
 

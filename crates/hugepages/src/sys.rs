@@ -123,6 +123,7 @@ mod tests {
         if let Err(Error::Madvise { advice, .. }) = &res {
             assert_eq!(*advice, "MADV_HUGEPAGE");
         }
+        // SAFETY: unmapping the single live mapping created above.
         unsafe { munmap(ptr, len) };
     }
 
@@ -135,6 +136,7 @@ mod tests {
             Err(Error::HugeTlbUnavailable { size, .. }) => {
                 assert_eq!(size, PageSize::Huge1G);
             }
+            // SAFETY: the grant is a live mapping we own; unmap it once.
             Ok(ptr) => unsafe { munmap(ptr, 1 << 30) },
             Err(other) => panic!("unexpected error kind: {other}"),
         }

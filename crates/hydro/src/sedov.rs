@@ -35,9 +35,12 @@ fn solve3(a: [[f64; 3]; 3], b: [f64; 3]) -> [f64; 3] {
         m[r][3] = b[r];
     }
     for col in 0..3 {
-        let piv = (col..3)
-            .max_by(|&x, &y| m[x][col].abs().partial_cmp(&m[y][col].abs()).unwrap())
-            .unwrap();
+        let mut piv = col;
+        for r in col + 1..3 {
+            if m[r][col].abs() > m[piv][col].abs() {
+                piv = r;
+            }
+        }
         m.swap(col, piv);
         let p = m[col][col];
         assert!(p.abs() > 1e-300, "singular similarity system");
@@ -158,8 +161,9 @@ impl SedovSolution {
             return [p[0][1], p[0][2], p[0][3]];
         }
         if xi >= 1.0 {
-            let last = p.last().unwrap();
-            return [last[1], last[2], last[3]];
+            if let Some(last) = p.last() {
+                return [last[1], last[2], last[3]];
+            }
         }
         let idx = p.partition_point(|s| s[0] < xi).max(1);
         let (a, b) = (&p[idx - 1], &p[idx]);

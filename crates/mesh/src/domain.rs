@@ -274,6 +274,7 @@ impl Domain {
             let (probe, results) = unsafe { out.slot(rank) };
             results.reserve(parts[rank].len());
             for &id in &parts[rank] {
+                // SAFETY: `id` is in this rank's Morton segment only.
                 let slab = unsafe { slabs.slab(id.idx()) };
                 let r = f(tree_ref, id, slab, probe);
                 results.push((id, r));
@@ -391,6 +392,7 @@ impl Domain {
                     // packed for — blocks no other rank touches this level.
                     let buf = unsafe { stage_cells.slot(rank) };
                     for &(blk, off, v) in buf.iter() {
+                        // SAFETY: `blk` is a parent only this rank staged.
                         let slab = unsafe { slabs.slab(blk as usize) };
                         slab[off as usize] = v;
                     }
@@ -443,6 +445,7 @@ impl Domain {
                     // only this rank's blocks at this level.
                     let buf = unsafe { stage_cells.slot(rank) };
                     for &(blk, off, v) in buf.iter() {
+                        // SAFETY: `blk` is a block only this rank staged.
                         let slab = unsafe { slabs.slab(blk as usize) };
                         slab[off as usize] = v;
                     }
@@ -450,9 +453,10 @@ impl Domain {
                     for &id in &per_rank[rank] {
                         for &d in &dirs {
                             if tree.neighbor(id, d) == Neighbor::Boundary {
-                                guardcell::fill_boundary_slab(tree, &geom, id, d, unsafe {
-                                    slabs.slab(id.idx())
-                                });
+                                // SAFETY: `id` is owned by this rank at this
+                                // level; boundary fill writes only its slab.
+                                let slab = unsafe { slabs.slab(id.idx()) };
+                                guardcell::fill_boundary_slab(tree, &geom, id, d, slab);
                             }
                         }
                     }

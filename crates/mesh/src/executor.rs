@@ -31,8 +31,10 @@ enum Job {
     Shutdown,
 }
 
-/// Completion report: `Ok` or the payload of a panic inside the closure.
-type Done = std::thread::Result<()>;
+/// Completion report from one rank: its index plus `Ok` or the payload of a
+/// panic inside the closure. Carrying the rank lets the dispatch barrier
+/// assert the exactly-once join protocol in debug builds.
+type Done = (usize, std::thread::Result<()>);
 
 struct Worker {
     tx: Sender<Job>,
@@ -73,6 +75,9 @@ impl RankPool {
             let handle = std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .spawn(move || worker_loop(rank, rx, done, worker_counter))
+                // analyze::allow(panic): thread-spawn failure at pool
+                // construction is unrecoverable resource exhaustion — the
+                // simulation cannot start, let alone continue.
                 .expect("spawning rank worker");
             workers.push(Worker {
                 tx,
@@ -117,11 +122,30 @@ impl RankPool {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
         };
         for w in &self.workers {
+            // analyze::allow(panic): a worker's receiver only drops on
+            // Shutdown or pool drop; a hung-up channel mid-dispatch means a
+            // rank died outside the protocol and the pool cannot continue.
             w.tx.send(Job::Run(f_static)).expect("rank worker hung up");
         }
+        // Debug-build protocol ledger: every dispatched rank joins exactly
+        // once per dispatch.
+        #[cfg(debug_assertions)]
+        let mut joined = vec![false; nranks];
         let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
         for _ in 0..nranks {
-            match self.done_rx.recv().expect("rank worker hung up") {
+            // analyze::allow(panic): every worker sends exactly one report
+            // per dispatch before blocking on its next job, so the channel
+            // cannot disconnect before nranks reports arrive.
+            let (_rank, result) = self.done_rx.recv().expect("rank worker hung up");
+            #[cfg(debug_assertions)]
+            {
+                debug_assert!(
+                    _rank < nranks && !joined[_rank],
+                    "rank {_rank} joined twice in one dispatch"
+                );
+                joined[_rank] = true;
+            }
+            match result {
                 Ok(()) => {}
                 Err(payload) => {
                     if first_panic.is_none() {
@@ -129,6 +153,17 @@ impl RankPool {
                     }
                 }
             }
+        }
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                joined.iter().all(|&j| j),
+                "dispatch barrier released with unjoined ranks"
+            );
+            debug_assert!(
+                self.done_rx.try_recv().is_err(),
+                "stray completion report after the dispatch barrier"
+            );
         }
         let wall_ns = t0.elapsed().as_nanos() as u64;
         self.dispatches += 1;
@@ -168,7 +203,7 @@ fn worker_loop(rank: usize, rx: Receiver<Job>, done: Sender<Done>, busy: Arc<Ato
                 busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 // The completion message is the lifetime fence for `f`:
                 // nothing after this send may touch the borrow.
-                if done.send(result).is_err() {
+                if done.send((rank, result)).is_err() {
                     return;
                 }
             }

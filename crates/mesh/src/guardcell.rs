@@ -247,7 +247,9 @@ pub(crate) fn restrict_into_parent(
 ) {
     staged.clear();
     let meta = tree.block(pid);
-    let children = meta.children.expect("parent has children");
+    let Some(children) = meta.children else {
+        return; // leaf: nothing to restrict
+    };
     for (c, &cid) in children.iter().enumerate().take(meta.n_children as usize) {
         pack_restrict(tree, unk, cid, pid, c, &mut |off, v| staged.push((off, v)));
     }

@@ -154,8 +154,15 @@ impl UnkStorage {
     /// coordinates (guards included), `k` must be 0 in 2-d.
     #[inline]
     pub fn idx(&self, var: usize, i: usize, j: usize, k: usize, blk: usize) -> usize {
-        debug_assert!(var < self.nvar && i < self.ni && j < self.nj && k < self.nk);
-        debug_assert!(blk < self.max_blocks);
+        debug_assert!(var < self.nvar, "unk var {var} out of range (nvar {})", self.nvar);
+        debug_assert!(i < self.ni, "unk i {i} out of padded range (ni {})", self.ni);
+        debug_assert!(j < self.nj, "unk j {j} out of padded range (nj {})", self.nj);
+        debug_assert!(k < self.nk, "unk k {k} out of padded range (nk {})", self.nk);
+        debug_assert!(
+            blk < self.max_blocks,
+            "unk block {blk} out of pool range (max_blocks {})",
+            self.max_blocks
+        );
         let cell = i + self.ni * (j + self.nj * k);
         blk * self.per_block
             + match self.layout {
@@ -196,11 +203,21 @@ impl UnkStorage {
 
     /// One block's contiguous slab.
     pub fn block_slab(&self, blk: usize) -> &[f64] {
+        debug_assert!(
+            blk < self.max_blocks,
+            "slab request for block {blk} beyond pool (max_blocks {})",
+            self.max_blocks
+        );
         &self.buf.as_slice()[blk * self.per_block..(blk + 1) * self.per_block]
     }
 
     /// One block's contiguous slab, mutable.
     pub fn block_slab_mut(&mut self, blk: usize) -> &mut [f64] {
+        debug_assert!(
+            blk < self.max_blocks,
+            "slab request for block {blk} beyond pool (max_blocks {})",
+            self.max_blocks
+        );
         &mut self.buf.as_mut_slice()[blk * self.per_block..(blk + 1) * self.per_block]
     }
 
@@ -224,7 +241,10 @@ impl UnkStorage {
     /// slab from [`UnkStorage::slabs_mut`] use this.
     #[inline]
     pub fn slab_idx(&self, var: usize, i: usize, j: usize, k: usize) -> usize {
-        debug_assert!(var < self.nvar && i < self.ni && j < self.nj && k < self.nk);
+        debug_assert!(var < self.nvar, "slab var {var} out of range (nvar {})", self.nvar);
+        debug_assert!(i < self.ni, "slab i {i} out of padded range (ni {})", self.ni);
+        debug_assert!(j < self.nj, "slab j {j} out of padded range (nj {})", self.nj);
+        debug_assert!(k < self.nk, "slab k {k} out of padded range (nk {})", self.nk);
         let cell = i + self.ni * (j + self.nj * k);
         match self.layout {
             Layout::VarFirst => var + self.nvar * cell,
@@ -297,6 +317,10 @@ impl UnkGeom {
     /// [`UnkStorage::slab_idx`]).
     #[inline]
     pub fn slab_idx(&self, var: usize, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(var < self.nvar, "geom var {var} out of range (nvar {})", self.nvar);
+        debug_assert!(i < self.ni, "geom i {i} out of padded range (ni {})", self.ni);
+        debug_assert!(j < self.nj, "geom j {j} out of padded range (nj {})", self.nj);
+        debug_assert!(k < self.nk, "geom k {k} out of padded range (nk {})", self.nk);
         let cell = i + self.ni * (j + self.nj * k);
         match self.layout {
             Layout::VarFirst => var + self.nvar * cell,
@@ -499,5 +523,48 @@ mod tests {
     #[should_panic]
     fn ndim_1_unsupported() {
         let _ = UnkStorage::new(1, 8, 2, 4, 1, Layout::VarFirst, Policy::None);
+    }
+
+    // Debug-build invariant checks: out-of-range indices must trip the
+    // descriptive assertions rather than silently aliasing a neighbouring
+    // zone. Release builds skip both the checks and these tests.
+    #[cfg(debug_assertions)]
+    mod debug_bounds {
+        use super::*;
+
+        #[test]
+        #[should_panic(expected = "out of range")]
+        fn idx_rejects_var_overflow() {
+            let u = mk(Layout::VarFirst);
+            let _ = u.idx(4, 0, 0, 0, 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "out of padded range")]
+        fn idx_rejects_k_in_2d() {
+            let u = mk(Layout::VarFirst);
+            let _ = u.idx(0, 0, 0, 1, 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "out of pool range")]
+        fn idx_rejects_block_overflow() {
+            let u = mk(Layout::VarFirst);
+            let _ = u.idx(0, 0, 0, 0, 3);
+        }
+
+        #[test]
+        #[should_panic(expected = "beyond pool")]
+        fn block_slab_rejects_overflow() {
+            let u = mk(Layout::VarFirst);
+            let _ = u.block_slab(3);
+        }
+
+        #[test]
+        #[should_panic(expected = "out of padded range")]
+        fn geom_slab_idx_rejects_i_overflow() {
+            let g = mk(Layout::VarLast).geom();
+            let _ = g.slab_idx(0, 12, 0, 0);
+        }
     }
 }
