@@ -56,7 +56,15 @@ fn main() {
             dt,
             note
         );
+        // The full degradation chain, when anything happened on it.
+        for step in &report.degradation {
+            println!("{:<16}   chain: {step}", "");
+        }
     }
+    println!(
+        "\nallocation chain totals: {}",
+        rflash_hugepages::alloc_stats()
+    );
     println!(
         "\npaper analog: GNU/Cray binaries = backends that never verify huge;\n\
          Fujitsu = the backend where huge pages engage by default."

@@ -46,6 +46,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = RunScale::from_args(&args);
     let steps = if scale.steps == 0 { 25 } else { scale.steps };
+    let alloc_baseline = rflash_perfmon::AllocSummary::capture();
 
     let setup = SupernovaSetup {
         max_refine: scale.max_refine,
@@ -84,4 +85,9 @@ fn main() {
     sim.evolve(steps.min(30));
     breakdown("3-d Sedov (hydro-dominated)", &sim.timers);
     rank_report(&sim.rank_loads());
+
+    // Fallback/retry counters from the allocation degradation chain: a run
+    // whose huge pages silently failed to engage shows up here, not just in
+    // the DTLB numbers it skews.
+    println!("\n{}", rflash_perfmon::AllocSummary::since(&alloc_baseline));
 }

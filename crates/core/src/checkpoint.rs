@@ -1,18 +1,39 @@
-//! Checkpoint / restart.
+//! Crash-consistent checkpoint / restart.
 //!
 //! FLASH writes HDF5 checkpoint files holding the block tree and every
 //! leaf's solution data; a run can restart bit-exactly. This module does
-//! the same with a self-describing container: a JSON header (runtime
-//! parameters, tree topology, time/step) followed by the leaf blocks' raw
-//! f64 slabs (little-endian), one per leaf in Morton order.
+//! the same with a self-describing container (v2):
+//!
+//! ```text
+//! u64 LE   header length
+//! bytes    header JSON (params, tree topology, time/step, per-slab CRCs)
+//! u32 LE   CRC-32 of the header JSON bytes
+//! bytes    leaf slabs, f64 LE, one per leaf in header order
+//! ```
+//!
+//! Writes are atomic: the container is written to `<path>.tmp`, fsynced,
+//! and renamed over `path` — a crash mid-write leaves the previous
+//! checkpoint untouched and at worst an ignorable `.tmp` orphan. Reads
+//! verify the header CRC and every slab CRC and fail with *typed* errors
+//! (truncated / corrupt / wrong mesh), never panics, so a restart driver
+//! can walk a [`CheckpointSeries`] newest-first to the last good file.
+//! The I/O path honors the deterministic fault plan from
+//! [`rflash_hugepages::faults`] (`ckpt-write`, `ckpt-rename` sites), which
+//! is how the crash-mid-checkpoint tests stay reproducible.
 
-use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
 
+use rflash_hugepages::faults::{self, FaultSite, IoFault};
 use rflash_mesh::{BlockId, Domain, MortonKey};
 use serde::{Deserialize, Serialize};
 
+use crate::crc32::{crc32, Crc32};
+use crate::eos_choice::{Composition, EosChoice};
 use crate::params::RuntimeParams;
+
+/// Format magic/version written by this module.
+pub const CHECKPOINT_FORMAT: &str = "rflash-checkpoint-v2";
 
 /// JSON header of a checkpoint file.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -27,13 +48,35 @@ pub struct CheckpointHeader {
     pub leaves: Vec<MortonKey>,
     /// Doubles per block slab (consistency check on restore).
     pub per_block: usize,
+    /// CRC-32 of each leaf slab's bytes, in `leaves` order.
+    #[serde(default)]
+    pub slab_crcs: Vec<u32>,
 }
 
-/// Errors from checkpoint I/O.
+/// Errors from checkpoint I/O — typed so recovery can distinguish "skip
+/// this file and try the previous one" from "the run is misconfigured".
 #[derive(Debug)]
 pub enum CheckpointError {
+    /// Underlying I/O failure (including injected write/rename faults).
     Io(std::io::Error),
+    /// Header JSON malformed or internally inconsistent.
     Format(String),
+    /// The file ends before `what` could be read — a torn write.
+    Truncated { what: String },
+    /// The magic string is not [`CHECKPOINT_FORMAT`].
+    UnsupportedFormat { found: String },
+    /// Stored header CRC does not match the bytes on disk.
+    HeaderCrc { stored: u32, computed: u32 },
+    /// A slab's stored CRC does not match its bytes on disk.
+    SlabCrc {
+        index: usize,
+        stored: u32,
+        computed: u32,
+    },
+    /// The file's slab geometry does not match the mesh it describes.
+    SlabSizeMismatch { file: usize, mesh: usize },
+    /// A series scan found no restorable checkpoint.
+    NoUsableCheckpoint { scanned: usize },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -41,11 +84,46 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
             CheckpointError::Format(m) => write!(f, "checkpoint format: {m}"),
+            CheckpointError::Truncated { what } => {
+                write!(f, "checkpoint truncated while reading {what}")
+            }
+            CheckpointError::UnsupportedFormat { found } => write!(
+                f,
+                "unsupported checkpoint format {found:?} (expected {CHECKPOINT_FORMAT:?})"
+            ),
+            CheckpointError::HeaderCrc { stored, computed } => write!(
+                f,
+                "checkpoint header CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CheckpointError::SlabCrc {
+                index,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checkpoint slab {index} CRC mismatch: stored {stored:#010x}, \
+                 computed {computed:#010x}"
+            ),
+            CheckpointError::SlabSizeMismatch { file, mesh } => write!(
+                f,
+                "slab size mismatch: file says {file} doubles per block, mesh has {mesh}"
+            ),
+            CheckpointError::NoUsableCheckpoint { scanned } => write!(
+                f,
+                "no usable checkpoint among {scanned} candidate file(s)"
+            ),
         }
     }
 }
 
-impl std::error::Error for CheckpointError {}
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for CheckpointError {
     fn from(e: std::io::Error) -> Self {
@@ -53,7 +131,101 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// Write a checkpoint of the simulation state.
+/// `Write` adapter that honors an injected `ckpt-write` fault: an errno
+/// fault fails the first write, a short-write fault lets exactly `budget`
+/// bytes through and then fails — simulating a crash / full disk mid-file.
+struct FaultWriter<W: Write> {
+    inner: W,
+    /// `None`: pass-through. `Some(n)`: n bytes remain before injected EIO.
+    budget: Option<u64>,
+}
+
+impl<W: Write> FaultWriter<W> {
+    fn new(inner: W) -> Self {
+        let budget = match faults::check_io(FaultSite::CkptWrite) {
+            None => None,
+            Some(IoFault::Errno(_)) => Some(0),
+            Some(IoFault::ShortWrite(n)) => Some(n as u64),
+        };
+        FaultWriter { inner, budget }
+    }
+}
+
+impl<W: Write> Write for FaultWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self.budget {
+            None => self.inner.write(buf),
+            Some(0) => Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "injected checkpoint write fault",
+            )),
+            Some(n) => {
+                let take = (buf.len() as u64).min(n) as usize;
+                let written = self.inner.write(&buf[..take])?;
+                self.budget = Some(n - written as u64);
+                Ok(written)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Serialize the full container (header + CRCs + slabs) into memory.
+fn encode_container(
+    domain: &Domain,
+    params: &RuntimeParams,
+    time: f64,
+    step: u64,
+    energy_released: f64,
+) -> Result<Vec<u8>, CheckpointError> {
+    let leaves = domain.tree.leaves();
+    let per_block = domain.unk.per_block();
+    // Slabs first, so the header can carry their CRCs.
+    let mut body = Vec::with_capacity(leaves.len() * per_block * 8);
+    let mut slab_crcs = Vec::with_capacity(leaves.len());
+    for id in &leaves {
+        let start = body.len();
+        for &v in domain.unk.block_slab(id.idx()) {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        slab_crcs.push(crc32(&body[start..]));
+    }
+    let header = CheckpointHeader {
+        format: CHECKPOINT_FORMAT.into(),
+        params: *params,
+        time,
+        step,
+        energy_released,
+        leaves: leaves.iter().map(|id| domain.tree.block(*id).key).collect(),
+        per_block,
+        slab_crcs,
+    };
+    let header_json =
+        serde_json::to_string(&header).map_err(|e| CheckpointError::Format(e.to_string()))?;
+    let mut out = Vec::with_capacity(8 + header_json.len() + 4 + body.len());
+    out.extend_from_slice(&(header_json.len() as u64).to_le_bytes());
+    out.extend_from_slice(header_json.as_bytes());
+    out.extend_from_slice(&crc32(header_json.as_bytes()).to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// The sibling temp path used for atomic writes.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Write a checkpoint of the simulation state, atomically.
+///
+/// The container goes to `<path>.tmp`, is fsynced, and renamed over
+/// `path`; an existing checkpoint at `path` is replaced all-or-nothing. On
+/// failure the temp file is deliberately left behind (exactly what a crash
+/// would leave) — series recovery ignores `.tmp` files.
 pub fn write_checkpoint(
     path: &Path,
     domain: &Domain,
@@ -62,31 +234,25 @@ pub fn write_checkpoint(
     step: u64,
     energy_released: f64,
 ) -> Result<(), CheckpointError> {
-    let leaves = domain.tree.leaves();
-    let header = CheckpointHeader {
-        format: "rflash-checkpoint-v1".into(),
-        params: *params,
-        time,
-        step,
-        energy_released,
-        leaves: leaves.iter().map(|id| domain.tree.block(*id).key).collect(),
-        per_block: domain.unk.per_block(),
-    };
-    let mut w = BufWriter::new(std::fs::File::create(path)?);
-    let header_json = serde_json::to_string(&header)
-        .map_err(|e| CheckpointError::Format(e.to_string()))?;
-    // Length-prefixed header, then raw slabs.
-    w.write_all(&(header_json.len() as u64).to_le_bytes())?;
-    w.write_all(header_json.as_bytes())?;
-    let mut buf = Vec::with_capacity(domain.unk.per_block() * 8);
-    for id in &leaves {
-        buf.clear();
-        for &v in domain.unk.block_slab(id.idx()) {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-        w.write_all(&buf)?;
-    }
+    let container = encode_container(domain, params, time, step, energy_released)?;
+    let tmp = tmp_path(path);
+    let file = std::fs::File::create(&tmp)?;
+    let mut w = FaultWriter::new(file);
+    w.write_all(&container)?;
     w.flush()?;
+    // Data must be durable before the rename publishes it.
+    w.inner.sync_all()?;
+    if let Some(fault) = faults::check_io(FaultSite::CkptRename) {
+        return Err(CheckpointError::Io(fault.into_io_error()));
+    }
+    std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable (best-effort: not all filesystems
+    // support fsync on a directory handle).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
     Ok(())
 }
 
@@ -99,45 +265,98 @@ pub struct RestoredState {
     pub energy_released: f64,
 }
 
-/// Restore a checkpoint: rebuild the tree topology (re-refining from the
-/// roots to match the stored leaf set) and load every leaf slab.
+impl RestoredState {
+    /// Reassemble a running [`crate::Simulation`] at the checkpointed
+    /// time/step — the restart path FLASH drivers call after a crash.
+    pub fn into_simulation(self, eos: EosChoice, comp: Composition) -> crate::Simulation {
+        let mut sim = crate::Simulation::assemble(self.domain, eos, comp, self.params);
+        sim.time = self.time;
+        sim.step = self.step;
+        sim.energy_released = self.energy_released;
+        sim
+    }
+}
+
+/// `read_exact` with truncation mapped to a typed error instead of a bare
+/// `UnexpectedEof`.
+fn read_exact_or_truncated(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    what: impl FnOnce() -> String,
+) -> Result<(), CheckpointError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CheckpointError::Truncated { what: what() }
+        } else {
+            CheckpointError::Io(e)
+        }
+    })
+}
+
+/// Restore a checkpoint: verify the container CRCs, rebuild the tree
+/// topology (re-refining from the roots to match the stored leaf set), and
+/// load every leaf slab.
 pub fn read_checkpoint(path: &Path) -> Result<RestoredState, CheckpointError> {
     let mut r = BufReader::new(std::fs::File::open(path)?);
     let mut len_bytes = [0u8; 8];
-    r.read_exact(&mut len_bytes)?;
+    read_exact_or_truncated(&mut r, &mut len_bytes, || "header length".into())?;
     let header_len = u64::from_le_bytes(len_bytes) as usize;
     if header_len > 1 << 30 {
         return Err(CheckpointError::Format("unreasonable header length".into()));
     }
     let mut header_json = vec![0u8; header_len];
-    r.read_exact(&mut header_json)?;
+    read_exact_or_truncated(&mut r, &mut header_json, || "header".into())?;
+    let mut crc_bytes = [0u8; 4];
+    read_exact_or_truncated(&mut r, &mut crc_bytes, || "header CRC".into())?;
+    let stored = u32::from_le_bytes(crc_bytes);
+    let computed = crc32(&header_json);
+    if stored != computed {
+        return Err(CheckpointError::HeaderCrc { stored, computed });
+    }
     let header: CheckpointHeader = serde_json::from_slice(&header_json)
         .map_err(|e| CheckpointError::Format(e.to_string()))?;
-    if header.format != "rflash-checkpoint-v1" {
+    if header.format != CHECKPOINT_FORMAT {
+        return Err(CheckpointError::UnsupportedFormat {
+            found: header.format,
+        });
+    }
+    if header.slab_crcs.len() != header.leaves.len() {
         return Err(CheckpointError::Format(format!(
-            "unknown format {:?}",
-            header.format
+            "{} slab CRCs for {} leaves",
+            header.slab_crcs.len(),
+            header.leaves.len()
         )));
     }
 
     let mut domain = Domain::new(header.params.mesh, header.params.policy);
     if domain.unk.per_block() != header.per_block {
-        return Err(CheckpointError::Format(format!(
-            "slab size mismatch: file {} vs mesh {}",
-            header.per_block,
-            domain.unk.per_block()
-        )));
+        return Err(CheckpointError::SlabSizeMismatch {
+            file: header.per_block,
+            mesh: domain.unk.per_block(),
+        });
     }
     rebuild_topology(&mut domain, &header.leaves)?;
 
-    // Map keys to the rebuilt block ids and stream the slabs in.
+    // Map keys to the rebuilt block ids and stream the slabs in, verifying
+    // each slab's CRC before it touches the mesh.
     let mut slab = vec![0u8; header.per_block * 8];
-    for key in &header.leaves {
+    for (index, key) in header.leaves.iter().enumerate() {
         let id = domain
             .tree
             .find(*key)
             .ok_or_else(|| CheckpointError::Format(format!("missing block {key:?}")))?;
-        r.read_exact(&mut slab)?;
+        read_exact_or_truncated(&mut r, &mut slab, || format!("slab {index} ({key:?})"))?;
+        let mut c = Crc32::new();
+        c.update(&slab);
+        let computed = c.finish();
+        let stored = header.slab_crcs[index];
+        if stored != computed {
+            return Err(CheckpointError::SlabCrc {
+                index,
+                stored,
+                computed,
+            });
+        }
         let dst = domain.unk.block_slab_mut(id.idx());
         for (i, chunk) in slab.chunks_exact(8).enumerate() {
             dst[i] = f64::from_le_bytes(chunk.try_into().unwrap());
@@ -202,9 +421,94 @@ fn rebuild_topology(domain: &mut Domain, leaves: &[MortonKey]) -> Result<(), Che
     Ok(())
 }
 
+/// A numbered family of checkpoints in one directory
+/// (`<prefix>_NNNNNN.ckpt`), with newest-first recovery that skips
+/// truncated or corrupt files.
+#[derive(Clone, Debug)]
+pub struct CheckpointSeries {
+    dir: PathBuf,
+    prefix: String,
+}
+
+impl CheckpointSeries {
+    /// A series rooted at `dir` with the given filename prefix.
+    pub fn new(dir: impl Into<PathBuf>, prefix: impl Into<String>) -> Self {
+        CheckpointSeries {
+            dir: dir.into(),
+            prefix: prefix.into(),
+        }
+    }
+
+    /// The path a checkpoint at `step` lives at.
+    pub fn path_for(&self, step: u64) -> PathBuf {
+        self.dir.join(format!("{}_{:06}.ckpt", self.prefix, step))
+    }
+
+    /// Write `sim`'s state as this series' checkpoint for its current step.
+    pub fn write(&self, sim: &crate::Simulation) -> Result<PathBuf, CheckpointError> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(sim.step);
+        sim.checkpoint(&path)?;
+        Ok(path)
+    }
+
+    /// Every checkpoint file in the series, sorted by step ascending.
+    /// `.tmp` orphans and unrelated files are ignored.
+    pub fn scan(&self) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name
+                .strip_prefix(self.prefix.as_str())
+                .and_then(|r| r.strip_prefix('_'))
+            else {
+                continue;
+            };
+            let Some(digits) = rest.strip_suffix(".ckpt") else {
+                continue;
+            };
+            let Ok(step) = digits.parse::<u64>() else {
+                continue;
+            };
+            out.push((step, entry.path()));
+        }
+        out.sort_by_key(|(step, _)| *step);
+        Ok(out)
+    }
+
+    /// Walk the series newest-first and restore the most recent checkpoint
+    /// that verifies. Files that fail (truncated, bad CRC, …) are returned
+    /// alongside the restored state so the caller can report — not hide —
+    /// what was skipped.
+    #[allow(clippy::type_complexity)]
+    pub fn recover_latest(
+        &self,
+    ) -> Result<(RestoredState, Vec<(PathBuf, CheckpointError)>), CheckpointError> {
+        let mut candidates = self.scan()?;
+        candidates.reverse();
+        let scanned = candidates.len();
+        let mut skipped = Vec::new();
+        for (_, path) in candidates {
+            match read_checkpoint(&path) {
+                Ok(state) => return Ok((state, skipped)),
+                Err(err) => skipped.push((path, err)),
+            }
+        }
+        Err(CheckpointError::NoUsableCheckpoint { scanned })
+    }
+}
+
 /// Convenience wrappers on [`crate::Simulation`].
 impl crate::Simulation {
-    /// Write this simulation's state to `path`.
+    /// Write this simulation's state to `path` (atomically; see
+    /// [`write_checkpoint`]).
     pub fn checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
         write_checkpoint(
             path,
@@ -214,6 +518,39 @@ impl crate::Simulation {
             self.step,
             self.energy_released,
         )
+    }
+
+    /// Evolve `nsteps`, writing a series checkpoint every
+    /// `params.checkpoint_every` steps (0 disables). Returns the paths
+    /// written. A failed write aborts the run loop with the error — a
+    /// driver that cannot checkpoint must not silently keep burning
+    /// compute it cannot save.
+    pub fn evolve_checkpointed(
+        &mut self,
+        nsteps: u64,
+        series: &CheckpointSeries,
+    ) -> Result<Vec<PathBuf>, CheckpointError> {
+        let every = self.params.checkpoint_every;
+        let mut written = Vec::new();
+        for _ in 0..nsteps {
+            self.step();
+            if every > 0 && self.step.is_multiple_of(every) {
+                written.push(series.write(self)?);
+            }
+        }
+        Ok(written)
+    }
+
+    /// Restore the newest good checkpoint of `series` into a running
+    /// simulation. Skipped (corrupt/truncated) files come back too.
+    #[allow(clippy::type_complexity)]
+    pub fn recover(
+        series: &CheckpointSeries,
+        eos: EosChoice,
+        comp: Composition,
+    ) -> Result<(Self, Vec<(PathBuf, CheckpointError)>), CheckpointError> {
+        let (state, skipped) = series.recover_latest()?;
+        Ok((state.into_simulation(eos, comp), skipped))
     }
 }
 
@@ -329,14 +666,10 @@ mod tests {
         sim.evolve(5);
 
         let restored = read_checkpoint(&path).unwrap();
-        let mut sim2 = Simulation::assemble(
-            restored.domain,
+        let mut sim2 = restored.into_simulation(
             EosChoice::Gamma(GammaLaw::new(setup.gamma)),
             Composition::ideal(),
-            restored.params,
         );
-        sim2.time = restored.time;
-        sim2.step = restored.step;
         sim2.evolve(5);
 
         assert_eq!(sim.step, sim2.step);
@@ -358,7 +691,14 @@ mod tests {
     #[test]
     fn corrupt_header_is_a_typed_error() {
         let path = scratch("corrupt");
-        std::fs::write(&path, b"\x10\x00\x00\x00\x00\x00\x00\x00not json at all!").unwrap();
+        // 16-byte "header" + a matching CRC so the corruption detected is
+        // the JSON itself, not the checksum.
+        let body = b"not json at all!";
+        let mut file = Vec::new();
+        file.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        file.extend_from_slice(body);
+        file.extend_from_slice(&crc32(body).to_le_bytes());
+        std::fs::write(&path, &file).unwrap();
         match read_checkpoint(&path) {
             Err(CheckpointError::Format(_)) => {}
             Err(other) => panic!("expected format error, got {other}"),
@@ -368,17 +708,107 @@ mod tests {
     }
 
     #[test]
-    fn truncated_body_is_an_io_error() {
+    fn truncated_body_is_a_typed_truncation() {
         let sim = toy_sim();
         let path = scratch("truncated");
         sim.checkpoint(&path).unwrap();
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 100]).unwrap();
         match read_checkpoint(&path) {
-            Err(CheckpointError::Io(_)) => {}
-            Err(other) => panic!("expected io error, got {other}"),
-            Ok(_) => panic!("expected io error, got Ok"),
+            Err(CheckpointError::Truncated { what }) => {
+                assert!(what.contains("slab"), "unexpected context: {what}")
+            }
+            Err(other) => panic!("expected truncation error, got {other}"),
+            Ok(_) => panic!("expected truncation error, got Ok"),
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipped_slab_bit_is_a_crc_error() {
+        let sim = toy_sim();
+        let path = scratch("bitflip");
+        sim.checkpoint(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x40; // inside the last slab
+        std::fs::write(&path, &bytes).unwrap();
+        match read_checkpoint(&path) {
+            Err(CheckpointError::SlabCrc { .. }) => {}
+            Err(other) => panic!("expected slab CRC error, got {other}"),
+            Ok(_) => panic!("expected slab CRC error, got Ok"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_not_appends() {
+        let sim = toy_sim();
+        let path = scratch("atomic");
+        sim.checkpoint(&path).unwrap();
+        let first = std::fs::read(&path).unwrap();
+        sim.checkpoint(&path).unwrap();
+        let second = std::fs::read(&path).unwrap();
+        assert_eq!(first, second, "rewrite must be byte-identical");
+        assert!(
+            !tmp_path(&path).exists(),
+            "successful write must not leave a temp file"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn series_scan_orders_and_filters() {
+        let dir = scratch("series-scan");
+        let _ = std::fs::remove_dir_all(&dir);
+        let series = CheckpointSeries::new(&dir, "chk");
+        assert!(series.scan().unwrap().is_empty(), "missing dir scans empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        for step in [30u64, 10, 20] {
+            std::fs::write(series.path_for(step), b"placeholder").unwrap();
+        }
+        std::fs::write(dir.join("chk_000040.ckpt.tmp"), b"orphan").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), b"noise").unwrap();
+        let steps: Vec<u64> = series.scan().unwrap().iter().map(|(s, _)| *s).collect();
+        assert_eq!(steps, vec![10, 20, 30]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_skips_corrupt_newest_and_reports_it() {
+        let dir = scratch("series-recover");
+        let _ = std::fs::remove_dir_all(&dir);
+        let series = CheckpointSeries::new(&dir, "chk");
+        let mut sim = toy_sim();
+        series.write(&sim).unwrap();
+        sim.step = 18;
+        sim.time = 0.25;
+        let newest = series.write(&sim).unwrap();
+        // Corrupt the newest file's tail.
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let (state, skipped) = series.recover_latest().unwrap();
+        assert_eq!(state.step, 17, "must fall back to the older good file");
+        assert_eq!(skipped.len(), 1);
+        assert!(matches!(
+            skipped[0].1,
+            CheckpointError::SlabCrc { .. } | CheckpointError::HeaderCrc { .. }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_series_is_a_typed_error() {
+        let dir = scratch("series-empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        let series = CheckpointSeries::new(&dir, "chk");
+        match series.recover_latest() {
+            Err(CheckpointError::NoUsableCheckpoint { scanned: 0 }) => {}
+            Err(other) => panic!("expected NoUsableCheckpoint, got {other}"),
+            Ok(_) => panic!("expected NoUsableCheckpoint, got Ok"),
+        }
     }
 }

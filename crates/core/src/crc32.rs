@@ -1,0 +1,106 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum
+//! guarding checkpoint headers and slabs.
+//!
+//! Hand-rolled table-driven implementation so the workspace stays free of
+//! new dependencies; the variant matches zlib's `crc32()` and Python's
+//! `zlib.crc32`, making checkpoint files verifiable with stock tooling.
+
+/// Lookup table for one byte of reflected CRC-32.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Streaming CRC-32 state. `Crc32::new()` → [`update`](Crc32::update) over
+/// chunks → [`finish`](Crc32::finish).
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh checksum state.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Fold `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ieee_check_value() {
+        // The canonical CRC-32/IEEE check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_and_zero_inputs() {
+        assert_eq!(crc32(b""), 0);
+        // zlib.crc32(b"\x00" * 32) == 0x190A55AD
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0xA5u8; 4096];
+        let clean = crc32(&data);
+        data[2048] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -174,6 +174,7 @@ mod tests {
             policy: Policy::Thp,
             requested: "THP".into(),
             fell_back: None,
+            degradation: Vec::new(),
             rss_bytes: 1 << 20,
             huge_bytes: 0,
             kernel_page_size: 4096,

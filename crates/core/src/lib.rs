@@ -17,6 +17,7 @@
 //! [`setups::sedov::SedovSetup`] and [`setups::supernova::SupernovaSetup`].
 
 pub mod checkpoint;
+pub mod crc32;
 pub mod eos_choice;
 pub mod instrument;
 pub mod output;
@@ -25,6 +26,10 @@ pub mod setups;
 pub mod sim;
 pub mod wd;
 
+pub use checkpoint::{
+    read_checkpoint, write_checkpoint, CheckpointError, CheckpointSeries, RestoredState,
+    CHECKPOINT_FORMAT,
+};
 pub use eos_choice::{Composition, EosChoice};
 pub use params::RuntimeParams;
 pub use sim::Simulation;

@@ -31,6 +31,10 @@ pub struct RuntimeParams {
     pub tlb_sample_every: u32,
     /// Try hardware counters alongside the model.
     pub use_hw: bool,
+    /// Write a series checkpoint every N steps in
+    /// [`crate::Simulation::evolve_checkpointed`] (0 disables).
+    #[serde(default)]
+    pub checkpoint_every: u64,
 }
 
 impl RuntimeParams {
@@ -50,6 +54,7 @@ impl RuntimeParams {
             gather_every: 4,
             tlb_sample_every: 1,
             use_hw: true,
+            checkpoint_every: 0,
         }
     }
 }

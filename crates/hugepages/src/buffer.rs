@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
 use crate::policy::Policy;
-use crate::region::{EffectiveBacking, MmapRegion};
+use crate::region::{DegradationStep, EffectiveBacking, MmapRegion};
 
 /// Plain-old-data marker: types that are valid for any bit pattern and can
 /// therefore live in zero-filled mapped memory.
@@ -144,7 +144,8 @@ impl<T: Pod> PageBuffer<T> {
                 EffectiveBacking::ThpAdvised => "THP (MADV_HUGEPAGE)".into(),
                 EffectiveBacking::HugeTlb(sz) => format!("hugetlbfs {sz} pages"),
             },
-            fell_back: self.region.fallback().map(|e| e.to_string()),
+            fell_back: self.region.fallback().map(|s| s.to_string()),
+            degradation: self.region.degradation().to_vec(),
             rss_bytes: smaps.as_ref().map(|s| s.rss).unwrap_or(0),
             huge_bytes: smaps
                 .as_ref()
@@ -210,8 +211,13 @@ impl<T: Pod> fmt::Debug for PageBuffer<T> {
 pub struct BackingReport {
     pub policy: Policy,
     pub requested: String,
-    /// Set when an explicit hugetlb request was downgraded.
+    /// Set when the policy's promised backing was downgraded (first
+    /// degrading step of the chain, rendered).
     pub fell_back: Option<String>,
+    /// The full allocation chain: every degradation, transient-exhaustion
+    /// recovery, and denied advice, in order. Empty on the clean happy path.
+    #[serde(default)]
+    pub degradation: Vec<DegradationStep>,
     pub rss_bytes: u64,
     pub huge_bytes: u64,
     pub kernel_page_size: u64,
@@ -240,7 +246,11 @@ impl fmt::Display for BackingReport {
                 Some(why) => format!(" [FELL BACK: {why}]"),
                 None => String::new(),
             }
-        )
+        )?;
+        for step in &self.degradation {
+            write!(f, "\n  chain: {step}")?;
+        }
+        Ok(())
     }
 }
 

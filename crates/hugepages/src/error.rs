@@ -20,6 +20,9 @@ pub enum Error {
     ProcParse { path: String, detail: String },
     /// An environment variable held an unrecognized value.
     BadPolicy { value: String },
+    /// A fault-injection spec (`RFLASH_FAULTS` / `FaultPlan::parse`) was
+    /// malformed.
+    BadFaultSpec { value: String, detail: String },
     /// Arena exhausted: requested more bytes than remain in the region.
     ArenaExhausted { requested: usize, remaining: usize },
     /// Zero-length allocation requested where it is not meaningful.
@@ -47,6 +50,11 @@ impl fmt::Display for Error {
             Error::BadPolicy { value } => write!(
                 f,
                 "unrecognized huge-page policy {value:?} (expected none|thp|hugetlbfs[:SIZE])"
+            ),
+            Error::BadFaultSpec { value, detail } => write!(
+                f,
+                "malformed fault spec {value:?}: {detail} \
+                 (expected site=kind entries, e.g. hugetlb-mmap=always:ENOMEM)"
             ),
             Error::ArenaExhausted {
                 requested,

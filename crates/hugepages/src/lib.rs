@@ -37,7 +37,9 @@
 pub mod arena;
 pub mod buffer;
 pub mod error;
+pub mod faults;
 pub mod meminfo;
+pub mod metrics;
 pub mod page;
 pub mod policy;
 pub mod probe;
@@ -50,11 +52,13 @@ mod sys;
 pub use arena::HugeArena;
 pub use buffer::{BackingReport, PageBuffer, Pod};
 pub use error::{Error, Result};
+pub use faults::{FaultGuard, FaultKind, FaultPlan, FaultRule, FaultSite, IoFault, FAULTS_ENV_VAR};
 pub use meminfo::MemInfo;
+pub use metrics::{alloc_stats, reset_alloc_stats, AllocStats};
 pub use page::PageSize;
 pub use policy::{Policy, POLICY_ENV_VAR};
 pub use probe::{probe_system, SystemReport, ThpMode};
-pub use region::MmapRegion;
+pub use region::{AllocStage, DegradationStep, EffectiveBacking, MmapRegion};
 pub use smaps::SmapsRegion;
 pub use vec::PageVec;
 pub use watcher::{MemInfoWatch, WatchSummary};

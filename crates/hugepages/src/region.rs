@@ -1,6 +1,9 @@
 //! RAII anonymous memory regions with a huge-page policy applied.
 
+use serde::{Deserialize, Serialize};
+
 use crate::error::{Error, Result};
+use crate::metrics;
 use crate::page::PageSize;
 use crate::policy::Policy;
 use crate::sys;
@@ -18,19 +21,85 @@ pub enum EffectiveBacking {
     HugeTlb(PageSize),
 }
 
+/// The rungs of the allocation ladder, highest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocStage {
+    /// Explicit `MAP_HUGETLB` reservation.
+    HugeTlbFs,
+    /// Anonymous mapping with `MADV_HUGEPAGE`.
+    Thp,
+    /// Anonymous mapping on base pages.
+    Base,
+}
+
+impl std::fmt::Display for AllocStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AllocStage::HugeTlbFs => "hugetlbfs",
+            AllocStage::Thp => "thp",
+            AllocStage::Base => "base",
+        })
+    }
+}
+
+/// One recorded event in the degradation chain. Nothing in the chain is
+/// silent: a transient-exhaustion recovery, a denied advice, and a
+/// downgrade to the next rung all leave a step.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegradationStep {
+    /// The chain rung this step describes.
+    pub stage: AllocStage,
+    /// What happened there — the error text, or the recovery note.
+    pub detail: String,
+    /// Transient-exhaustion retries burned at this rung.
+    pub retries: u32,
+    /// `true`: the rung still provided the mapping (retry recovery, or a
+    /// tolerated base-page advice denial). `false`: the chain degraded to
+    /// the next rung — the policy's promised backing was not delivered.
+    pub kept: bool,
+}
+
+impl std::fmt::Display for DegradationStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}{}] {}{}",
+            self.stage,
+            if self.kept { "" } else { " -> degraded" },
+            self.detail,
+            if self.retries > 0 {
+                format!(" ({} retries)", self.retries)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+/// Bounded retry on transient hugetlb-pool exhaustion: another rank or
+/// process may be mid-release, so a short exponential backoff is worth it
+/// before abandoning the reservation entirely.
+const MAX_TRANSIENT_RETRIES: u32 = 3;
+const BACKOFF_BASE_US: u64 = 50;
+
+fn transient_errno(errno: i32) -> bool {
+    errno == libc::ENOMEM || errno == libc::EAGAIN
+}
+
 /// An anonymous private mapping whose lifetime owns the pages.
 ///
-/// The region is created with the requested [`Policy`]; explicit
-/// `hugetlbfs` requests that the kernel denies (no pool, EPERM, …) fall back
-/// to THP advice, and the fallback is recorded in [`MmapRegion::fallback`]
-/// so harnesses can report it instead of silently measuring the wrong thing
-/// (the paper's GNU/Cray "mystery" is exactly a silent failure to engage).
+/// The region is created with the requested [`Policy`]; requests the kernel
+/// denies degrade down an explicit chain — hugetlbfs → THP → base pages,
+/// with bounded backoff retries on transient pool exhaustion — and *every*
+/// step of that chain is recorded in [`MmapRegion::degradation`] so
+/// harnesses report it instead of silently measuring the wrong thing (the
+/// paper's GNU/Cray "mystery" is exactly a silent failure to engage).
 pub struct MmapRegion {
     ptr: *mut u8,
     len: usize,
     policy: Policy,
     effective: EffectiveBacking,
-    fallback: Option<Error>,
+    steps: Vec<DegradationStep>,
 }
 
 // SAFETY: the region is exclusively owned plain memory; sending it between
@@ -46,62 +115,166 @@ impl MmapRegion {
         if len == 0 {
             return Err(Error::ZeroLength);
         }
+        let mut steps = Vec::new();
         match policy {
             Policy::HugeTlbFs(size) => {
-                let rounded = align_up(len, size.bytes());
-                match sys::mmap_anon(rounded, Some(size)) {
-                    Ok(ptr) => Ok(MmapRegion {
-                        ptr,
-                        len: rounded,
-                        policy,
-                        effective: EffectiveBacking::HugeTlb(size),
-                        fallback: None,
-                    }),
-                    Err(err) => {
-                        // Fall back to THP, but remember why.
-                        let mut region = Self::map_with_advice(len, sys::Advice::Huge)?;
-                        region.policy = policy;
-                        region.effective = EffectiveBacking::ThpAdvised;
-                        region.fallback = Some(err);
-                        Ok(region)
+                metrics::count_hugetlb_attempt();
+                match Self::try_hugetlb(len, size, &mut steps) {
+                    Ok(region) => Ok(region.finish(policy, steps)),
+                    Err(_) => {
+                        // The reservation is gone for good; degrade to THP.
+                        metrics::count_thp_fallback();
+                        Self::try_thp_then_base(len, &mut steps)
+                            .map(|r| r.finish(policy, steps))
                     }
                 }
             }
             Policy::Thp => {
-                let mut region = Self::map_with_advice(len, sys::Advice::Huge)?;
-                region.policy = policy;
-                Ok(region)
+                Self::try_thp_then_base(len, &mut steps).map(|r| r.finish(policy, steps))
             }
-            Policy::None => {
-                let mut region = Self::map_with_advice(len, sys::Advice::NoHuge)?;
-                region.policy = policy;
-                Ok(region)
+            Policy::None => Self::try_base(len, &mut steps).map(|r| r.finish(policy, steps)),
+        }
+    }
+
+    fn finish(mut self, policy: Policy, steps: Vec<DegradationStep>) -> Self {
+        self.policy = policy;
+        self.steps = steps;
+        self
+    }
+
+    /// Rung 1: explicit `MAP_HUGETLB`, with bounded backoff on transient
+    /// exhaustion. On success after retries, the recovery is recorded.
+    fn try_hugetlb(
+        len: usize,
+        size: PageSize,
+        steps: &mut Vec<DegradationStep>,
+    ) -> Result<Self> {
+        let rounded = align_up(len, size.bytes());
+        let mut retries = 0u32;
+        loop {
+            match sys::mmap_anon(rounded, Some(size)) {
+                Ok(ptr) => {
+                    metrics::count_hugetlb_grant();
+                    if retries > 0 {
+                        metrics::count_transient_retries(retries as u64);
+                        steps.push(DegradationStep {
+                            stage: AllocStage::HugeTlbFs,
+                            detail: format!(
+                                "transient pool exhaustion; reservation granted after \
+                                 {retries} retr{}",
+                                if retries == 1 { "y" } else { "ies" }
+                            ),
+                            retries,
+                            kept: true,
+                        });
+                    }
+                    return Ok(MmapRegion {
+                        ptr,
+                        len: rounded,
+                        policy: Policy::None,
+                        effective: EffectiveBacking::HugeTlb(size),
+                        steps: Vec::new(),
+                    });
+                }
+                Err(err) => {
+                    let errno = match &err {
+                        Error::HugeTlbUnavailable { errno, .. } => *errno,
+                        _ => 0,
+                    };
+                    if transient_errno(errno) && retries < MAX_TRANSIENT_RETRIES {
+                        retries += 1;
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            BACKOFF_BASE_US << (retries - 1),
+                        ));
+                        continue;
+                    }
+                    if retries > 0 {
+                        metrics::count_transient_retries(retries as u64);
+                    }
+                    steps.push(DegradationStep {
+                        stage: AllocStage::HugeTlbFs,
+                        detail: err.to_string(),
+                        retries,
+                        kept: false,
+                    });
+                    return Err(err);
+                }
             }
         }
     }
 
-    fn map_with_advice(len: usize, advice: sys::Advice) -> Result<Self> {
-        // Round THP-advised regions to the THP size so the kernel can use
-        // huge frames for the whole range; plain regions round to base pages.
-        let granule = match advice {
-            sys::Advice::Huge => PageSize::Huge2M.bytes(),
-            sys::Advice::NoHuge => PageSize::Base.bytes(),
-        };
-        let rounded = align_up(len, granule);
+    /// Rung 2: anonymous mapping with `MADV_HUGEPAGE`; a denied advice or
+    /// failed mmap degrades to rung 3 (base pages).
+    fn try_thp_then_base(len: usize, steps: &mut Vec<DegradationStep>) -> Result<Self> {
+        let rounded = align_up(len, PageSize::Huge2M.bytes());
+        match sys::mmap_anon(rounded, None) {
+            Ok(ptr) => {
+                // SAFETY: we own [ptr, ptr+rounded), freshly mapped above.
+                match unsafe { sys::madvise(ptr, rounded, sys::Advice::Huge) } {
+                    Ok(()) => Ok(MmapRegion {
+                        ptr,
+                        len: rounded,
+                        policy: Policy::None,
+                        effective: EffectiveBacking::ThpAdvised,
+                        steps: Vec::new(),
+                    }),
+                    Err(err) => {
+                        // The mapping itself is fine — keep it rather than
+                        // remapping — but huge frames were refused, so the
+                        // honest effective backing is base pages.
+                        metrics::count_madvise_denial();
+                        metrics::count_base_fallback();
+                        steps.push(DegradationStep {
+                            stage: AllocStage::Thp,
+                            detail: err.to_string(),
+                            retries: 0,
+                            kept: false,
+                        });
+                        Ok(MmapRegion {
+                            ptr,
+                            len: rounded,
+                            policy: Policy::None,
+                            effective: EffectiveBacking::BasePages,
+                            steps: Vec::new(),
+                        })
+                    }
+                }
+            }
+            Err(err) => {
+                metrics::count_base_fallback();
+                steps.push(DegradationStep {
+                    stage: AllocStage::Thp,
+                    detail: err.to_string(),
+                    retries: 0,
+                    kept: false,
+                });
+                Self::try_base(len, steps)
+            }
+        }
+    }
+
+    /// Rung 3: base pages with `MADV_NOHUGEPAGE` for determinism. A denied
+    /// advice is recorded but tolerated — the mapping is still base-backed
+    /// unless the host runs THP=always, and the step makes that auditable.
+    fn try_base(len: usize, steps: &mut Vec<DegradationStep>) -> Result<Self> {
+        let rounded = align_up(len, PageSize::Base.bytes());
         let ptr = sys::mmap_anon(rounded, None)?;
-        // Best effort: some kernels build without THP; the mapping is still
-        // usable, so advice failures are tolerated (ENOMEM/EINVAL), not fatal.
-        // SAFETY: we own [ptr, ptr+rounded).
-        let _ = unsafe { sys::madvise(ptr, rounded, advice) };
+        // SAFETY: we own [ptr, ptr+rounded), freshly mapped above.
+        if let Err(err) = unsafe { sys::madvise(ptr, rounded, sys::Advice::NoHuge) } {
+            metrics::count_madvise_denial();
+            steps.push(DegradationStep {
+                stage: AllocStage::Base,
+                detail: format!("{err} (determinism advice only; mapping kept)"),
+                retries: 0,
+                kept: true,
+            });
+        }
         Ok(MmapRegion {
             ptr,
             len: rounded,
             policy: Policy::None,
-            effective: match advice {
-                sys::Advice::Huge => EffectiveBacking::ThpAdvised,
-                sys::Advice::NoHuge => EffectiveBacking::BasePages,
-            },
-            fallback: None,
+            effective: EffectiveBacking::BasePages,
+            steps: Vec::new(),
         })
     }
 
@@ -141,10 +314,19 @@ impl MmapRegion {
         self.effective
     }
 
-    /// If the policy had to be downgraded, the error that caused it.
+    /// Every recorded event in the allocation chain: degradations,
+    /// transient-exhaustion recoveries, denied advice. Empty on the clean
+    /// happy path.
     #[inline]
-    pub fn fallback(&self) -> Option<&Error> {
-        self.fallback.as_ref()
+    pub fn degradation(&self) -> &[DegradationStep] {
+        &self.steps
+    }
+
+    /// If the policy's promised backing was downgraded, the first step that
+    /// caused it.
+    #[inline]
+    pub fn fallback(&self) -> Option<&DegradationStep> {
+        self.steps.iter().find(|s| !s.kept)
     }
 
     /// View the whole region as bytes.
@@ -202,7 +384,8 @@ impl std::fmt::Debug for MmapRegion {
             .field("len", &self.len)
             .field("policy", &self.policy)
             .field("effective", &self.effective)
-            .field("fell_back", &self.fallback.is_some())
+            .field("fell_back", &self.fallback().is_some())
+            .field("chain_steps", &self.steps.len())
             .finish()
     }
 }
@@ -210,6 +393,7 @@ impl std::fmt::Debug for MmapRegion {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultKind, FaultPlan, FaultSite};
 
     #[test]
     fn zero_length_rejected() {
@@ -225,6 +409,7 @@ mod tests {
         assert_eq!(r.len(), crate::page::base_page_bytes());
         assert_eq!(r.effective_backing(), EffectiveBacking::BasePages);
         assert!(r.fallback().is_none());
+        assert!(r.degradation().is_empty());
     }
 
     #[test]
@@ -251,11 +436,101 @@ mod tests {
                 assert!(r.fallback().is_none());
             }
             EffectiveBacking::ThpAdvised => {
-                assert!(r.fallback().is_some(), "fallback must record the cause");
+                let step = r.fallback().expect("fallback must record the cause");
+                assert_eq!(step.stage, AllocStage::HugeTlbFs);
+                assert!(!step.detail.is_empty());
             }
-            EffectiveBacking::BasePages => panic!("hugetlbfs policy may not yield base pages"),
+            EffectiveBacking::BasePages => {
+                // hugetlbfs AND THP advice denied: both steps must exist.
+                assert!(r.degradation().len() >= 2, "{:?}", r.degradation());
+            }
         }
         // Regardless of backing, memory must be usable.
+        assert_eq!(r.as_slice()[0], 0);
+    }
+
+    #[test]
+    fn injected_hugetlb_denial_degrades_with_full_trail() {
+        let _g = FaultPlan::new(0)
+            .with(
+                FaultSite::HugeTlbMmap,
+                FaultKind::Always { errno: libc::EPERM },
+            )
+            .activate();
+        let r = MmapRegion::new(4 << 20, Policy::HugeTlbFs(PageSize::Huge2M)).unwrap();
+        assert_eq!(r.effective_backing(), EffectiveBacking::ThpAdvised);
+        let step = r.fallback().unwrap();
+        assert_eq!(step.stage, AllocStage::HugeTlbFs);
+        assert_eq!(step.retries, 0, "EPERM is not transient; no retries");
+        assert!(step.detail.contains("errno 1"), "{}", step.detail);
+    }
+
+    #[test]
+    fn transient_exhaustion_recovers_via_retry() {
+        let _g = FaultPlan::new(0)
+            .with(
+                FaultSite::HugeTlbMmap,
+                FaultKind::FirstN {
+                    n: 2,
+                    errno: libc::ENOMEM,
+                },
+            )
+            .activate();
+        let r = MmapRegion::new(2 << 20, Policy::HugeTlbFs(PageSize::Huge2M)).unwrap();
+        // Whatever the host pool says on the third (real) attempt, the two
+        // injected failures must show up as retries in the trail.
+        match r.effective_backing() {
+            EffectiveBacking::HugeTlb(_) => {
+                let step = &r.degradation()[0];
+                assert!(step.kept);
+                assert_eq!(step.retries, 2);
+                assert!(r.fallback().is_none());
+            }
+            _ => {
+                // Pool-less host: the real third attempt failed too, after
+                // burning the full retry budget.
+                let step = r.fallback().unwrap();
+                assert_eq!(step.stage, AllocStage::HugeTlbFs);
+                assert_eq!(step.retries, MAX_TRANSIENT_RETRIES);
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_chain_reports_the_final_error() {
+        let _g = FaultPlan::new(0)
+            .with(
+                FaultSite::HugeTlbMmap,
+                FaultKind::Always { errno: libc::EPERM },
+            )
+            .with(
+                FaultSite::AnonMmap,
+                FaultKind::Always { errno: libc::ENOMEM },
+            )
+            .activate();
+        match MmapRegion::new(2 << 20, Policy::HugeTlbFs(PageSize::Huge2M)) {
+            Err(Error::Mmap { errno, .. }) => assert_eq!(errno, libc::ENOMEM),
+            other => panic!("expected chain exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn denied_thp_advice_degrades_to_base_pages() {
+        let _g = FaultPlan::new(0)
+            .with(
+                FaultSite::Madvise,
+                FaultKind::Nth {
+                    n: 1,
+                    errno: libc::EINVAL,
+                },
+            )
+            .activate();
+        let r = MmapRegion::new(2 << 20, Policy::Thp).unwrap();
+        assert_eq!(r.effective_backing(), EffectiveBacking::BasePages);
+        let step = r.fallback().unwrap();
+        assert_eq!(step.stage, AllocStage::Thp);
+        assert!(step.detail.contains("MADV_HUGEPAGE"), "{}", step.detail);
+        // Memory still usable after the degradation.
         assert_eq!(r.as_slice()[0], 0);
     }
 

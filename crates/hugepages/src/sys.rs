@@ -4,6 +4,7 @@
 //! [`crate::region::MmapRegion`].
 
 use crate::error::{Error, Result};
+use crate::faults::{self, FaultSite};
 use crate::page::PageSize;
 
 /// `MAP_HUGE_SHIFT` from `<linux/mman.h>`; the huge-page size is encoded in
@@ -13,6 +14,20 @@ const MAP_HUGE_SHIFT: i32 = 26;
 /// Anonymous private mapping of `len` bytes (must be page-aligned for the
 /// requested page size by the caller).
 pub fn mmap_anon(len: usize, huge: Option<PageSize>) -> Result<*mut u8> {
+    // Deterministic fault injection: an active FaultPlan can refuse the
+    // reservation before the kernel ever sees it, exercising the
+    // degradation chain on hosts whose real pools never fail.
+    let site = if huge.is_some() {
+        FaultSite::HugeTlbMmap
+    } else {
+        FaultSite::AnonMmap
+    };
+    if let Some(errno) = faults::check_errno(site) {
+        return Err(match huge {
+            Some(size) => Error::HugeTlbUnavailable { size, errno },
+            None => Error::Mmap { len, errno },
+        });
+    }
     let mut flags = libc::MAP_PRIVATE | libc::MAP_ANONYMOUS;
     if let Some(size) = huge {
         flags |= libc::MAP_HUGETLB | ((size.shift() as i32) << MAP_HUGE_SHIFT);
@@ -78,6 +93,12 @@ impl Advice {
 /// # Safety
 /// `ptr`/`len` must denote (part of) a live mapping owned by the caller.
 pub unsafe fn madvise(ptr: *mut u8, len: usize, advice: Advice) -> Result<()> {
+    if let Some(errno) = faults::check_errno(FaultSite::Madvise) {
+        return Err(Error::Madvise {
+            advice: advice.name(),
+            errno,
+        });
+    }
     let rc = libc::madvise(ptr as *mut libc::c_void, len, advice.raw());
     if rc != 0 {
         Err(Error::Madvise {

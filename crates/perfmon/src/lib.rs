@@ -17,6 +17,7 @@
 //! the paper wraps the EOS and hydro routines, and produces [`Measures`]
 //! rows formatted like the paper's Tables I/II.
 
+pub mod alloc;
 pub mod hw;
 pub mod kernel_stats;
 pub mod rank_load;
@@ -24,6 +25,7 @@ pub mod report;
 pub mod session;
 pub mod timers;
 
+pub use alloc::AllocSummary;
 pub use hw::HwCounters;
 pub use kernel_stats::KernelStats;
 pub use rank_load::{idle_fraction, imbalance, RankLoad};

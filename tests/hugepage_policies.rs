@@ -31,13 +31,31 @@ fn every_policy_yields_usable_memory_with_an_honest_report() {
 
 #[test]
 fn meminfo_tracks_hugetlb_reservations() {
+    use rflash::hugepages::AllocStage;
+
     let before = MemInfo::read().expect("meminfo");
     let buf = PageBuffer::<u8>::zeroed(32 << 20, Policy::HugeTlbFs(PageSize::Huge2M)).unwrap();
     let report = buf.backing_report();
     if report.fell_back.is_some() {
-        // No pool on this host: nothing further to assert.
+        // No pool on this host (or injection denied it): the degradation
+        // report must still tell the whole story — the hugetlbfs refusal is
+        // recorded as the first degrading step, with a reason.
+        let first = report
+            .degradation
+            .iter()
+            .find(|s| !s.kept)
+            .expect("fell_back set but no degrading step recorded");
+        assert_eq!(first.stage, AllocStage::HugeTlbFs, "{report}");
+        assert!(!first.detail.is_empty(), "{report}");
+        assert!(
+            report.fell_back.as_deref().unwrap().contains(&first.detail),
+            "fell_back must render the recorded step: {report}"
+        );
         return;
     }
+    // The grant side of the story must be equally honest: no degrading
+    // steps when the reservation succeeded.
+    assert!(report.degradation.iter().all(|s| s.kept), "{report}");
     let after = MemInfo::read().expect("meminfo");
     // 16 pages of 2 MiB must be in use (faulted) or reserved.
     let used_delta = after.huge_pages_in_use() + after.huge_pages_rsvd

@@ -31,6 +31,14 @@ pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
 pub const MADV_HUGEPAGE: c_int = 14;
 pub const MADV_NOHUGEPAGE: c_int = 15;
 pub const _SC_PAGESIZE: c_int = 30;
+// errno values (asm-generic, shared by x86_64).
+pub const EPERM: c_int = 1;
+pub const EIO: c_int = 5;
+pub const EAGAIN: c_int = 11;
+pub const ENOMEM: c_int = 12;
+pub const EACCES: c_int = 13;
+pub const EINVAL: c_int = 22;
+pub const ENOSPC: c_int = 28;
 /// x86_64 syscall number.
 pub const SYS_perf_event_open: c_long = 298;
 
