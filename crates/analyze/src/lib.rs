@@ -16,6 +16,11 @@
 //!    instead of aborting a long simulation.
 //! 4. **concurrency-surface audit** (`send_sync`) — manual
 //!    `unsafe impl Send/Sync` must name the invariant they rely on.
+//! 5. **pencil confinement** (`pencil_confinement`) — the pencil-batched
+//!    SoA inner-loop modules (`hydro/src/pencil.rs`, `eos/src/batch.rs`)
+//!    never touch unk cells one at a time: no `get`/`set`/`addr`/
+//!    `slab_idx` identifiers outside test code; cell traffic flows through
+//!    the gather/scatter helpers.
 //!
 //! Per-site escape hatch: an `analyze::allow` comment — the rule id in
 //! parentheses, then a colon and a mandatory reason — on or directly above

@@ -6,6 +6,7 @@
 //! | `alloc_confinement`| raw page syscalls / `libc` only in `crates/hugepages` |
 //! | `panic`            | no unwrap/expect/panic!/todo!/unimplemented! in hot paths |
 //! | `send_sync`        | `unsafe impl Send/Sync` names its invariant           |
+//! | `pencil_confinement`| no per-cell unk accessors in pencil/batched-EOS modules |
 //! | `allow_syntax`     | malformed escape-hatch annotations                    |
 //! | `unused_allow`     | escape hatches that suppress nothing                  |
 //!
@@ -18,7 +19,13 @@
 use crate::source::SourceFile;
 
 /// Rules that may be named in an allow annotation.
-pub const ALLOWABLE_RULES: &[&str] = &["safety_comment", "alloc_confinement", "panic", "send_sync"];
+pub const ALLOWABLE_RULES: &[&str] = &[
+    "safety_comment",
+    "alloc_confinement",
+    "panic",
+    "send_sync",
+    "pencil_confinement",
+];
 
 /// Page-level syscall identifiers confined to `crates/hugepages` (rule 2).
 /// These are matched as identifier tokens, so prose in comments/strings
@@ -54,6 +61,17 @@ const HOT_PATH_FILES: &[&str] = &[
 
 /// Macros that abort the simulation when expanded in non-test code.
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Pencil-batched SoA inner-loop modules (rule 5): cell traffic must flow
+/// through the gather/scatter helpers in `rflash_mesh::unk` — a stray
+/// per-cell accessor silently reintroduces the strided index arithmetic and
+/// bounds checks the engine exists to amortize.
+const PENCIL_CONFINED: &[&str] = &["crates/hydro/src/pencil.rs", "crates/eos/src/batch.rs"];
+
+/// Per-cell access identifiers forbidden inside pencil-confined modules.
+/// Matched as whole identifier tokens (comments and strings never trip
+/// them, nor do longer names like `base_addr` or `offset`).
+const PENCIL_FORBIDDEN: &[&str] = &["get", "set", "addr", "slab_idx"];
 
 /// One finding. `line` is 1-based.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -153,6 +171,7 @@ pub fn check_source(rel: &str, src: &str) -> Vec<Violation> {
     rule_unsafe_audit(&sf, &mut candidate);
     rule_alloc_confinement(&sf, &mut candidate);
     rule_panic_freedom(&sf, &mut candidate);
+    rule_pencil_confinement(&sf, &mut candidate);
 
     for v in candidate {
         if let Some(a) = allows.iter().find(|a| {
@@ -419,6 +438,29 @@ fn rule_panic_freedom(sf: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+fn rule_pencil_confinement(sf: &SourceFile, out: &mut Vec<Violation>) {
+    if !PENCIL_CONFINED.contains(&sf.rel.as_str()) {
+        return;
+    }
+    for (i, tok) in sf.tokens.iter().enumerate() {
+        if sf.in_test[i] || sf.is_attr[i] {
+            continue;
+        }
+        let Some(word) = tok.ident() else { continue };
+        if PENCIL_FORBIDDEN.contains(&word) {
+            out.push(Violation {
+                rel: sf.rel.clone(),
+                line: tok.line,
+                rule: "pencil_confinement",
+                msg: format!(
+                    "per-cell accessor `{word}` in a pencil-confined module — cell \
+                     traffic must flow through gather_pencil/scatter_pencil"
+                ),
+            });
+        }
+    }
+}
+
 fn collect_allows(sf: &SourceFile) -> Vec<Allow> {
     const NEEDLE: &str = "analyze::allow(";
     let mut allows = Vec::new();
@@ -630,6 +672,35 @@ mod tests {
         );
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "safety_comment");
+    }
+
+    #[test]
+    fn pencil_confinement_flags_cell_accessors_in_confined_modules() {
+        let src = "fn f(u: &Unk) { let v = u.get(0, i, j, k, b); u.set(0, i, j, k, b, v); }\n";
+        let v = check("crates/hydro/src/pencil.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "pencil_confinement"));
+        // The same code is fine anywhere else.
+        let elsewhere = check("crates/mesh/src/unk.rs", src);
+        assert!(elsewhere.is_empty(), "{elsewhere:?}");
+    }
+
+    #[test]
+    fn pencil_confinement_ignores_comments_tests_and_longer_names() {
+        let src = "// the scalar path calls get/set/slab_idx per cell\n\
+                   fn f(t: &Table) -> usize { t.base_addr() }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { u.get(0, 1, 1, 0, 0); }\n}\n";
+        let v = check("crates/eos/src/batch.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn pencil_confinement_honors_allow() {
+        let v = check(
+            "crates/hydro/src/pencil.rs",
+            "fn f(u: &Unk) {\n    // analyze::allow(pencil_confinement): one-off probe read, not a loop.\n    u.get(0, 1, 1, 0, 0);\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -19,6 +19,7 @@ const EXPECTED: &[(&str, &[&str])] = &[
     ("allow_unused.rs", &["unused_allow"]),
     ("hot_path_todo.rs", &["panic"]),
     ("hot_path_unwrap.rs", &["panic"]),
+    ("pencil_cell_access.rs", &["pencil_confinement"]),
     ("send_sync_unnamed.rs", &["send_sync"]),
     ("stray_mmap.rs", &["alloc_confinement"]),
     ("unsafe_missing_safety.rs", &["safety_comment"]),

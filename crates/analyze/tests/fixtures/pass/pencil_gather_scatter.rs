@@ -1,0 +1,19 @@
+//@ path: crates/hydro/src/pencil.rs
+// Fixture: a pencil-confined module staying inside the contract — lane
+// loops over gathered slices, gather/scatter at the edges, no per-cell
+// accessors. Longer identifiers containing the forbidden words (base_addr,
+// settle, getter-free `at`) must not trip the token matcher.
+// Expected: clean.
+
+pub fn advance_lane(geom: &UnkGeom, slab: &mut [f64], dens: &mut [f64], lo: usize, hi: usize) {
+    geom.gather_pencil(slab, 0, 0, 2, 2, dens);
+    for x in dens[lo..hi].iter_mut() {
+        *x = (*x).max(1e-30);
+    }
+    geom.scatter_pencil(slab, 0, 0, 2, 2, lo..hi, dens);
+}
+
+pub fn table_span(t: &Table) -> usize {
+    // base_addr contains "addr" as a substring but is its own identifier.
+    t.base_addr() + t.bytes()
+}

@@ -1,0 +1,214 @@
+//! Scalar vs. pencil-batched sweep engine, plus batched-Helmholtz lane
+//! occupancy → appends one record to `BENCH_kernels.json`.
+//!
+//! The two engines are bit-identical (proven by the hydro parity tests), so
+//! the only thing this bin measures is the per-zone cost of the inner
+//! loops: gather-once SoA lanes vs. per-cell strided index arithmetic. The
+//! workload is the paper's hydro-dominated case — a seeded 3-d Sedov grid —
+//! swept in all three directions with the EOS folded into the sweep
+//! (`SweepEos::Batch`), exactly the traffic Table II instruments. A
+//! separate micro-benchmark runs the batched Helmholtz `DensEi` inversion
+//! over a seeded density/temperature grid and reports what fraction of
+//! lanes stayed on the vectorized path (`batch_occupancy`); lanes that
+//! refuse to converge fall back to the scalar Newton and lower it.
+//!
+//! Usage: `kernel_bench [--smoke | --paper]` (default: quick). `--smoke`
+//! shrinks the grid and round count for CI; the speedup ratio is printed,
+//! not asserted, so a loaded CI box cannot fail the build.
+
+use std::time::Instant;
+
+use rflash_bench::RunScale;
+use rflash_core::setups::sedov::SedovSetup;
+use rflash_core::{RuntimeParams, Simulation};
+use rflash_eos::{Eos, EosBatch, EosMode, Helmholtz, TableConfig};
+use rflash_hugepages::Policy;
+use rflash_hydro::{compute_dt_parallel, sweep_direction, SweepConfig, SweepEngine, SweepEos, NFLUX};
+use rflash_mesh::flux::FluxRegister;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct KernelRecord {
+    git_rev: String,
+    host: String,
+    smoke: bool,
+    rounds: u64,
+    zones_per_round: u64,
+    ns_per_zone_scalar: f64,
+    ns_per_zone_batched: f64,
+    /// scalar / batched per-zone time (>1 means the pencil engine wins).
+    speedup: f64,
+    /// Vectorized-lane fraction of the batched Helmholtz DensEi inversion.
+    batch_occupancy: f64,
+}
+
+fn sedov_sim(scale: &RunScale) -> Simulation {
+    let setup = SedovSetup {
+        ndim: 3,
+        nxb: 8,
+        max_refine: scale.max_refine,
+        max_blocks: scale.max_blocks,
+        ..SedovSetup::default()
+    };
+    setup.build(RuntimeParams {
+        policy: Policy::None,
+        pattern_every: 0,
+        gather_every: 0,
+        ..RuntimeParams::with_mesh(setup.mesh_config())
+    })
+}
+
+/// Time `rounds` full (x, y, z) sweep triples with the sweep-integrated
+/// EOS. Returns (ns per zone, zones per round). A fresh deterministic
+/// Sedov grid per engine plus bit-identical engines means both timings
+/// walk exactly the same states and dt sequence.
+fn time_engine(scale: &RunScale, engine: SweepEngine, rounds: u64) -> (f64, u64) {
+    let mut sim = sedov_sim(scale);
+    let ndim = sim.domain.tree.config().ndim;
+    let cfg = SweepConfig {
+        engine,
+        pattern_every: 0,
+        ..SweepConfig::default()
+    };
+    let mut reg = FluxRegister::new(
+        ndim,
+        sim.domain.tree.config().nxb,
+        NFLUX,
+        sim.domain.tree.config().max_blocks,
+    );
+    let sweep_eos = SweepEos::Batch {
+        eos: sim.eos.as_dyn(),
+        abar: sim.comp.abar,
+        zbar: sim.comp.zbar,
+    };
+
+    let mut run_round = |domain: &mut rflash_mesh::Domain, timed: bool| -> u64 {
+        let dt = compute_dt_parallel(domain, 0.3, 1);
+        let mut zones = 0;
+        for dir in 0..ndim {
+            for probe in sweep_direction(domain, &sweep_eos, dir, dt, &mut reg, &cfg) {
+                zones += probe.stats.zones;
+            }
+        }
+        let _ = timed;
+        zones
+    };
+
+    // Warm-up: first epoch builds the pencil scratch arenas and faults in
+    // every page of unk; steady state is what the record should show.
+    run_round(&mut sim.domain, false);
+
+    let t0 = Instant::now();
+    let mut zones = 0u64;
+    for _ in 0..rounds {
+        zones += run_round(&mut sim.domain, true);
+    }
+    let ns = t0.elapsed().as_nanos() as f64;
+    (ns / zones.max(1) as f64, zones / rounds.max(1))
+}
+
+/// Batched Helmholtz DensEi inversion over a seeded (ρ, T) grid spanning
+/// the table. Returns the vectorized-lane fraction.
+fn helmholtz_occupancy(lanes: usize) -> f64 {
+    let h = Helmholtz::build(TableConfig::coarse(), Policy::None).expect("coarse Helmholtz table");
+    let abar = vec![13.714285714285715; lanes];
+    let zbar = vec![6.857142857142857; lanes];
+    let mut dens = vec![0.0; lanes];
+    let mut temp = vec![0.0; lanes];
+    for i in 0..lanes {
+        let f = i as f64 / lanes as f64;
+        dens[i] = 10f64.powf(-1.0 + 8.0 * f); // 1e-1 .. 1e7 g/cc
+        temp[i] = 10f64.powf(6.0 + 3.0 * ((7 * i + 3) % lanes) as f64 / lanes as f64);
+    }
+    let mut eint = vec![0.0; lanes];
+    let mut pres = vec![0.0; lanes];
+    let mut gamc = vec![0.0; lanes];
+    let mut game = vec![0.0; lanes];
+    // Forward pass at the seeded temperatures fixes consistent energies...
+    let mut fwd = EosBatch {
+        dens: &dens,
+        eint: &mut eint,
+        temp: &mut temp,
+        abar: &abar,
+        zbar: &zbar,
+        pres: &mut pres,
+        gamc: &mut gamc,
+        game: &mut game,
+    };
+    h.eos_batch(EosMode::DensTemp, &mut fwd)
+        .expect("forward DensTemp pass");
+    // ...then the inversion starts from a deliberately poor guess so the
+    // Newton lanes do real work before converging (or falling back).
+    for t in temp.iter_mut() {
+        *t *= 3.0;
+    }
+    let mut inv = EosBatch {
+        dens: &dens,
+        eint: &mut eint,
+        temp: &mut temp,
+        abar: &abar,
+        zbar: &zbar,
+        pres: &mut pres,
+        gamc: &mut gamc,
+        game: &mut game,
+    };
+    let report = h
+        .eos_batch(EosMode::DensEi, &mut inv)
+        .expect("batched DensEi inversion");
+    report.vector_lanes as f64 / report.lanes.max(1) as f64
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn hostname() -> String {
+    std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|_| "unknown".to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = RunScale::from_args(&args);
+    let rounds = if scale.steps == 0 { 10 } else { scale.steps };
+
+    let (ns_scalar, zones_per_round) = time_engine(&scale, SweepEngine::Scalar, rounds);
+    let (ns_batched, _) = time_engine(&scale, SweepEngine::Pencil, rounds);
+    let occupancy = helmholtz_occupancy(if smoke { 512 } else { 4096 });
+
+    let rec = KernelRecord {
+        git_rev: git_rev(),
+        host: hostname(),
+        smoke,
+        rounds,
+        zones_per_round,
+        ns_per_zone_scalar: ns_scalar,
+        ns_per_zone_batched: ns_batched,
+        speedup: ns_scalar / ns_batched.max(1e-12),
+        batch_occupancy: occupancy,
+    };
+    println!(
+        "sedov_3d sweep+eos: scalar {:.1} ns/zone, pencil {:.1} ns/zone ({:.2}x), \
+         helmholtz batch occupancy {:.3}",
+        rec.ns_per_zone_scalar, rec.ns_per_zone_batched, rec.speedup, rec.batch_occupancy
+    );
+
+    // Append to the history file so regressions are visible across revs.
+    let path = "BENCH_kernels.json";
+    let mut records: Vec<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    records.push(serde_json::to_value(&rec).expect("serialize kernel record"));
+    let json = serde_json::to_string_pretty(&records).expect("serialize kernel records");
+    std::fs::write(path, json).expect("write BENCH_kernels.json");
+    println!("-> {path} ({} records)", records.len());
+}

@@ -28,6 +28,26 @@ fn rank_report(loads: &[rflash_perfmon::RankLoad]) {
     );
 }
 
+/// Pencil/batch counters: how much cell traffic moved through the SoA
+/// gather/scatter path and what fraction of batched-EOS lanes stayed
+/// vectorized (Helmholtz lanes that fail to converge fall back to the
+/// scalar Newton and lower the occupancy).
+fn batch_report(sim: &mut rflash_core::Simulation) {
+    let hydro = *sim.hydro_session.stats_mut();
+    let eos = *sim.eos_session.stats_mut();
+    let s = hydro + eos;
+    println!(
+        "  pencil gather/scatter: {:.1}M / {:.1}M cells",
+        s.gather_cells as f64 / 1e6,
+        s.scatter_cells as f64 / 1e6
+    );
+    println!(
+        "  batched EOS: {:.1}M lanes, occupancy {:.3}",
+        s.batch_lanes as f64 / 1e6,
+        s.batch_occupancy()
+    );
+}
+
 fn breakdown(name: &str, timers: &rflash_perfmon::Timers) {
     let labels = ["hydro", "eos", "flame", "gravity", "regrid", "dt"];
     let total: f64 = labels.iter().map(|l| timers.seconds(l)).sum();
@@ -66,6 +86,7 @@ fn main() {
     let eos_share = sim.timers.seconds("eos")
         / (sim.timers.seconds("eos") + sim.timers.seconds("hydro")).max(1e-12);
     println!("  -> EOS fraction of (hydro+eos): {:.0}%", eos_share * 100.0);
+    batch_report(&mut sim);
     rank_report(&sim.rank_loads());
 
     let setup = SedovSetup {
@@ -84,6 +105,7 @@ fn main() {
     });
     sim.evolve(steps.min(30));
     breakdown("3-d Sedov (hydro-dominated)", &sim.timers);
+    batch_report(&mut sim);
     rank_report(&sim.rank_loads());
 
     // Fallback/retry counters from the allocation degradation chain: a run

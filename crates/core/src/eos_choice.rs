@@ -5,7 +5,7 @@
 //! supernova), so a uniform `(abar, zbar)` suffices and matches the data
 //! flow the EOS unit sees.
 
-use rflash_eos::{Eos, EosError, EosMode, EosState, GammaLaw, Helmholtz};
+use rflash_eos::{BatchReport, Eos, EosBatch, EosError, EosMode, EosState, GammaLaw, Helmholtz};
 use serde::{Deserialize, Serialize};
 
 /// Mean atomic mass / charge of the (uniform) mixture.
@@ -52,6 +52,28 @@ impl EosChoice {
         match self {
             EosChoice::Gamma(g) => g.call(mode, state),
             EosChoice::Helmholtz(h) => h.call(mode, state),
+        }
+    }
+
+    /// Batched SoA evaluation — dispatches to the underlying
+    /// [`Eos::eos_batch`] (the caller fills the composition lanes).
+    pub fn eos_batch(
+        &self,
+        mode: EosMode,
+        batch: &mut EosBatch<'_>,
+    ) -> Result<BatchReport, EosError> {
+        match self {
+            EosChoice::Gamma(g) => g.eos_batch(mode, batch),
+            EosChoice::Helmholtz(h) => h.eos_batch(mode, batch),
+        }
+    }
+
+    /// Borrow the underlying EOS as a trait object (the sweep's
+    /// [`rflash_hydro::SweepEos::Batch`] mode wants one).
+    pub fn as_dyn(&self) -> &dyn Eos {
+        match self {
+            EosChoice::Gamma(g) => g,
+            EosChoice::Helmholtz(h) => h.as_ref(),
         }
     }
 

@@ -1,7 +1,7 @@
 //! Instrumentation wiring: registering the big buffers with the TLB model
 //! and the instrumented `Eos_wrapped` pass.
 
-use rflash_eos::{EosMode, EosState};
+use rflash_eos::{EosBatch, EosMode};
 use rflash_hugepages::BackingReport;
 use rflash_mesh::{vars, Domain};
 use rflash_perfmon::PerfSession;
@@ -67,10 +67,21 @@ pub fn eos_pass(
     let probes = domain.par_leaf_update(params.nranks, |_tree, id, slab, probe| {
         let ng = geom.nguard;
         let nxb = geom.nxb;
+        let n = geom.ni; // full x-row (pencil) length, guards included
         let kr = if geom.ndim == 3 { ng..ng + nxb } else { 0..1 };
         let mut zone_counter = 0usize;
         let mut gather_buf: Vec<usize> = Vec::with_capacity(48);
         let mut row_counter = 0usize;
+        // Row lanes (SoA), reused across rows: the whole row goes through
+        // one batched EOS call instead of per-zone `Eos::call`s.
+        let mut dens_l = vec![0.0f64; n];
+        let mut eint_l = vec![0.0f64; n];
+        let mut temp_l = vec![0.0f64; n];
+        let mut pres_l = vec![0.0f64; n];
+        let mut gamc_l = vec![0.0f64; n];
+        let mut game_l = vec![0.0f64; n];
+        let abar_l = vec![comp.abar; nxb];
+        let zbar_l = vec![comp.zbar; nxb];
 
         for k in kr {
             for j in ng..ng + nxb {
@@ -97,59 +108,67 @@ pub fn eos_pass(
                     row_counter += 1;
                 }
 
-                for i in ng..ng + nxb {
-                    let dens = slab[geom.slab_idx(vars::DENS, i, j, k)];
-                    let eint = slab[geom.slab_idx(vars::EINT, i, j, k)];
-                    let temp = slab[geom.slab_idx(vars::TEMP, i, j, k)];
-                    let mut state = EosState {
-                        dens,
-                        temp,
-                        abar: comp.abar,
-                        zbar: comp.zbar,
-                        pres: 0.0,
-                        eint,
-                        entr: 0.0,
-                        gamc: 0.0,
-                        game: 0.0,
-                        cs: 0.0,
-                        cv: 0.0,
-                    };
-                    eos.call(EosMode::DensEi, comp, &mut state)
-                        .unwrap_or_else(|e| {
-                            panic!(
-                                "EOS pass failed at zone ({i},{j},{k}) of block {}: \
-                                 dens={dens:e} eint={eint:e} temp={temp:e}: {e}",
-                                id.idx()
-                            )
-                        });
-                    slab[geom.slab_idx(vars::PRES, i, j, k)] = state.pres;
-                    slab[geom.slab_idx(vars::TEMP, i, j, k)] = state.temp;
-                    slab[geom.slab_idx(vars::GAMC, i, j, k)] = state.gamc;
-                    slab[geom.slab_idx(vars::GAME, i, j, k)] = state.game;
-                    probe.stats.eos_calls += 1;
-                    probe.stats.zones += 1;
-                    // A Helmholtz evaluation is ~300 lane ops of
-                    // interpolation arithmetic (plus Newton iterations).
-                    probe.stats.add_vec(300);
+                geom.gather_pencil(slab, vars::DENS, 0, j, k, &mut dens_l);
+                geom.gather_pencil(slab, vars::EINT, 0, j, k, &mut eint_l);
+                geom.gather_pencil(slab, vars::TEMP, 0, j, k, &mut temp_l);
+                probe.stats.gather_cells += (3 * n) as u64;
+                let mut batch = EosBatch {
+                    dens: &dens_l[ng..ng + nxb],
+                    eint: &mut eint_l[ng..ng + nxb],
+                    temp: &mut temp_l[ng..ng + nxb],
+                    abar: &abar_l,
+                    zbar: &zbar_l,
+                    pres: &mut pres_l[ng..ng + nxb],
+                    gamc: &mut gamc_l[ng..ng + nxb],
+                    game: &mut game_l[ng..ng + nxb],
+                };
+                let report = eos
+                    .eos_batch(EosMode::DensEi, &mut batch)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "EOS pass failed in row (j={j}, k={k}) of block {}: {e}",
+                            id.idx()
+                        )
+                    });
+                probe.stats.batch_lanes += report.lanes;
+                probe.stats.batch_vector_lanes += report.vector_lanes;
+                geom.scatter_pencil(slab, vars::PRES, 0, j, k, ng..ng + nxb, &pres_l);
+                geom.scatter_pencil(slab, vars::TEMP, 0, j, k, ng..ng + nxb, &temp_l);
+                geom.scatter_pencil(slab, vars::GAMC, 0, j, k, ng..ng + nxb, &gamc_l);
+                geom.scatter_pencil(slab, vars::GAME, 0, j, k, ng..ng + nxb, &game_l);
+                probe.stats.scatter_cells += (4 * nxb) as u64;
+                probe.stats.eos_calls += nxb as u64;
+                probe.stats.zones += nxb as u64;
+                // A Helmholtz evaluation is ~300 lane ops of interpolation
+                // arithmetic (plus Newton iterations) per zone.
+                probe.stats.add_vec(300 * nxb as u64);
 
-                    // Table gather pattern, sampled.
-                    if gather_every > 0 && zone_counter.is_multiple_of(gather_every) {
-                        if let Some(h) = eos.helmholtz() {
-                            gather_buf.clear();
-                            let rho_ye = dens * comp.zbar / comp.abar;
-                            if h.table()
-                                .gather_indices(rho_ye, state.temp, &mut gather_buf)
-                                .is_ok()
-                            {
-                                probe.record(AccessPattern::Gather {
-                                    base: h.table().base_addr(),
-                                    elem: 8,
-                                    indices: gather_buf.clone(),
-                                });
+                // Table gather patterns, sampled (post-solve temperatures —
+                // the same pages the scalar Newton touched last).
+                if gather_every > 0 {
+                    if let Some(h) = eos.helmholtz() {
+                        for i in 0..nxb {
+                            if zone_counter.is_multiple_of(gather_every) {
+                                gather_buf.clear();
+                                let rho_ye = dens_l[ng + i] * comp.zbar / comp.abar;
+                                if h.table()
+                                    .gather_indices(rho_ye, temp_l[ng + i], &mut gather_buf)
+                                    .is_ok()
+                                {
+                                    probe.record(AccessPattern::Gather {
+                                        base: h.table().base_addr(),
+                                        elem: 8,
+                                        indices: gather_buf.clone(),
+                                    });
+                                }
                             }
+                            zone_counter += 1;
                         }
+                    } else {
+                        zone_counter += nxb;
                     }
-                    zone_counter += 1;
+                } else {
+                    zone_counter += nxb;
                 }
             }
         }

@@ -1,6 +1,7 @@
 //! Runtime parameters — FLASH's `flash.par`, as a serde-able struct.
 
 use rflash_hugepages::Policy;
+use rflash_hydro::SweepEngine;
 use rflash_mesh::MeshConfig;
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +36,10 @@ pub struct RuntimeParams {
     /// [`crate::Simulation::evolve_checkpointed`] (0 disables).
     #[serde(default)]
     pub checkpoint_every: u64,
+    /// Sweep inner-loop engine (pencil-batched SoA by default; `scalar`
+    /// keeps the per-zone reference path).
+    #[serde(default)]
+    pub sweep_engine: SweepEngine,
 }
 
 impl RuntimeParams {
@@ -55,6 +60,7 @@ impl RuntimeParams {
             tlb_sample_every: 1,
             use_hw: true,
             checkpoint_every: 0,
+            sweep_engine: SweepEngine::default(),
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use rflash_flame::AdrFlame;
 use rflash_gravity::{apply_gravity, GravityField, MonopoleSolver};
-use rflash_hydro::{compute_dt_parallel, sweep_direction, SweepConfig, NFLUX};
+use rflash_hydro::{compute_dt_parallel, sweep_direction, SweepConfig, SweepEos, NFLUX};
 use rflash_mesh::flux::FluxRegister;
 use rflash_mesh::refine::{lohner_marks, LohnerConfig};
 use rflash_mesh::{vars, Domain};
@@ -120,11 +120,12 @@ impl Simulation {
             dens_floor: self.params.dens_floor,
             eint_floor: self.params.eint_floor,
             pattern_every: self.params.pattern_every,
+            engine: self.params.sweep_engine,
+            // Pencil scratch rides the same huge-page policy as unk.
+            scratch_policy: self.params.policy,
         };
         // The sweep defers thermodynamics to the instrumented EOS pass.
-        let defer_eos = |_s: &mut rflash_eos::EosState,
-                         _p: &mut rflash_perfmon::Probe|
-         -> Result<bool, rflash_eos::EosError> { Ok(false) };
+        let defer_eos = SweepEos::Defer;
 
         // Reverse the sweep order on odd steps (Strang-like alternation).
         let dirs: Vec<usize> = if self.step.is_multiple_of(2) {

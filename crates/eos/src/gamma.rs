@@ -2,7 +2,7 @@
 //! like the Sedov explosion (the paper's "3-d Hydro" test).
 
 use crate::consts::{K_B, N_A};
-use crate::{Eos, EosError, EosMode, EosState};
+use crate::{BatchReport, Eos, EosBatch, EosError, EosMode, EosState};
 
 /// P = (γ−1) ρ e, with temperature defined through the ideal-gas specific
 /// heat c_v = Nₐ k / (Ā (γ−1)).
@@ -87,6 +87,76 @@ impl Eos for GammaLaw {
 
     fn name(&self) -> &'static str {
         "gamma-law"
+    }
+
+    /// Branch-light lane loops. Entropy is not an [`EosBatch`] output, so
+    /// the two `ln` calls of the scalar path are skipped; every output lane
+    /// is bit-identical to `call` (same expressions, same order).
+    fn eos_batch(&self, mode: EosMode, b: &mut EosBatch<'_>) -> Result<BatchReport, EosError> {
+        let lanes = b.lanes();
+        for l in 0..lanes {
+            let dens = b.dens[l];
+            if !(dens.is_finite() && dens > 0.0) {
+                return Err(EosError::BadInput {
+                    what: "dens",
+                    value: dens,
+                });
+            }
+            match mode {
+                EosMode::DensTemp => {
+                    if b.temp[l].is_nan() || b.temp[l] <= 0.0 {
+                        return Err(EosError::BadInput {
+                            what: "temp",
+                            value: b.temp[l],
+                        });
+                    }
+                }
+                EosMode::DensEi => {
+                    if b.eint[l].is_nan() || b.eint[l] <= 0.0 {
+                        return Err(EosError::BadInput {
+                            what: "eint",
+                            value: b.eint[l],
+                        });
+                    }
+                }
+                EosMode::DensPres => {
+                    if b.pres[l].is_nan() || b.pres[l] <= 0.0 {
+                        return Err(EosError::BadInput {
+                            what: "pres",
+                            value: b.pres[l],
+                        });
+                    }
+                }
+            }
+        }
+        let gm1 = self.gamma - 1.0;
+        match mode {
+            EosMode::DensTemp => {
+                for l in 0..lanes {
+                    b.eint[l] = self.cv(b.abar[l]) * b.temp[l];
+                }
+            }
+            EosMode::DensEi => {
+                for l in 0..lanes {
+                    b.temp[l] = b.eint[l] / self.cv(b.abar[l]);
+                }
+            }
+            EosMode::DensPres => {
+                for l in 0..lanes {
+                    b.eint[l] = b.pres[l] / (gm1 * b.dens[l]);
+                    b.temp[l] = b.eint[l] / self.cv(b.abar[l]);
+                }
+            }
+        }
+        for l in 0..lanes {
+            b.pres[l] = gm1 * b.dens[l] * b.eint[l];
+            b.gamc[l] = self.gamma;
+            b.game[l] = 1.0 + b.pres[l] / (b.dens[l] * b.eint[l]).max(f64::MIN_POSITIVE);
+        }
+        Ok(BatchReport {
+            lanes: lanes as u64,
+            vector_lanes: lanes as u64,
+        })
     }
 }
 
@@ -176,5 +246,53 @@ mod tests {
     #[should_panic(expected = "gamma > 1")]
     fn gamma_must_exceed_one() {
         let _ = GammaLaw::new(1.0);
+    }
+
+    #[test]
+    fn batched_lanes_are_bit_exact_vs_scalar() {
+        let eos = GammaLaw::new(1.4);
+        for mode in [EosMode::DensTemp, EosMode::DensEi, EosMode::DensPres] {
+            let n = 9;
+            let dens: Vec<f64> = (0..n).map(|i| 0.5 + 0.37 * i as f64).collect();
+            let mut eint: Vec<f64> = (0..n).map(|i| 1e12 * (1.0 + 0.11 * i as f64)).collect();
+            let mut temp: Vec<f64> = (0..n).map(|i| 1e6 * (1.0 + 0.07 * i as f64)).collect();
+            let abar: Vec<f64> = (0..n).map(|i| 1.0 + 0.2 * i as f64).collect();
+            let zbar = vec![1.0; n];
+            let mut pres: Vec<f64> = (0..n).map(|i| 1e11 * (1.0 + 0.13 * i as f64)).collect();
+            let mut gamc = vec![0.0; n];
+            let mut game = vec![0.0; n];
+
+            let mut scalar = Vec::new();
+            for l in 0..n {
+                let mut s = state();
+                s.dens = dens[l];
+                s.temp = temp[l];
+                s.abar = abar[l];
+                s.eint = eint[l];
+                s.pres = pres[l];
+                eos.call(mode, &mut s).unwrap();
+                scalar.push(s);
+            }
+
+            let mut b = EosBatch {
+                dens: &dens,
+                eint: &mut eint,
+                temp: &mut temp,
+                abar: &abar,
+                zbar: &zbar,
+                pres: &mut pres,
+                gamc: &mut gamc,
+                game: &mut game,
+            };
+            let report = eos.eos_batch(mode, &mut b).unwrap();
+            assert_eq!(report.vector_lanes, n as u64, "{mode:?}");
+            for l in 0..n {
+                assert_eq!(temp[l], scalar[l].temp, "{mode:?} lane {l} temp");
+                assert_eq!(eint[l], scalar[l].eint, "{mode:?} lane {l} eint");
+                assert_eq!(pres[l], scalar[l].pres, "{mode:?} lane {l} pres");
+                assert_eq!(gamc[l], scalar[l].gamc, "{mode:?} lane {l} gamc");
+                assert_eq!(game[l], scalar[l].game, "{mode:?} lane {l} game");
+            }
+        }
     }
 }

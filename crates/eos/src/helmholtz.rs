@@ -3,9 +3,10 @@
 
 use crate::consts::{A_RAD, H_PLANCK, K_B, N_A};
 use crate::table::{ElecPoint, HelmTable, TableConfig};
-use crate::{Eos, EosError, EosMode, EosState};
+use crate::{BatchReport, Eos, EosBatch, EosError, EosMode, EosState};
 
 use rflash_hugepages::Policy;
+use std::cell::RefCell;
 
 /// The white-dwarf-matter EOS of the paper's supernova simulations.
 pub struct Helmholtz {
@@ -71,6 +72,13 @@ impl Helmholtz {
     fn evaluate(&self, dens: f64, temp: f64, abar: f64, zbar: f64) -> Result<Eval, EosError> {
         let rho_ye = dens * zbar / abar;
         let ele: ElecPoint = self.table.interp(rho_ye, temp)?;
+        Ok(self.assemble(ele, dens, temp, abar, zbar))
+    }
+
+    /// Combine an interpolated electron point with radiation/ions/Coulomb.
+    /// Shared by the scalar and batched paths so both produce bit-identical
+    /// `Eval`s for the same (ρ, T) point.
+    fn assemble(&self, ele: ElecPoint, dens: f64, temp: f64, abar: f64, zbar: f64) -> Eval {
         let mut ev = Eval {
             pres: ele.pres,
             eint: ele.ener / dens,
@@ -100,7 +108,7 @@ impl Helmholtz {
                 add_coulomb(&mut ev, dens, temp, abar, zbar);
             }
         }
-        Ok(ev)
+        ev
     }
 
     fn apply(&self, s: &mut EosState, ev: Eval) {
@@ -192,6 +200,190 @@ impl Helmholtz {
             })
         }
     }
+
+    /// Lane-parallel replica of [`Self::invert`]'s in-loop control flow.
+    ///
+    /// Every lane follows *exactly* the scalar iteration (same clamp, same
+    /// bracket updates, same Newton-vs-bisection decision), but the table
+    /// interpolation — the hot part — runs batched over the still-active
+    /// lanes each round via [`HelmTable::interp_lanes`]. A lane that hits
+    /// the clean `|resid| < 1e-10` exit therefore lands on the bit-identical
+    /// (T, Eval) the scalar solve would return. Lanes that leave the loop
+    /// any other way (bracket collapse, 160 iterations) are marked
+    /// [`LANE_FALLBACK`]: the scalar `invert`'s best-point tracking only
+    /// matters for its post-loop plateau acceptance, so those lanes are
+    /// re-solved through the scalar path by the caller, reproducing the
+    /// plateau/`NoConvergence` outcome exactly.
+    fn invert_lanes<F>(
+        &self,
+        sc: &mut BatchScratch,
+        dens: &[f64],
+        abar: &[f64],
+        zbar: &[f64],
+        temp_guess: &[f64],
+        f: F,
+    ) -> Result<(), EosError>
+    where
+        F: Fn(&Eval) -> (f64, f64), // (value, d(value)/dT)
+    {
+        let n = dens.len();
+        let (tmin, tmax) = self.temp_bounds();
+        sc.t.resize(n, 0.0);
+        sc.lo.resize(n, 0.0);
+        sc.hi.resize(n, 0.0);
+        sc.prev.resize(n, 0.0);
+        sc.status.resize(n, LANE_FALLBACK);
+        sc.t_sol.resize(n, 0.0);
+        sc.ev_sol.resize(n, Eval::default());
+        for (l, &guess) in temp_guess.iter().enumerate() {
+            let mut t = guess.clamp(tmin * 1.0001, tmax * 0.9999);
+            if !t.is_finite() || t <= 0.0 {
+                t = (tmin * tmax).sqrt();
+            }
+            sc.t[l] = t;
+            sc.lo[l] = tmin;
+            sc.hi[l] = tmax;
+            sc.prev[l] = f64::INFINITY;
+            sc.status[l] = LANE_ACTIVE;
+        }
+        sc.active.clear();
+        sc.active.extend(0..n);
+
+        for iter in 0..160 {
+            let n_active = sc.active.len();
+            if n_active == 0 {
+                break;
+            }
+            // Compact the active lanes so the interpolation runs over
+            // contiguous inputs.
+            sc.c_dens.clear();
+            sc.c_temp.clear();
+            sc.c_abar.clear();
+            sc.c_zbar.clear();
+            for &l in &sc.active {
+                sc.c_dens.push(dens[l]);
+                sc.c_temp.push(sc.t[l]);
+                sc.c_abar.push(abar[l]);
+                sc.c_zbar.push(zbar[l]);
+            }
+            sc.c_rho.clear();
+            sc.c_rho.resize(n_active, 0.0);
+            for i in 0..n_active {
+                sc.c_rho[i] = sc.c_dens[i] * sc.c_zbar[i] / sc.c_abar[i];
+            }
+            sc.c_ele.clear();
+            sc.c_ele.resize(n_active, ElecPoint::default());
+            self.table
+                .interp_lanes(&sc.c_rho, &sc.c_temp, &mut sc.c_ele)?;
+
+            let mut w = 0;
+            for i in 0..n_active {
+                let l = sc.active[i];
+                let ev = self.assemble(
+                    sc.c_ele[i],
+                    sc.c_dens[i],
+                    sc.c_temp[i],
+                    sc.c_abar[i],
+                    sc.c_zbar[i],
+                );
+                let (value, dvdt) = f(&ev);
+                let goal = sc.goal[l];
+                let resid = (value - goal) / goal.abs().max(f64::MIN_POSITIVE);
+                if resid.abs() < 1e-10 {
+                    sc.status[l] = LANE_VECTOR;
+                    sc.t_sol[l] = sc.t[l];
+                    sc.ev_sol[l] = ev;
+                    continue;
+                }
+                if value > goal {
+                    sc.hi[l] = sc.hi[l].min(sc.t[l]);
+                } else {
+                    sc.lo[l] = sc.lo[l].max(sc.t[l]);
+                }
+                if sc.hi[l] / sc.lo[l] < 1.0 + 1e-14 {
+                    sc.status[l] = LANE_FALLBACK;
+                    continue;
+                }
+                let newton = sc.t[l] - (value - goal) / dvdt;
+                let newton_ok = newton.is_finite()
+                    && newton > sc.lo[l]
+                    && newton < sc.hi[l]
+                    && (iter < 8 || resid.abs() < 0.5 * sc.prev[l]);
+                sc.t[l] = if newton_ok {
+                    newton
+                } else {
+                    (sc.lo[l] * sc.hi[l]).sqrt()
+                };
+                sc.prev[l] = resid.abs();
+                sc.active[w] = l;
+                w += 1;
+            }
+            sc.active.truncate(w);
+        }
+        // Lanes that exhausted the iteration budget go to the scalar path.
+        for &l in &sc.active {
+            sc.status[l] = LANE_FALLBACK;
+        }
+        Ok(())
+    }
+
+    /// Scalar re-solve for one lane that left the vector iteration without
+    /// a clean exit; writes the lane outputs exactly as the default batch
+    /// fallback would.
+    fn fallback_lane(&self, mode: EosMode, b: &mut EosBatch<'_>, l: usize) -> Result<(), EosError> {
+        let mut s = EosState {
+            dens: b.dens[l],
+            temp: b.temp[l],
+            abar: b.abar[l],
+            zbar: b.zbar[l],
+            pres: b.pres[l],
+            eint: b.eint[l],
+            entr: 0.0,
+            gamc: 0.0,
+            game: 0.0,
+            cs: 0.0,
+            cv: 0.0,
+        };
+        self.call(mode, &mut s)?;
+        b.temp[l] = s.temp;
+        b.pres[l] = s.pres;
+        b.eint[l] = s.eint;
+        b.gamc[l] = s.gamc;
+        b.game[l] = s.game;
+        Ok(())
+    }
+}
+
+/// Lane states of the batched inversion.
+const LANE_ACTIVE: u8 = 0;
+/// Clean `|resid| < 1e-10` exit — the vector path's solution is used as-is.
+const LANE_VECTOR: u8 = 1;
+/// Bracket collapse or iteration exhaustion — re-solved via scalar `call`.
+const LANE_FALLBACK: u8 = 2;
+
+/// Reusable per-thread scratch for the batched solve: grown once to the
+/// widest batch seen on this thread, then reused allocation-free.
+#[derive(Default)]
+struct BatchScratch {
+    goal: Vec<f64>,
+    t: Vec<f64>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    prev: Vec<f64>,
+    status: Vec<u8>,
+    t_sol: Vec<f64>,
+    ev_sol: Vec<Eval>,
+    active: Vec<usize>,
+    c_dens: Vec<f64>,
+    c_temp: Vec<f64>,
+    c_abar: Vec<f64>,
+    c_zbar: Vec<f64>,
+    c_rho: Vec<f64>,
+    c_ele: Vec<ElecPoint>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<BatchScratch> = RefCell::new(BatchScratch::default());
 }
 
 /// Ion Coulomb corrections for a one-component plasma.
@@ -318,6 +510,137 @@ impl Eos for Helmholtz {
 
     fn name(&self) -> &'static str {
         "helmholtz"
+    }
+
+    /// Vectorized batch path: table gather + bicubic evaluation run as lane
+    /// loops over the whole batch; `DensEi`/`DensPres` lanes that do not hit
+    /// the clean convergence exit fall back to the scalar solve. Outputs are
+    /// bit-identical to per-zone [`Eos::call`] on every lane (see
+    /// [`crate::batch`] for the contract, `invert_lanes` for why).
+    fn eos_batch(&self, mode: EosMode, b: &mut EosBatch<'_>) -> Result<BatchReport, EosError> {
+        let lanes = b.lanes();
+        if lanes == 0 {
+            return Ok(BatchReport::default());
+        }
+        // Per-lane validation in the scalar path's order, so the first bad
+        // lane produces the same error `call` would.
+        for l in 0..lanes {
+            if !(b.dens[l].is_finite() && b.dens[l] > 0.0) {
+                return Err(EosError::BadInput {
+                    what: "dens",
+                    value: b.dens[l],
+                });
+            }
+            if !(b.abar[l] > 0.0 && b.zbar[l] > 0.0) {
+                return Err(EosError::BadInput {
+                    what: "abar/zbar",
+                    value: b.abar[l],
+                });
+            }
+            match mode {
+                EosMode::DensTemp => {}
+                EosMode::DensEi => {
+                    if b.eint[l].is_nan() || b.eint[l] <= 0.0 {
+                        return Err(EosError::BadInput {
+                            what: "eint",
+                            value: b.eint[l],
+                        });
+                    }
+                }
+                EosMode::DensPres => {
+                    if b.pres[l].is_nan() || b.pres[l] <= 0.0 {
+                        return Err(EosError::BadInput {
+                            what: "pres",
+                            value: b.pres[l],
+                        });
+                    }
+                }
+            }
+        }
+
+        SCRATCH.with(|cell| {
+            let sc = &mut *cell.borrow_mut();
+            if let EosMode::DensTemp = mode {
+                // Direct evaluation: batch the interpolation, then the
+                // additive components, exactly as `call` + `apply` would.
+                sc.c_rho.clear();
+                sc.c_rho.resize(lanes, 0.0);
+                for l in 0..lanes {
+                    sc.c_rho[l] = b.dens[l] * b.zbar[l] / b.abar[l];
+                }
+                sc.c_ele.clear();
+                sc.c_ele.resize(lanes, ElecPoint::default());
+                self.table.interp_lanes(&sc.c_rho, &*b.temp, &mut sc.c_ele)?;
+                for l in 0..lanes {
+                    let ev = self.assemble(sc.c_ele[l], b.dens[l], b.temp[l], b.abar[l], b.zbar[l]);
+                    b.pres[l] = ev.pres;
+                    b.eint[l] = ev.eint;
+                    let chi =
+                        ev.dpdr + b.temp[l] * ev.dpdt * ev.dpdt / (b.dens[l] * b.dens[l] * ev.cv);
+                    b.gamc[l] = (chi * b.dens[l] / ev.pres).max(1.01);
+                    b.game[l] =
+                        1.0 + ev.pres / (b.dens[l] * ev.eint).max(f64::MIN_POSITIVE);
+                }
+                return Ok(BatchReport {
+                    lanes: lanes as u64,
+                    vector_lanes: lanes as u64,
+                });
+            }
+
+            sc.goal.clear();
+            match mode {
+                EosMode::DensEi => sc.goal.extend_from_slice(b.eint),
+                EosMode::DensPres => sc.goal.extend_from_slice(b.pres),
+                // DensTemp returned above — this arm is statically unreachable.
+                EosMode::DensTemp => unreachable!(),
+            }
+            {
+                // Split the borrow: invert_lanes mutates the solver fields
+                // while reading the batch's input lanes.
+                let (dens, abar, zbar, temp) = (&*b.dens, &*b.abar, &*b.zbar, &*b.temp);
+                match mode {
+                    EosMode::DensEi => {
+                        self.invert_lanes(sc, dens, abar, zbar, temp, |ev| (ev.eint, ev.cv))?
+                    }
+                    _ => self.invert_lanes(sc, dens, abar, zbar, temp, |ev| (ev.pres, ev.dpdt))?,
+                }
+            }
+
+            let mut vector_lanes = 0u64;
+            for l in 0..lanes {
+                if sc.status[l] == LANE_VECTOR {
+                    vector_lanes += 1;
+                    let ev = sc.ev_sol[l];
+                    let t = sc.t_sol[l];
+                    // Replicates `call`'s tail: temp = t, apply(), goal
+                    // restored, finish_derived() — same expressions in the
+                    // same order, so each output is bit-identical.
+                    let chi = ev.dpdr + t * ev.dpdt * ev.dpdt / (b.dens[l] * b.dens[l] * ev.cv);
+                    b.temp[l] = t;
+                    b.gamc[l] = (chi * b.dens[l] / ev.pres).max(1.01);
+                    match mode {
+                        EosMode::DensEi => {
+                            b.pres[l] = ev.pres;
+                            // eint stays the conserved goal.
+                            b.game[l] = 1.0
+                                + ev.pres / (b.dens[l] * sc.goal[l]).max(f64::MIN_POSITIVE);
+                        }
+                        _ => {
+                            b.eint[l] = ev.eint;
+                            // pres stays the goal.
+                            b.game[l] = 1.0
+                                + sc.goal[l] / (b.dens[l] * ev.eint).max(f64::MIN_POSITIVE);
+                        }
+                    }
+                } else {
+                    self.fallback_lane(mode, b, l)?;
+                }
+            }
+            Ok(BatchReport {
+                lanes: lanes as u64,
+                vector_lanes,
+            })
+        })
     }
 }
 
@@ -466,6 +789,182 @@ mod tests {
     #[test]
     fn name_is_helmholtz() {
         assert_eq!(eos().name(), "helmholtz");
+    }
+
+    /// Drive `eos_batch` and per-zone `call` over the same seeded lanes and
+    /// demand bit-exact agreement on every output, every lane, every mode.
+    #[test]
+    fn batched_lanes_are_bit_exact_vs_scalar() {
+        let h = eos();
+        // Seeded (dens, temp) grid spanning degenerate, ideal, radiation-
+        // and pair-dominated corners; abar/zbar alternate between CO and
+        // helium-like compositions.
+        let mut dens = Vec::new();
+        let mut temp0 = Vec::new();
+        let mut abar = Vec::new();
+        let mut zbar = Vec::new();
+        let mut eint = Vec::new();
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..48 {
+            let d = 10f64.powf(-3.0 + 12.0 * next());
+            let t = 10f64.powf(4.0 + 5.5 * next());
+            let (a, z) = if i % 3 == 0 { (4.0, 2.0) } else { (13.714285714285715, 6.857142857142857) };
+            let mut s = EosState { abar: a, zbar: z, ..EosState::co_wd(d, t) };
+            if h.call(EosMode::DensTemp, &mut s).is_err() {
+                continue;
+            }
+            dens.push(d);
+            temp0.push(t);
+            abar.push(a);
+            zbar.push(z);
+            // Perturbed goals: convergent lanes, plus non-converging lanes
+            // (goal far below the table's representable floor -> the scalar
+            // path only plateaus edge-pinned, i.e. the batch must take its
+            // scalar fallback).
+            let scale = match i % 4 {
+                0 => 1.0 + 0.3 * next(),
+                1 => 0.7,
+                2 => 1e-8, // below the table floor: edge-pinned plateau lane
+                _ => 3.0,
+            };
+            eint.push(s.eint * scale);
+        }
+        let n = dens.len();
+        assert!(n > 30, "grid should mostly be in-domain, got {n}");
+
+        // Scalar reference, lane by lane (guess intentionally off).
+        let mut scalar = Vec::new();
+        for l in 0..n {
+            let mut s = EosState {
+                abar: abar[l],
+                zbar: zbar[l],
+                ..EosState::co_wd(dens[l], 3e7)
+            };
+            s.eint = eint[l];
+            let r = h.call(EosMode::DensEi, &mut s);
+            scalar.push(r.map(|_| s));
+        }
+
+        // Batched, all lanes at once (same guess).
+        let mut b_eint = eint.clone();
+        let mut b_temp = vec![3e7; n];
+        let mut b_pres = vec![0.0; n];
+        let mut b_gamc = vec![0.0; n];
+        let mut b_game = vec![0.0; n];
+        let mut b = EosBatch {
+            dens: &dens,
+            eint: &mut b_eint,
+            temp: &mut b_temp,
+            abar: &abar,
+            zbar: &zbar,
+            pres: &mut b_pres,
+            gamc: &mut b_gamc,
+            game: &mut b_game,
+        };
+        match h.eos_batch(EosMode::DensEi, &mut b) {
+            Ok(report) => {
+                assert_eq!(report.lanes, n as u64);
+                // The seeded grid must exercise BOTH paths: mostly-clean
+                // Newton lanes and scalar-fallback lanes.
+                assert!(report.vector_lanes > 0, "no lane took the vector path");
+                assert!(
+                    report.vector_lanes < n as u64,
+                    "no lane took the scalar fallback"
+                );
+                for l in 0..n {
+                    let s = scalar[l].as_ref().unwrap_or_else(|e| {
+                        panic!("scalar lane {l} failed ({e}) but batch succeeded")
+                    });
+                    assert_eq!(b_temp[l], s.temp, "lane {l} temp");
+                    assert_eq!(b_pres[l], s.pres, "lane {l} pres");
+                    assert_eq!(b_eint[l], s.eint, "lane {l} eint");
+                    assert_eq!(b_gamc[l], s.gamc, "lane {l} gamc");
+                    assert_eq!(b_game[l], s.game, "lane {l} game");
+                }
+            }
+            Err(e) => {
+                // Contract: the batch errors iff some lane's scalar solve
+                // errors (first such lane wins).
+                assert!(
+                    scalar.iter().any(|r| r.is_err()),
+                    "batch failed ({e}) but every scalar lane succeeded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_dens_temp_is_bit_exact_vs_scalar() {
+        let h = eos();
+        let dens = [1e-3, 1e2, 1e5, 2e9, 1e7];
+        let mut temp = [1e6, 1e7, 3e9, 5e7, 1e8];
+        let n = dens.len();
+        let abar = [13.714285714285715; 5];
+        let zbar = [6.857142857142857; 5];
+        let mut eint = [0.0; 5];
+        let mut pres = [0.0; 5];
+        let mut gamc = [0.0; 5];
+        let mut game = [0.0; 5];
+        let temp_in = temp;
+        let mut b = EosBatch {
+            dens: &dens,
+            eint: &mut eint,
+            temp: &mut temp,
+            abar: &abar,
+            zbar: &zbar,
+            pres: &mut pres,
+            gamc: &mut gamc,
+            game: &mut game,
+        };
+        let report = h.eos_batch(EosMode::DensTemp, &mut b).unwrap();
+        assert_eq!(report.vector_lanes, n as u64, "DensTemp is all-vector");
+        for l in 0..n {
+            let mut s = EosState::co_wd(dens[l], temp_in[l]);
+            h.call(EosMode::DensTemp, &mut s).unwrap();
+            assert_eq!(pres[l], s.pres, "lane {l} pres");
+            assert_eq!(eint[l], s.eint, "lane {l} eint");
+            assert_eq!(gamc[l], s.gamc, "lane {l} gamc");
+            assert_eq!(game[l], s.game, "lane {l} game");
+        }
+    }
+
+    #[test]
+    fn batched_dens_pres_round_trips() {
+        let h = eos();
+        let dens = [1e7, 1e3];
+        let mut s0 = EosState::co_wd(dens[0], 1e8);
+        h.call(EosMode::DensTemp, &mut s0).unwrap();
+        let mut s1 = EosState::co_wd(dens[1], 1e8);
+        h.call(EosMode::DensTemp, &mut s1).unwrap();
+        let mut pres = [s0.pres, s1.pres];
+        let mut temp = [1e9, 1e9];
+        let mut eint = [0.0, 0.0];
+        let abar = [13.714285714285715; 2];
+        let zbar = [6.857142857142857; 2];
+        let mut gamc = [0.0; 2];
+        let mut game = [0.0; 2];
+        let mut b = EosBatch {
+            dens: &dens,
+            eint: &mut eint,
+            temp: &mut temp,
+            abar: &abar,
+            zbar: &zbar,
+            pres: &mut pres,
+            gamc: &mut gamc,
+            game: &mut game,
+        };
+        h.eos_batch(EosMode::DensPres, &mut b).unwrap();
+        for (l, want) in [(0usize, 1e8f64), (1, 1e8)] {
+            assert!(
+                (temp[l] - want).abs() / want < 1e-5,
+                "lane {l}: T={:e}",
+                temp[l]
+            );
+        }
     }
 }
 

@@ -27,6 +27,7 @@
 //! [`EosMode`]: `DensTemp` evaluates directly, `DensEi` and `DensPres`
 //! invert for temperature with Newton iterations.
 
+pub mod batch;
 pub mod consts;
 pub mod electron;
 pub mod fermi;
@@ -34,6 +35,7 @@ pub mod gamma;
 pub mod helmholtz;
 pub mod table;
 
+pub use batch::{BatchReport, EosBatch};
 pub use gamma::GammaLaw;
 pub use helmholtz::Helmholtz;
 pub use table::{HelmTable, TableConfig};
@@ -159,6 +161,42 @@ pub trait Eos: Send + Sync {
 
     /// A short name for reports.
     fn name(&self) -> &'static str;
+
+    /// Evaluate/invert a whole batch of zones at once (FLASH's `eosvector`).
+    ///
+    /// The default implementation is the per-zone fallback guaranteed by the
+    /// [`batch`] contract: it loops [`Eos::call`] over the lanes and reports
+    /// `vector_lanes: 0`. Implementations with a vectorizable kernel
+    /// (notably [`Helmholtz`]) override it; callers may rely on the outputs
+    /// being bit-identical to per-zone calls either way.
+    fn eos_batch(&self, mode: EosMode, b: &mut EosBatch<'_>) -> Result<BatchReport, EosError> {
+        let lanes = b.lanes();
+        for l in 0..lanes {
+            let mut s = EosState {
+                dens: b.dens[l],
+                temp: b.temp[l],
+                abar: b.abar[l],
+                zbar: b.zbar[l],
+                pres: b.pres[l],
+                eint: b.eint[l],
+                entr: 0.0,
+                gamc: 0.0,
+                game: 0.0,
+                cs: 0.0,
+                cv: 0.0,
+            };
+            self.call(mode, &mut s)?;
+            b.temp[l] = s.temp;
+            b.pres[l] = s.pres;
+            b.eint[l] = s.eint;
+            b.gamc[l] = s.gamc;
+            b.game[l] = s.game;
+        }
+        Ok(BatchReport {
+            lanes: lanes as u64,
+            vector_lanes: 0,
+        })
+    }
 }
 
 #[cfg(test)]

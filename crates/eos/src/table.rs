@@ -260,6 +260,32 @@ impl HelmTable {
     /// Interpolate the electron gas at (ρYₑ [g/cm³], T \[K\]).
     pub fn interp(&self, rho_ye: f64, temp: f64) -> Result<ElecPoint, EosError> {
         let (ir, it, tx, ty) = self.locate(rho_ye, temp)?;
+        Ok(self.interp_located(ir, it, tx, ty))
+    }
+
+    /// Interpolate a whole batch of (ρYₑ, T) lanes: the located cell indices
+    /// are gathered first, then the bicubic accumulation runs as one lane
+    /// loop over the shared per-point kernel — the batched table path of the
+    /// vectorized Helmholtz EOS. Lanes are bit-identical to [`Self::interp`];
+    /// the first out-of-domain lane aborts the batch.
+    pub fn interp_lanes(
+        &self,
+        rho_ye: &[f64],
+        temp: &[f64],
+        out: &mut [ElecPoint],
+    ) -> Result<(), EosError> {
+        debug_assert!(rho_ye.len() == temp.len() && rho_ye.len() == out.len());
+        for ((&r, &t), o) in rho_ye.iter().zip(temp.iter()).zip(out.iter_mut()) {
+            let (ir, it, tx, ty) = self.locate(r, t)?;
+            *o = self.interp_located(ir, it, tx, ty);
+        }
+        Ok(())
+    }
+
+    /// The bicubic Hermite kernel at an already-located cell; shared by the
+    /// scalar and batched interpolation paths so both are bit-identical.
+    #[inline]
+    fn interp_located(&self, ir: usize, it: usize, tx: f64, ty: f64) -> ElecPoint {
         let nr = self.config.n_rho;
         let corners = [
             it * nr + ir,
@@ -309,7 +335,7 @@ impl HelmTable {
             out_dy[q] = acc_dy / self.dy;
         }
 
-        Ok(ElecPoint {
+        ElecPoint {
             pres: 10f64.powf(out[0]),
             ener: 10f64.powf(out[1]),
             entr: 10f64.powf(out[2]),
@@ -318,7 +344,7 @@ impl HelmTable {
             dlnp_dlnt: out_dy[0],
             dlne_dlnr: out_dx[1],
             dlne_dlnt: out_dy[1],
-        })
+        }
     }
 
     /// Append the element indices (into the underlying buffer) that one
@@ -488,6 +514,36 @@ mod tests {
             "coarse table is 41×33×12 doubles"
         );
         assert!(table.base_addr() != 0);
+    }
+
+    #[test]
+    fn interp_lanes_is_bit_exact_vs_scalar() {
+        let table = test_table();
+        let n = 37;
+        let (x0, x1) = table.config.log_rho_ye;
+        let (y0, y1) = table.config.log_temp;
+        // Seeded quasi-random lattice across the whole domain (including
+        // both edges via the first/last lanes).
+        let rho_ye: Vec<f64> = (0..n)
+            .map(|i| 10f64.powf(x0 + (x1 - x0) * (i as f64 / (n - 1) as f64)))
+            .collect();
+        let temp: Vec<f64> = (0..n)
+            .map(|i| 10f64.powf(y0 + (y1 - y0) * (((i * 17) % n) as f64 / (n - 1) as f64)))
+            .collect();
+        let mut lanes = vec![ElecPoint::default(); n];
+        table.interp_lanes(&rho_ye, &temp, &mut lanes).unwrap();
+        for i in 0..n {
+            let scalar = table.interp(rho_ye[i], temp[i]).unwrap();
+            assert_eq!(lanes[i].pres, scalar.pres, "lane {i} pres");
+            assert_eq!(lanes[i].ener, scalar.ener, "lane {i} ener");
+            assert_eq!(lanes[i].entr, scalar.entr, "lane {i} entr");
+            assert_eq!(lanes[i].dlnp_dlnt, scalar.dlnp_dlnt, "lane {i} dlnp_dlnt");
+            assert_eq!(lanes[i].dlne_dlnt, scalar.dlne_dlnt, "lane {i} dlne_dlnt");
+        }
+        // Out-of-domain lane aborts the batch.
+        assert!(table
+            .interp_lanes(&[1e20], &[1e7], &mut lanes[..1])
+            .is_err());
     }
 
     #[test]

@@ -80,10 +80,12 @@ impl HugeArena {
             });
         }
         self.offset.set(end);
-        // SAFETY: [start, end) is in-bounds, aligned for T, zero-initialized
-        // (fresh anonymous pages; reset() re-zeroes), and disjoint from every
-        // previously returned slice because the bump pointer only advances.
-        // The &mut self receiver ties the borrow to the arena.
+        // SAFETY: [start, end) is in-bounds, aligned for T, initialized
+        // (fresh anonymous pages are zeroed and reset() re-zeroes; after
+        // recycle() bytes may be stale but any bit pattern is a valid Pod
+        // value), and disjoint from every previously returned slice because
+        // the bump pointer only advances. The &mut self receiver ties the
+        // borrow to the arena.
         let ptr = unsafe { self.region.as_ptr().add(start) as *mut T };
         // SAFETY: same contract as above — `ptr` spans `len` valid `T`s.
         Ok(unsafe { std::slice::from_raw_parts_mut(ptr, len) })
@@ -93,6 +95,17 @@ impl HugeArena {
     pub fn reset(&mut self) {
         let used = self.offset.get();
         self.region.as_mut_slice()[..used].fill(0);
+        self.offset.set(0);
+    }
+
+    /// Recycle the arena *without* zeroing — the steady-state reuse path for
+    /// per-rank scratch that is fully overwritten before being read (the
+    /// sweep pencil buffers). Unlike [`HugeArena::reset`], slices handed out
+    /// after a `recycle` may contain stale bytes from the previous cycle;
+    /// for the `Pod` element types the arena serves every bit pattern is a
+    /// valid value, so this is purely a contract (not a safety) difference.
+    /// Use [`HugeArena::reset`] when zeroed memory matters.
+    pub fn recycle(&mut self) {
         self.offset.set(0);
     }
 }
@@ -159,6 +172,23 @@ mod tests {
         assert_eq!(arena.used(), 0);
         let again = arena.alloc_slice::<u64>(16).unwrap();
         assert!(again.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn recycle_rewinds_without_zeroing() {
+        let mut arena = HugeArena::new(1 << 16, Policy::None).unwrap();
+        let base = {
+            let a = arena.alloc_slice::<u64>(16).unwrap();
+            a.fill(u64::MAX);
+            a.as_ptr() as usize
+        };
+        arena.recycle();
+        assert_eq!(arena.used(), 0);
+        let again = arena.alloc_slice::<u64>(16).unwrap();
+        // Same storage handed back, stale contents preserved — the whole
+        // point: steady-state reuse with no page traffic and no memset.
+        assert_eq!(again.as_ptr() as usize, base);
+        assert!(again.iter().all(|&x| x == u64::MAX));
     }
 
     #[test]

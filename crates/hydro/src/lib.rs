@@ -21,6 +21,7 @@
 
 pub mod dt;
 pub mod exact_riemann;
+pub(crate) mod pencil;
 pub mod ppm;
 pub mod riemann;
 pub mod sedov;
@@ -30,7 +31,7 @@ pub mod sweep;
 pub use dt::{compute_dt, compute_dt_parallel};
 pub use exact_riemann::{ExactRiemann, GasState};
 pub use sedov::SedovSolution;
-pub use sweep::{sweep_direction, SweepConfig};
+pub use sweep::{sweep_direction, SweepConfig, SweepEngine, SweepEos};
 
 /// Number of conserved flux channels (ρ, ρu, ρv, ρw, ρE) — fixed even in
 /// 2-d, where the w channel is identically zero.

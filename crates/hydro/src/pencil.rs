@@ -1,0 +1,447 @@
+//! Pencil-batched SoA sweep engine.
+//!
+//! The scalar engine in [`crate::sweep`] walks zones through
+//! `UnkGeom::slab_idx` per cell: every read is a strided index computation
+//! plus a bounds check, and every kernel sees AoS-shaped `[f64; 8]` rows.
+//! This module is the batched alternative: each pencil is gathered **once**
+//! into contiguous f64 lanes (one lane per variable, guard cells included),
+//! the PPM/flattening/HLLC/update kernels run as branch-light loops over
+//! those lanes, and the results scatter back to `unk` in one pass. Real
+//! FLASH works the same way — `hy_ppm_sweep` copies blocks into 1-d sweep
+//! arrays before touching physics.
+//!
+//! Lane arithmetic is kept in exactly the scalar engine's operation order,
+//! so the two engines produce bit-identical `unk` contents; the scalar path
+//! remains as the parity reference and as the fallback when scratch cannot
+//! be mapped.
+//!
+//! Scratch comes from a per-rank [`HugeArena`] created on first use (the
+//! rank pool's threads persist across epochs, so a `thread_local` is
+//! per-rank persistent storage), sized for the largest pencil seen, and
+//! `recycle()`d per block — steady state performs no allocations and the
+//! lanes sit in one huge-page-backed VMA under the same policy/degradation
+//! chain as `unk` itself.
+//!
+//! This module is under the `pencil_confinement` static-analysis rule: no
+//! per-cell `unk` access (`slab_idx`/`get`/`set`) may appear here — all
+//! `unk` traffic must flow through the gather/scatter helpers.
+
+use std::cell::RefCell;
+
+use rflash_eos::{EosBatch, EosMode};
+use rflash_hugepages::{HugeArena, Policy};
+use rflash_mesh::unk::UnkGeom;
+use rflash_mesh::vars;
+use rflash_perfmon::Probe;
+
+use crate::ppm::{flattening_into, reconstruct_into};
+use crate::riemann::hllc;
+use crate::state::{cons_to_vel_ener, Prim};
+use crate::sweep::{write_zone, BlockFluxes, SweepConfig, SweepEos, READ_VARS, WRITE_VARS};
+use crate::NFLUX;
+
+/// Everything about the block being swept that the engine needs and that is
+/// constant across the block's pencils.
+pub(crate) struct BlockCtx<'a> {
+    pub geom: &'a UnkGeom,
+    pub eos: &'a SweepEos<'a>,
+    pub dir: usize,
+    pub dt: f64,
+    pub dx: f64,
+    pub r_lo: f64,
+    pub cylindrical_r: bool,
+    pub block_idx: usize,
+    pub cfg: &'a SweepConfig,
+    pub nxb: usize,
+    pub ng: usize,
+    pub ndim: usize,
+    pub vm: &'a [usize; 3],
+}
+
+/// Per-rank scratch: one arena reused for every block the rank sweeps.
+struct Scratch {
+    arena: HugeArena,
+    /// The policy the arena was *requested* under (the region itself may
+    /// have degraded along the chain); a config change rebuilds the arena.
+    requested: Policy,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Option<Scratch>> = const { RefCell::new(None) };
+}
+
+/// Split `len` elements off the front of `rest`.
+fn carve<'s>(rest: &mut &'s mut [f64], len: usize) -> &'s mut [f64] {
+    let whole = std::mem::take(rest);
+    let (head, tail) = whole.split_at_mut(len);
+    *rest = tail;
+    head
+}
+
+/// Primitive face state of zone `z` from the face lanes — the SoA twin of
+/// the scalar engine's `mk` closure, same operations in the same order.
+#[inline]
+fn face_prim(
+    fm: &[&mut [f64]; 5],
+    fp: &[&mut [f64]; 5],
+    z: usize,
+    side_plus: bool,
+    game: f64,
+    gamc: f64,
+    dens_floor: f64,
+) -> Prim {
+    let pick = |v: usize| {
+        if side_plus {
+            fp[v][z]
+        } else {
+            fm[v][z]
+        }
+    };
+    let dens = pick(0).max(dens_floor);
+    let pres = pick(4).max(f64::MIN_POSITIVE);
+    let vel = [pick(1), pick(2), pick(3)];
+    let eint = pres / ((game - 1.0) * dens);
+    Prim {
+        dens,
+        vel,
+        pres,
+        ener: eint + 0.5 * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]),
+        gamc,
+    }
+}
+
+/// Sweep one block with the pencil engine. Returns `false` when scratch
+/// could not be mapped (the caller then runs the scalar path — no hot-path
+/// panic on allocation failure).
+pub(crate) fn sweep_block(
+    ctx: &BlockCtx<'_>,
+    slab: &mut [f64],
+    fluxes_out: &mut BlockFluxes,
+    probe: &mut Probe,
+) -> bool {
+    let (geom, dir, ng, nxb) = (ctx.geom, ctx.dir, ctx.ng, ctx.nxb);
+    let n = geom.pencil_len(dir);
+    let dtdx = ctx.dt / ctx.dx;
+    let dens_floor = ctx.cfg.dens_floor;
+    // Lane budget: 8 prim + flat/snap + 5×2 faces + 6 update outputs +
+    // 3 EOS outputs + temp + abar/zbar, each `n` long, plus 5 interface
+    // lanes of `n + 1`.
+    let total = 32 * n + NFLUX * (n + 1);
+
+    SCRATCH.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let need = total * std::mem::size_of::<f64>();
+        let rebuild = match slot.as_ref() {
+            Some(s) => s.arena.capacity() < need || s.requested != ctx.cfg.scratch_policy,
+            None => true,
+        };
+        if rebuild {
+            match HugeArena::new(need, ctx.cfg.scratch_policy) {
+                Ok(arena) => {
+                    *slot = Some(Scratch {
+                        arena,
+                        requested: ctx.cfg.scratch_policy,
+                    })
+                }
+                Err(_) => return false,
+            }
+        }
+        let Some(scratch) = slot.as_mut() else {
+            return false;
+        };
+        scratch.arena.recycle();
+        let Ok(all) = scratch.arena.alloc_slice::<f64>(total) else {
+            return false;
+        };
+
+        let mut rest = all;
+        let w_dens = carve(&mut rest, n);
+        let w_u = carve(&mut rest, n);
+        let w_v = carve(&mut rest, n);
+        let w_w = carve(&mut rest, n);
+        let w_pres = carve(&mut rest, n);
+        let w_game = carve(&mut rest, n);
+        let w_gamc = carve(&mut rest, n);
+        let w_ener = carve(&mut rest, n);
+        let flat = carve(&mut rest, n);
+        let snap = carve(&mut rest, n);
+        let fm: [&mut [f64]; 5] = [
+            carve(&mut rest, n),
+            carve(&mut rest, n),
+            carve(&mut rest, n),
+            carve(&mut rest, n),
+            carve(&mut rest, n),
+        ];
+        let fp: [&mut [f64]; 5] = [
+            carve(&mut rest, n),
+            carve(&mut rest, n),
+            carve(&mut rest, n),
+            carve(&mut rest, n),
+            carve(&mut rest, n),
+        ];
+        let mut ifl: [&mut [f64]; NFLUX] = [
+            carve(&mut rest, n + 1),
+            carve(&mut rest, n + 1),
+            carve(&mut rest, n + 1),
+            carve(&mut rest, n + 1),
+            carve(&mut rest, n + 1),
+        ];
+        let out_dens = carve(&mut rest, n);
+        let out_u = carve(&mut rest, n);
+        let out_v = carve(&mut rest, n);
+        let out_w = carve(&mut rest, n);
+        let out_ener = carve(&mut rest, n);
+        let out_eint = carve(&mut rest, n);
+        let eos_pres = carve(&mut rest, n);
+        let eos_gamc = carve(&mut rest, n);
+        let eos_game = carve(&mut rest, n);
+        let temp_lane = carve(&mut rest, n);
+        let abar_lane = carve(&mut rest, n);
+        let zbar_lane = carve(&mut rest, n);
+
+        let t1_range = ng..ng + nxb;
+        let t2_range = if ctx.ndim == 3 { ng..ng + nxb } else { 0..1 };
+        let mut pencil_counter = 0usize;
+
+        for t2 in t2_range {
+            for t1 in t1_range.clone() {
+                // Gather all read variables into SoA lanes, one strided walk
+                // per variable, then apply the same floors the scalar
+                // engine's `load_prim` applies.
+                geom.gather_pencil(slab, vars::DENS, dir, t1, t2, w_dens);
+                geom.gather_pencil(slab, ctx.vm[0], dir, t1, t2, w_u);
+                geom.gather_pencil(slab, ctx.vm[1], dir, t1, t2, w_v);
+                geom.gather_pencil(slab, ctx.vm[2], dir, t1, t2, w_w);
+                geom.gather_pencil(slab, vars::PRES, dir, t1, t2, w_pres);
+                geom.gather_pencil(slab, vars::GAME, dir, t1, t2, w_game);
+                geom.gather_pencil(slab, vars::GAMC, dir, t1, t2, w_gamc);
+                geom.gather_pencil(slab, vars::ENER, dir, t1, t2, w_ener);
+                probe.stats.gather_cells += (8 * n) as u64;
+                for x in w_dens.iter_mut() {
+                    *x = (*x).max(dens_floor);
+                }
+                for x in w_pres.iter_mut() {
+                    *x = (*x).max(f64::MIN_POSITIVE);
+                }
+                for x in w_gamc.iter_mut() {
+                    *x = (*x).max(1.01);
+                }
+                for x in w_game.iter_mut() {
+                    *x = (*x).max(1.01);
+                }
+
+                // Flattening and reconstruction directly on the lanes.
+                flattening_into(w_pres, w_u, ng - 1, ng + nxb + 1, flat, snap);
+                reconstruct_into(w_dens, ng - 1, ng + nxb + 1, flat, fm[0], fp[0]);
+                reconstruct_into(w_u, ng - 1, ng + nxb + 1, flat, fm[1], fp[1]);
+                reconstruct_into(w_v, ng - 1, ng + nxb + 1, flat, fm[2], fp[2]);
+                reconstruct_into(w_w, ng - 1, ng + nxb + 1, flat, fm[3], fp[3]);
+                reconstruct_into(w_pres, ng - 1, ng + nxb + 1, flat, fm[4], fp[4]);
+
+                // MUSCL–Hancock predictor, identical math to the scalar
+                // engine (see `sweep.rs` for the scheme commentary).
+                for z in ng - 1..ng + nxb + 1 {
+                    let game = w_game[z];
+                    let gamc = w_gamc[z];
+                    let minus = face_prim(&fm, &fp, z, false, game, gamc, dens_floor);
+                    let plus = face_prim(&fm, &fp, z, true, game, gamc, dens_floor);
+                    let f_minus = minus.flux();
+                    let f_plus = plus.flux();
+                    let half = 0.5 * dtdx;
+                    let mut um = minus.to_cons();
+                    let mut up = plus.to_cons();
+                    for ch in 0..NFLUX {
+                        let d = half * (f_plus[ch] - f_minus[ch]);
+                        um[ch] -= d;
+                        up[ch] -= d;
+                    }
+                    let to_prim = |u: &[f64; NFLUX], fallback: &Prim| -> [f64; 5] {
+                        let (dens, vel, ener) = cons_to_vel_ener(u, dens_floor);
+                        let eint =
+                            ener - 0.5 * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
+                        if !(eint > 0.0 && dens > 0.0) {
+                            return [
+                                fallback.dens,
+                                fallback.vel[0],
+                                fallback.vel[1],
+                                fallback.vel[2],
+                                fallback.pres,
+                            ];
+                        }
+                        [dens, vel[0], vel[1], vel[2], (game - 1.0) * dens * eint]
+                    };
+                    let pm = to_prim(&um, &minus);
+                    let pp = to_prim(&up, &plus);
+                    for v in 0..5 {
+                        fm[v][z] = pm[v];
+                        fp[v][z] = pp[v];
+                    }
+                    probe.stats.add_vec(60);
+                }
+
+                // Interface fluxes into the SoA interface lanes.
+                for f in ng..=ng + nxb {
+                    let l = face_prim(&fm, &fp, f - 1, true, w_game[f - 1], w_gamc[f - 1], dens_floor);
+                    let r = face_prim(&fm, &fp, f, false, w_game[f], w_gamc[f], dens_floor);
+                    let fx = hllc(&l, &r);
+                    for (ch, lane) in ifl.iter_mut().enumerate() {
+                        lane[f] = fx[ch];
+                    }
+                    probe.stats.add_vec(240);
+                }
+
+                // Conservative update on interior zones.
+                for p in ng..ng + nxb {
+                    let mut u5 = Prim {
+                        dens: w_dens[p],
+                        vel: [w_u[p], w_v[p], w_w[p]],
+                        pres: w_pres[p],
+                        ener: w_ener[p],
+                        gamc: w_gamc[p],
+                    }
+                    .to_cons();
+                    if ctx.cylindrical_r {
+                        let r_m = ctx.r_lo + (p - ng) as f64 * ctx.dx;
+                        let r_p = r_m + ctx.dx;
+                        let r_c = r_m + 0.5 * ctx.dx;
+                        for (ch, lane) in ifl.iter().enumerate() {
+                            u5[ch] -= ctx.dt / (r_c * ctx.dx) * (r_p * lane[p + 1] - r_m * lane[p]);
+                        }
+                        u5[1] += ctx.dt * w_pres[p] / r_c;
+                    } else {
+                        for (ch, lane) in ifl.iter().enumerate() {
+                            u5[ch] -= dtdx * (lane[p + 1] - lane[p]);
+                        }
+                    }
+                    match ctx.eos {
+                        SweepEos::PerZone(_) => {
+                            // Per-zone callbacks are inherently cell-at-a-time;
+                            // route through the shared write-back helper so the
+                            // callback semantics (and probe accounting) match
+                            // the scalar engine exactly.
+                            write_zone(
+                                slab, geom, dir, p, t1, t2, ctx.vm, &u5, ctx.cfg, ctx.eos, probe,
+                            );
+                        }
+                        _ => {
+                            // Same conversion + floors as `write_zone`, into
+                            // lanes instead of the slab.
+                            let (dens, vel, mut ener) = cons_to_vel_ener(&u5, dens_floor);
+                            let ekin =
+                                0.5 * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
+                            let mut eint = ener - ekin;
+                            if eint < ctx.cfg.eint_floor {
+                                eint = ctx.cfg.eint_floor;
+                                ener = eint + ekin;
+                            }
+                            out_dens[p] = dens;
+                            out_u[p] = vel[0];
+                            out_v[p] = vel[1];
+                            out_w[p] = vel[2];
+                            out_ener[p] = ener;
+                            out_eint[p] = eint;
+                        }
+                    }
+                    probe.stats.zones += 1;
+                    probe.stats.add_fp(40);
+                }
+
+                // Batched EOS over the whole interior span of the pencil.
+                if let SweepEos::Batch { eos, abar, zbar } = ctx.eos {
+                    geom.gather_pencil(slab, vars::TEMP, dir, t1, t2, temp_lane);
+                    probe.stats.gather_cells += n as u64;
+                    abar_lane[ng..ng + nxb].fill(*abar);
+                    zbar_lane[ng..ng + nxb].fill(*zbar);
+                    let mut batch = EosBatch {
+                        dens: &out_dens[ng..ng + nxb],
+                        eint: &mut out_eint[ng..ng + nxb],
+                        temp: &mut temp_lane[ng..ng + nxb],
+                        abar: &abar_lane[ng..ng + nxb],
+                        zbar: &zbar_lane[ng..ng + nxb],
+                        pres: &mut eos_pres[ng..ng + nxb],
+                        gamc: &mut eos_gamc[ng..ng + nxb],
+                        game: &mut eos_game[ng..ng + nxb],
+                    };
+                    let report = match eos.eos_batch(EosMode::DensEi, &mut batch) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            // analyze::allow(panic): an EOS failure leaves the
+                            // pencil half-updated with no recovery path; the
+                            // rank pool converts the unwind into a clean
+                            // whole-simulation abort (same contract as the
+                            // scalar engine's per-zone arm).
+                            panic!("EOS failure in pencil dir={dir} t1={t1} t2={t2}: {e}")
+                        }
+                    };
+                    probe.stats.batch_lanes += report.lanes;
+                    probe.stats.batch_vector_lanes += report.vector_lanes;
+                    probe.stats.eos_calls += nxb as u64;
+                }
+
+                // Scatter the write set back in one pass.
+                match ctx.eos {
+                    SweepEos::PerZone(_) => {} // write_zone already stored the zones
+                    SweepEos::Defer => {
+                        for (var, lane) in [
+                            (vars::DENS, &*out_dens),
+                            (ctx.vm[0], &*out_u),
+                            (ctx.vm[1], &*out_v),
+                            (ctx.vm[2], &*out_w),
+                            (vars::ENER, &*out_ener),
+                            (vars::EINT, &*out_eint),
+                        ] {
+                            geom.scatter_pencil(slab, var, dir, t1, t2, ng..ng + nxb, lane);
+                        }
+                        probe.stats.scatter_cells += (6 * nxb) as u64;
+                    }
+                    SweepEos::Batch { .. } => {
+                        for (var, lane) in [
+                            (vars::DENS, &*out_dens),
+                            (ctx.vm[0], &*out_u),
+                            (ctx.vm[1], &*out_v),
+                            (ctx.vm[2], &*out_w),
+                            (vars::ENER, &*out_ener),
+                            (vars::EINT, &*out_eint),
+                            (vars::PRES, &*eos_pres),
+                            (vars::TEMP, &*temp_lane),
+                            (vars::GAMC, &*eos_gamc),
+                            (vars::GAME, &*eos_game),
+                        ] {
+                            geom.scatter_pencil(slab, var, dir, t1, t2, ng..ng + nxb, lane);
+                        }
+                        probe.stats.scatter_cells += (10 * nxb) as u64;
+                    }
+                }
+
+                // Boundary fluxes for the conservation fix-up.
+                let c1 = t1 - ng;
+                let c2 = if ctx.ndim == 3 { t2 - ng } else { 0 };
+                let lo_face = [ifl[0][ng], ifl[1][ng], ifl[2][ng], ifl[3][ng], ifl[4][ng]];
+                let hi_face = [
+                    ifl[0][ng + nxb],
+                    ifl[1][ng + nxb],
+                    ifl[2][ng + nxb],
+                    ifl[3][ng + nxb],
+                    ifl[4][ng + nxb],
+                ];
+                fluxes_out.store(0, c1, c2, &lo_face);
+                fluxes_out.store(1, c1, c2, &hi_face);
+
+                // Access-pattern recording (sampled), identical to the
+                // scalar engine's gating.
+                if ctx.cfg.pattern_every > 0 {
+                    if pencil_counter.is_multiple_of(ctx.cfg.pattern_every) {
+                        for &v in &READ_VARS {
+                            probe.record(geom.pencil_pattern(v, dir, t1, t2, ctx.block_idx));
+                        }
+                        for &v in &WRITE_VARS {
+                            probe.record_write(geom.pencil_pattern(v, dir, t1, t2, ctx.block_idx));
+                        }
+                    }
+                    pencil_counter += 1;
+                }
+            }
+        }
+        true
+    })
+}

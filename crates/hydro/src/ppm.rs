@@ -35,6 +35,33 @@ fn limited_slope(a: &[f64], i: usize) -> f64 {
     }
 }
 
+/// One zone's limited parabola face values — the per-zone kernel shared by
+/// [`reconstruct`] and [`reconstruct_into`] so both are bit-identical.
+#[inline]
+fn reconstruct_zone(a: &[f64], i: usize, f: f64) -> (f64, f64) {
+    let mut am = interface_value(a, i - 1);
+    let mut ap = interface_value(a, i);
+
+    // Blend toward the cell average where the flattening detector fired.
+    am = f * am + (1.0 - f) * a[i];
+    ap = f * ap + (1.0 - f) * a[i];
+
+    // CW84 monotonization (eq. 1.10).
+    if (ap - a[i]) * (a[i] - am) <= 0.0 {
+        am = a[i];
+        ap = a[i];
+    } else {
+        let d = ap - am;
+        let six = 6.0 * (a[i] - 0.5 * (am + ap));
+        if d * six > d * d {
+            am = 3.0 * a[i] - 2.0 * ap;
+        } else if -d * d > d * six {
+            ap = 3.0 * a[i] - 2.0 * am;
+        }
+    }
+    (am, ap)
+}
+
 /// Reconstruct limited parabola face values for zones
 /// `lo..hi` of the pencil `a` (needs 2 ghost zones each side of that
 /// range). `flat[i]` ∈ \[0,1\] blends toward first order at shocks (1 = keep
@@ -43,27 +70,7 @@ pub fn reconstruct(a: &[f64], lo: usize, hi: usize, flat: &[f64], out: &mut [Fac
     assert!(lo >= 2 && hi + 2 <= a.len());
     assert_eq!(out.len(), a.len());
     for i in lo..hi {
-        let mut am = interface_value(a, i - 1);
-        let mut ap = interface_value(a, i);
-
-        // Blend toward the cell average where the flattening detector fired.
-        let f = flat[i];
-        am = f * am + (1.0 - f) * a[i];
-        ap = f * ap + (1.0 - f) * a[i];
-
-        // CW84 monotonization (eq. 1.10).
-        if (ap - a[i]) * (a[i] - am) <= 0.0 {
-            am = a[i];
-            ap = a[i];
-        } else {
-            let d = ap - am;
-            let six = 6.0 * (a[i] - 0.5 * (am + ap));
-            if d * six > d * d {
-                am = 3.0 * a[i] - 2.0 * ap;
-            } else if -d * d > d * six {
-                ap = 3.0 * a[i] - 2.0 * am;
-            }
-        }
+        let (am, ap) = reconstruct_zone(a, i, flat[i]);
         out[i] = FacePair {
             minus: am,
             plus: ap,
@@ -71,11 +78,48 @@ pub fn reconstruct(a: &[f64], lo: usize, hi: usize, flat: &[f64], out: &mut [Fac
     }
 }
 
+/// [`reconstruct`] writing into separate minus/plus lanes — the SoA form
+/// used by the pencil sweep engine (face lanes live in arena scratch, not a
+/// `Vec<FacePair>`). Values are bit-identical to [`reconstruct`].
+pub fn reconstruct_into(
+    a: &[f64],
+    lo: usize,
+    hi: usize,
+    flat: &[f64],
+    minus: &mut [f64],
+    plus: &mut [f64],
+) {
+    assert!(lo >= 2 && hi + 2 <= a.len());
+    assert!(minus.len() == a.len() && plus.len() == a.len());
+    for i in lo..hi {
+        let (am, ap) = reconstruct_zone(a, i, flat[i]);
+        minus[i] = am;
+        plus[i] = ap;
+    }
+}
+
 /// CW84-style shock flattening coefficient per zone, from the pressure and
 /// velocity pencils: detect strong compressive pressure jumps and flatten
 /// the reconstruction there.
 pub fn flattening(pres: &[f64], velx: &[f64], lo: usize, hi: usize, out: &mut [f64]) {
+    let mut snap = vec![0.0; out.len()];
+    flattening_into(pres, velx, lo, hi, out, &mut snap);
+}
+
+/// [`flattening`] with a caller-provided neighbor-min snapshot buffer —
+/// the allocation-free form the pencil sweep engine calls with arena
+/// scratch. Values are bit-identical to [`flattening`] (which delegates
+/// here).
+pub fn flattening_into(
+    pres: &[f64],
+    velx: &[f64],
+    lo: usize,
+    hi: usize,
+    out: &mut [f64],
+    snap: &mut [f64],
+) {
     assert_eq!(out.len(), pres.len());
+    assert_eq!(snap.len(), pres.len());
     out.fill(1.0);
     // CW84 appendix parameters.
     const OMEGA1: f64 = 0.75;
@@ -97,10 +141,10 @@ pub fn flattening(pres: &[f64], velx: &[f64], lo: usize, hi: usize, out: &mut [f
     }
     // Spread the minimum to immediate neighbors (CW84 uses the neighbor in
     // the shock direction; symmetric min is a robust simplification).
-    let snapshot: Vec<f64> = out.to_vec();
+    snap.copy_from_slice(out);
     for i in lo..hi {
-        if i >= 1 && i + 1 < snapshot.len() {
-            out[i] = snapshot[i - 1].min(snapshot[i]).min(snapshot[i + 1]);
+        if i >= 1 && i + 1 < snap.len() {
+            out[i] = snap[i - 1].min(snap[i]).min(snap[i + 1]);
         }
     }
 }
@@ -172,6 +216,30 @@ mod tests {
         assert!(flat[5] < 0.5 || flat[6] < 0.5, "flattening at the jump: {flat:?}");
         // Smooth region untouched.
         assert_eq!(flat[2], 1.0);
+    }
+
+    #[test]
+    fn soa_variants_match_aos_bit_exactly() {
+        let a: Vec<f64> = (0..16)
+            .map(|i| ((i as f64 * 0.9).sin() * 3.0).exp())
+            .collect();
+        let velx: Vec<f64> = (0..16).map(|i| (8.0 - i as f64) * 0.3).collect();
+        let mut flat = vec![1.0; 16];
+        flattening(&a, &velx, 2, 14, &mut flat);
+        let mut flat2 = vec![0.0; 16];
+        let mut snap = vec![0.0; 16];
+        flattening_into(&a, &velx, 2, 14, &mut flat2, &mut snap);
+        assert_eq!(flat, flat2);
+
+        let mut faces = vec![FacePair::default(); 16];
+        reconstruct(&a, 2, 14, &flat, &mut faces);
+        let mut minus = vec![0.0; 16];
+        let mut plus = vec![0.0; 16];
+        reconstruct_into(&a, 2, 14, &flat, &mut minus, &mut plus);
+        for i in 2..14 {
+            assert_eq!(faces[i].minus, minus[i], "zone {i}");
+            assert_eq!(faces[i].plus, plus[i], "zone {i}");
+        }
     }
 
     #[test]

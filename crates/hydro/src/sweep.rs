@@ -7,11 +7,13 @@
 //! `Eos_wrapped(MODE_DENS_EI)` — the call pattern the paper's "EOS"
 //! experiment instruments.
 
-use rflash_eos::{EosError, EosState};
+use rflash_eos::{Eos, EosBatch, EosError, EosMode, EosState};
+use rflash_hugepages::Policy;
 use rflash_mesh::flux::{Face, FluxRegister};
 use rflash_mesh::unk::UnkGeom;
 use rflash_mesh::{vars, BlockId, Domain};
 use rflash_perfmon::Probe;
+use serde::{Deserialize, Serialize};
 
 use crate::ppm::{flattening, reconstruct, FacePair};
 use crate::riemann::hllc;
@@ -27,6 +29,43 @@ use crate::NFLUX;
 /// relies on. The probe lets the callback account table gathers and EOS work.
 pub type ZoneEos<'a> = dyn Fn(&mut EosState, &mut Probe) -> Result<bool, EosError> + Sync + 'a;
 
+/// How the sweep services the per-zone EOS after the conservative update.
+pub enum SweepEos<'a> {
+    /// Leave the thermodynamic cache variables (PRES/TEMP/GAMC/GAME) stale;
+    /// the driver runs its own instrumented `Eos_wrapped(MODE_DENS_EI)` pass
+    /// after the sweep — FLASH's actual structure and the split the paper's
+    /// "EOS" experiment relies on.
+    Defer,
+    /// Route interior zones through [`Eos::eos_batch`] with a fixed
+    /// composition — whole pencils at a time under the pencil engine, one
+    /// lane at a time from the scalar engine and the flux-correction
+    /// re-derive (bit-identical either way: lanes are independent).
+    Batch {
+        /// The equation of state to batch through.
+        eos: &'a dyn Eos,
+        /// Mean atomic mass applied to every zone.
+        abar: f64,
+        /// Mean nuclear charge applied to every zone.
+        zbar: f64,
+    },
+    /// Per-zone callback (tests, exotic compositions).
+    PerZone(&'a ZoneEos<'a>),
+}
+
+/// Which inner-loop implementation `sweep_direction` runs per block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SweepEngine {
+    /// The original per-zone path: `Vec`-backed work arrays indexed through
+    /// `UnkGeom::slab_idx` per cell. Kept as the parity reference and as the
+    /// fallback when pencil scratch cannot be mapped.
+    Scalar,
+    /// Pencil-batched SoA engine: gather each pencil into contiguous arena
+    /// lanes once, run the kernels as lane loops, scatter back in one pass.
+    #[default]
+    Pencil,
+}
+
 /// Sweep tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepConfig {
@@ -36,8 +75,15 @@ pub struct SweepConfig {
     pub dens_floor: f64,
     /// Specific-internal-energy floor (`smalle`).
     pub eint_floor: f64,
-    /// Record unk access patterns for every N-th pencil (0 = off).
+    /// Record unk access patterns for every N-th pencil (0 = off, the
+    /// default — pattern capture costs more than the sweep itself, so the
+    /// TLB-simulation benches opt in explicitly).
     pub pattern_every: usize,
+    /// Inner-loop engine.
+    pub engine: SweepEngine,
+    /// Huge-page policy for the per-rank pencil scratch arena (same
+    /// degradation chain as `unk` itself).
+    pub scratch_policy: Policy,
 }
 
 impl Default for SweepConfig {
@@ -46,13 +92,15 @@ impl Default for SweepConfig {
             nranks: 1,
             dens_floor: 1e-30,
             eint_floor: 1e-30,
-            pattern_every: 1,
+            pattern_every: 0,
+            engine: SweepEngine::default(),
+            scratch_policy: Policy::None,
         }
     }
 }
 
 /// Variables read by a sweep (for access-pattern recording).
-const READ_VARS: [usize; 8] = [
+pub(crate) const READ_VARS: [usize; 8] = [
     vars::DENS,
     vars::VELX,
     vars::VELY,
@@ -63,7 +111,7 @@ const READ_VARS: [usize; 8] = [
     vars::GAME,
 ];
 /// Variables written back after the update + EOS.
-const WRITE_VARS: [usize; 10] = [
+pub(crate) const WRITE_VARS: [usize; 10] = [
     vars::DENS,
     vars::VELX,
     vars::VELY,
@@ -78,7 +126,7 @@ const WRITE_VARS: [usize; 10] = [
 
 /// Boundary fluxes of one block for the sweep direction:
 /// `[side][t1][t2][channel]` flattened.
-struct BlockFluxes {
+pub(crate) struct BlockFluxes {
     data: Vec<f64>,
     t2_cells: usize,
 }
@@ -98,19 +146,19 @@ impl BlockFluxes {
             + ch
     }
     #[inline]
-    fn set(&mut self, side: usize, t1: usize, t2: usize, f: &[f64; NFLUX]) {
+    pub(crate) fn store(&mut self, side: usize, t1: usize, t2: usize, f: &[f64; NFLUX]) {
         let s = self.slot(side, t1, t2, 0);
         self.data[s..s + NFLUX].copy_from_slice(f);
     }
     #[inline]
-    fn get(&self, side: usize, t1: usize, t2: usize, ch: usize) -> f64 {
+    fn at(&self, side: usize, t1: usize, t2: usize, ch: usize) -> f64 {
         self.data[self.slot(side, t1, t2, ch)]
     }
 }
 
 /// The sweep-frame permutation: maps sweep-local velocity components
 /// (normal, t1, t2) to unk variables, per direction.
-fn vel_map(dir: usize) -> [usize; 3] {
+pub(crate) fn vel_map(dir: usize) -> [usize; 3] {
     match dir {
         0 => [vars::VELX, vars::VELY, vars::VELZ],
         1 => [vars::VELY, vars::VELX, vars::VELZ],
@@ -147,7 +195,7 @@ fn load_prim(
 
 /// (i, j, k) of pencil position `p` at transverse coords (t1, t2).
 #[inline]
-fn pencil_cell(dir: usize, p: usize, t1: usize, t2: usize) -> (usize, usize, usize) {
+pub(crate) fn pencil_cell(dir: usize, p: usize, t1: usize, t2: usize) -> (usize, usize, usize) {
     match dir {
         0 => (p, t1, t2),
         1 => (t1, p, t2),
@@ -162,7 +210,7 @@ fn pencil_cell(dir: usize, p: usize, t1: usize, t2: usize) -> (usize, usize, usi
 /// the driver to absorb.
 pub fn sweep_direction(
     domain: &mut Domain,
-    eos_zone: &ZoneEos<'_>,
+    eos: &SweepEos<'_>,
     dir: usize,
     dt: f64,
     reg: &mut FluxRegister,
@@ -200,6 +248,29 @@ pub fn sweep_direction(
         let t2_range = if ndim == 3 { ng..ng + nxb } else { 0..1 };
 
         let mut fluxes_out = BlockFluxes::new(nxb, ndim);
+
+        if cfg_local.engine == SweepEngine::Pencil {
+            let done = crate::pencil::sweep_block(&crate::pencil::BlockCtx {
+                geom: &geom,
+                eos,
+                dir,
+                dt,
+                dx,
+                r_lo,
+                cylindrical_r,
+                block_idx: id.idx(),
+                cfg: &cfg_local,
+                nxb,
+                ng,
+                ndim,
+                vm: &vm,
+            }, slab, &mut fluxes_out, probe);
+            if done {
+                return fluxes_out;
+            }
+            // Pencil scratch unavailable (arena mapping failed under every
+            // policy): fall through to the scalar path for this block.
+        }
 
         // Pencil work arrays.
         let mut w = vec![[0.0f64; 8]; n_pencil]; // dens,u,v,wv,pres,game,gamc,ener
@@ -357,7 +428,7 @@ pub fn sweep_direction(
                         &vm,
                         &u5,
                         &cfg_local,
-                        eos_zone,
+                        eos,
                         probe,
                     );
                     probe.stats.zones += 1;
@@ -367,8 +438,8 @@ pub fn sweep_direction(
                 // Boundary fluxes for the conservation fix-up.
                 let c1 = t1 - ng;
                 let c2 = if ndim == 3 { t2 - ng } else { 0 };
-                fluxes_out.set(0, c1, c2, &iface[ng]);
-                fluxes_out.set(1, c1, c2, &iface[ng + nxb]);
+                fluxes_out.store(0, c1, c2, &iface[ng]);
+                fluxes_out.store(1, c1, c2, &iface[ng + nxb]);
 
                 // Access-pattern recording (sampled).
                 if cfg_local.pattern_every > 0 {
@@ -395,20 +466,20 @@ pub fn sweep_direction(
             for t1 in 0..nxb {
                 for t2 in 0..bf.t2_cells {
                     for ch in 0..NFLUX {
-                        reg.save(id.idx(), face, [t1, t2], ch, bf.get(side, t1, t2, ch));
+                        reg.save(id.idx(), face, [t1, t2], ch, bf.at(side, t1, t2, ch));
                     }
                 }
             }
         }
     }
-    apply_flux_corrections(domain, eos_zone, dir, dt, reg, cfg);
+    apply_flux_corrections(domain, eos, dir, dt, reg, cfg);
 
     probes
 }
 
 /// Conservative write-back of one zone plus the per-zone EOS call.
 #[allow(clippy::too_many_arguments)]
-fn write_zone(
+pub(crate) fn write_zone(
     slab: &mut [f64],
     geom: &UnkGeom,
     dir: usize,
@@ -418,7 +489,7 @@ fn write_zone(
     vm: &[usize; 3],
     u5: &[f64; NFLUX],
     cfg: &SweepConfig,
-    eos_zone: &ZoneEos<'_>,
+    eos: &SweepEos<'_>,
     probe: &mut Probe,
 ) {
     let (i, j, k) = pencil_cell(dir, p, t1, t2);
@@ -432,7 +503,7 @@ fn write_zone(
     let mut state = EosState {
         dens,
         temp: slab[geom.slab_idx(vars::TEMP, i, j, k)],
-        abar: 1.0, // overwritten by the eos_zone closure's composition
+        abar: 1.0, // overwritten per SweepEos mode below
         zbar: 1.0,
         pres: 0.0,
         eint,
@@ -442,13 +513,56 @@ fn write_zone(
         cs: 0.0,
         cv: 0.0,
     };
-    let eos_done = eos_zone(&mut state, probe).unwrap_or_else(|e| {
-        // analyze::allow(panic): an EOS failure here leaves the zone
-        // half-updated with no recovery path; the rank pool catches the
-        // unwind and converts it into a clean whole-simulation abort with
-        // the zone coordinates and thermodynamic state in the message.
-        panic!("EOS failure at zone ({i},{j},{k}): dens={dens:e} eint={eint:e}: {e}")
-    });
+    let eos_done = match eos {
+        SweepEos::Defer => false,
+        SweepEos::PerZone(zone) => zone(&mut state, probe).unwrap_or_else(|e| {
+            // analyze::allow(panic): an EOS failure here leaves the zone
+            // half-updated with no recovery path; the rank pool catches the
+            // unwind and converts it into a clean whole-simulation abort with
+            // the zone coordinates and thermodynamic state in the message.
+            panic!("EOS failure at zone ({i},{j},{k}): dens={dens:e} eint={eint:e}: {e}")
+        }),
+        SweepEos::Batch {
+            eos: batch_eos,
+            abar,
+            zbar,
+        } => {
+            // A one-lane batch: lanes of the batched interface are
+            // independent, so this produces bit-identical values to the
+            // pencil engine's whole-pencil batches.
+            let dens_l = [dens];
+            let mut eint_l = [eint];
+            let mut temp_l = [state.temp];
+            let abar_l = [*abar];
+            let zbar_l = [*zbar];
+            let mut pres_l = [0.0];
+            let mut gamc_l = [0.0];
+            let mut game_l = [0.0];
+            let mut b = EosBatch {
+                dens: &dens_l,
+                eint: &mut eint_l,
+                temp: &mut temp_l,
+                abar: &abar_l,
+                zbar: &zbar_l,
+                pres: &mut pres_l,
+                gamc: &mut gamc_l,
+                game: &mut game_l,
+            };
+            let report = batch_eos.eos_batch(EosMode::DensEi, &mut b).unwrap_or_else(|e| {
+                // analyze::allow(panic): same abort contract as the PerZone
+                // arm — the rank pool converts the unwind into a clean
+                // whole-simulation abort carrying the zone state.
+                panic!("EOS failure at zone ({i},{j},{k}): dens={dens:e} eint={eint:e}: {e}")
+            });
+            probe.stats.batch_lanes += report.lanes;
+            probe.stats.batch_vector_lanes += report.vector_lanes;
+            state.temp = temp_l[0];
+            state.pres = pres_l[0];
+            state.gamc = gamc_l[0];
+            state.game = game_l[0];
+            true
+        }
+    };
 
     let mut put = |var: usize, v: f64| slab[geom.slab_idx(var, i, j, k)] = v;
     put(vars::DENS, dens);
@@ -470,7 +584,7 @@ fn write_zone(
 /// jumps, then re-run the EOS on the corrected zones.
 fn apply_flux_corrections(
     domain: &mut Domain,
-    eos_zone: &ZoneEos<'_>,
+    eos: &SweepEos<'_>,
     dir: usize,
     dt: f64,
     reg: &FluxRegister,
@@ -532,7 +646,7 @@ fn apply_flux_corrections(
                 1 => (j, i, k),
                 _ => (k, i, j),
             };
-            write_zone(slab, &geom, dir, p, t1, t2, &vm, &u5, cfg, eos_zone, &mut probe);
+            write_zone(slab, &geom, dir, p, t1, t2, &vm, &u5, cfg, eos, &mut probe);
         }
     }
 }
@@ -588,7 +702,7 @@ mod tests {
         let mut reg = FluxRegister::new(2, 8, NFLUX, d.tree.config().max_blocks);
         let cfg = SweepConfig::default();
         for dir in 0..2 {
-            sweep_direction(&mut d, &eos_zone, dir, 1e-3, &mut reg, &cfg);
+            sweep_direction(&mut d, &SweepEos::PerZone(&eos_zone), dir, 1e-3, &mut reg, &cfg);
         }
         for id in d.tree.leaves() {
             for j in d.unk.interior() {
@@ -644,7 +758,7 @@ mod tests {
         for _step in 0..5 {
             let dt = crate::dt::compute_dt(&d, 0.3);
             for dir in 0..2 {
-                sweep_direction(&mut d, &eos_zone, dir, dt, &mut reg, &cfg);
+                sweep_direction(&mut d, &SweepEos::PerZone(&eos_zone), dir, dt, &mut reg, &cfg);
             }
         }
         let m1 = total_mass(&d);
@@ -659,14 +773,172 @@ mod tests {
         let mut d = uniform_domain(rflash_mesh::BoundaryCondition::Periodic);
         let eos_zone = gamma_zone_eos();
         let mut reg = FluxRegister::new(2, 8, NFLUX, d.tree.config().max_blocks);
-        let cfg = SweepConfig::default();
-        let probes = sweep_direction(&mut d, &eos_zone, 0, 1e-4, &mut reg, &cfg);
+        let cfg = SweepConfig {
+            pattern_every: 1, // off by default; the accounting test opts in
+            ..SweepConfig::default()
+        };
+        let probes = sweep_direction(&mut d, &SweepEos::PerZone(&eos_zone), 0, 1e-4, &mut reg, &cfg);
         let stats = &probes[0].stats;
         assert_eq!(stats.zones, 64, "one 8×8 block");
         assert_eq!(stats.eos_calls, 64);
         assert!(stats.vec_ops > 0);
         assert!(probes[0].pattern_count() > 0);
         assert!(stats.bytes_read > 0 && stats.bytes_written > 0);
+        // Default engine is the pencil engine: the gather pass is accounted.
+        assert!(stats.gather_cells > 0);
+    }
+
+    /// Bit-compare every solution variable over the interiors of two domains.
+    fn assert_unk_identical(a: &Domain, b: &Domain, what: &str) {
+        for id in a.tree.leaves() {
+            for var in 0..vars::NVAR {
+                for j in a.unk.interior() {
+                    for i in a.unk.interior() {
+                        let va = a.unk.get(var, i, j, 0, id.idx());
+                        let vb = b.unk.get(var, i, j, 0, id.idx());
+                        assert!(
+                            va.to_bits() == vb.to_bits(),
+                            "{what}: var {var} at ({i},{j}) block {}: {va:e} != {vb:e}",
+                            id.idx()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn perturbed_domain() -> Domain {
+        let mut d = uniform_domain(rflash_mesh::BoundaryCondition::Periodic);
+        let eos = GammaLaw::new(1.4);
+        for id in d.tree.leaves() {
+            for j in d.unk.interior() {
+                for i in d.unk.interior() {
+                    let x = d.tree.cell_center(id, i, j, 0);
+                    let dens = 1.0
+                        + 0.4 * (2.0 * std::f64::consts::PI * x[0]).sin()
+                        + 0.2 * (2.0 * std::f64::consts::PI * x[1]).cos();
+                    let pres = 1.0 + 0.5 * (2.0 * std::f64::consts::PI * x[1]).sin();
+                    let mut s = EosState::co_wd(dens, 0.0);
+                    s.abar = 1.0;
+                    s.zbar = 1.0;
+                    s.pres = pres;
+                    eos.call(EosMode::DensPres, &mut s).unwrap();
+                    d.unk.set(vars::DENS, i, j, 0, id.idx(), dens);
+                    d.unk.set(vars::PRES, i, j, 0, id.idx(), pres);
+                    d.unk.set(vars::TEMP, i, j, 0, id.idx(), s.temp);
+                    d.unk.set(vars::EINT, i, j, 0, id.idx(), s.eint);
+                    d.unk.set(vars::ENER, i, j, 0, id.idx(), s.eint);
+                    d.unk.set(vars::GAMC, i, j, 0, id.idx(), s.gamc);
+                    d.unk.set(vars::GAME, i, j, 0, id.idx(), s.game);
+                }
+            }
+        }
+        d
+    }
+
+    fn run_steps(d: &mut Domain, eos: &SweepEos<'_>, engine: SweepEngine, steps: usize) {
+        let mut reg = FluxRegister::new(2, 8, NFLUX, d.tree.config().max_blocks);
+        let cfg = SweepConfig {
+            engine,
+            ..SweepConfig::default()
+        };
+        for _ in 0..steps {
+            let dt = crate::dt::compute_dt(d, 0.3);
+            for dir in 0..2 {
+                sweep_direction(d, eos, dir, dt, &mut reg, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn pencil_engine_matches_scalar_bit_for_bit_per_zone() {
+        let eos_zone = gamma_zone_eos();
+        let mut a = perturbed_domain();
+        let mut b = perturbed_domain();
+        run_steps(&mut a, &SweepEos::PerZone(&eos_zone), SweepEngine::Scalar, 3);
+        run_steps(&mut b, &SweepEos::PerZone(&eos_zone), SweepEngine::Pencil, 3);
+        assert_unk_identical(&a, &b, "scalar vs pencil (PerZone)");
+    }
+
+    #[test]
+    fn pencil_engine_matches_scalar_bit_for_bit_batch() {
+        let eos = GammaLaw::new(1.4);
+        let batch = SweepEos::Batch {
+            eos: &eos,
+            abar: 1.0,
+            zbar: 1.0,
+        };
+        let mut a = perturbed_domain();
+        let mut b = perturbed_domain();
+        run_steps(&mut a, &batch, SweepEngine::Scalar, 3);
+        run_steps(&mut b, &batch, SweepEngine::Pencil, 3);
+        assert_unk_identical(&a, &b, "scalar vs pencil (Batch)");
+    }
+
+    #[test]
+    fn batch_mode_matches_per_zone_gamma() {
+        // The batched gamma-law EOS reproduces the per-zone closure's
+        // outputs bit-for-bit, so the whole sweep must too.
+        let eos = GammaLaw::new(1.4);
+        let eos_zone = gamma_zone_eos();
+        let batch = SweepEos::Batch {
+            eos: &eos,
+            abar: 1.0,
+            zbar: 1.0,
+        };
+        let mut a = perturbed_domain();
+        let mut b = perturbed_domain();
+        run_steps(&mut a, &SweepEos::PerZone(&eos_zone), SweepEngine::Pencil, 2);
+        run_steps(&mut b, &batch, SweepEngine::Pencil, 2);
+        assert_unk_identical(&a, &b, "PerZone vs Batch");
+    }
+
+    #[test]
+    fn defer_mode_leaves_thermo_cache_stale() {
+        let mut a = perturbed_domain();
+        let mut b = perturbed_domain();
+        // One sweep with Defer under both engines: identical results, and
+        // PRES stays at its pre-sweep value (the driver's EOS pass owns it).
+        let pres_before = a.unk.get(vars::PRES, 4, 4, 0, a.tree.leaves()[0].idx());
+        let mut reg = FluxRegister::new(2, 8, NFLUX, a.tree.config().max_blocks);
+        let scalar = SweepConfig {
+            engine: SweepEngine::Scalar,
+            ..SweepConfig::default()
+        };
+        let pencil = SweepConfig {
+            engine: SweepEngine::Pencil,
+            ..SweepConfig::default()
+        };
+        sweep_direction(&mut a, &SweepEos::Defer, 0, 1e-4, &mut reg, &scalar);
+        sweep_direction(&mut b, &SweepEos::Defer, 0, 1e-4, &mut reg, &pencil);
+        assert_unk_identical(&a, &b, "scalar vs pencil (Defer)");
+        let id0 = a.tree.leaves()[0];
+        assert_eq!(
+            a.unk.get(vars::PRES, 4, 4, 0, id0.idx()),
+            pres_before,
+            "Defer must not touch PRES"
+        );
+        // Density did move (the sweep ran).
+        assert!(
+            (a.unk.get(vars::DENS, 4, 4, 0, id0.idx())
+                - b.unk.get(vars::DENS, 4, 4, 0, id0.idx()))
+            .abs()
+                == 0.0
+        );
+    }
+
+    #[test]
+    fn pencil_defer_accounts_gather_and_scatter() {
+        let mut d = perturbed_domain();
+        let mut reg = FluxRegister::new(2, 8, NFLUX, d.tree.config().max_blocks);
+        let cfg = SweepConfig::default(); // pencil engine
+        let probes = sweep_direction(&mut d, &SweepEos::Defer, 0, 1e-4, &mut reg, &cfg);
+        let stats = &probes[0].stats;
+        // 8 read vars × pencil length (8 + 2·4 guards = 16) × 8 pencils.
+        assert_eq!(stats.gather_cells, 8 * 16 * 8);
+        // 6 write vars × 8 interior zones × 8 pencils.
+        assert_eq!(stats.scatter_cells, 6 * 8 * 8);
+        assert_eq!(stats.eos_calls, 0, "Defer runs no EOS");
     }
 
     #[test]
@@ -675,7 +947,7 @@ mod tests {
         let mut d = uniform_domain(rflash_mesh::BoundaryCondition::Periodic);
         let eos_zone = gamma_zone_eos();
         let mut reg = FluxRegister::new(2, 8, NFLUX, d.tree.config().max_blocks);
-        sweep_direction(&mut d, &eos_zone, 2, 1e-4, &mut reg, &SweepConfig::default());
+        sweep_direction(&mut d, &SweepEos::PerZone(&eos_zone), 2, 1e-4, &mut reg, &SweepConfig::default());
     }
 
     #[test]
@@ -710,7 +982,7 @@ mod tests {
         let cfg_sweep = SweepConfig::default();
         for _step in 0..4 {
             for dir in 0..2 {
-                sweep_direction(&mut d, &eos_zone, dir, 1e-3, &mut reg, &cfg_sweep);
+                sweep_direction(&mut d, &SweepEos::PerZone(&eos_zone), dir, 1e-3, &mut reg, &cfg_sweep);
             }
         }
         for id in d.tree.leaves() {
@@ -771,7 +1043,7 @@ mod tests {
         for _ in 0..3 {
             let dt = crate::dt::compute_dt(&d, 0.3);
             for dir in 0..2 {
-                sweep_direction(&mut d, &eos_zone, dir, dt, &mut reg, &cfg);
+                sweep_direction(&mut d, &SweepEos::PerZone(&eos_zone), dir, dt, &mut reg, &cfg);
             }
         }
         let m1 = total_mass(&d);

@@ -349,6 +349,77 @@ impl UnkGeom {
         }
     }
 
+    /// Number of cells in a full padded pencil along `dir`.
+    #[inline]
+    pub fn pencil_len(&self, dir: usize) -> usize {
+        match dir {
+            0 => self.ni,
+            1 => self.nj,
+            2 => self.nk,
+            _ => panic!("dir < 3"),
+        }
+    }
+
+    /// Slab element index of pencil position 0 and the element stride
+    /// between consecutive pencil cells. Transverse coordinates follow the
+    /// [`UnkGeom::pencil_pattern`] convention.
+    #[inline]
+    fn pencil_base_stride(&self, var: usize, dir: usize, t1: usize, t2: usize) -> (usize, usize) {
+        let (i0, j0, k0) = match dir {
+            0 => (0, t1, t2),
+            1 => (t1, 0, t2),
+            2 => (t1, t2, 0),
+            _ => panic!("dir < 3"),
+        };
+        (self.slab_idx(var, i0, j0, k0), self.dir_stride(dir) / 8)
+    }
+
+    /// Copy one variable's full padded pencil (guard cells included) out of
+    /// a block slab into a contiguous lane — the SoA copy-in of the pencil
+    /// sweep engine. The per-cell index arithmetic happens once here, not
+    /// inside the physics loops.
+    #[inline]
+    pub fn gather_pencil(
+        &self,
+        slab: &[f64],
+        var: usize,
+        dir: usize,
+        t1: usize,
+        t2: usize,
+        lane: &mut [f64],
+    ) {
+        debug_assert_eq!(lane.len(), self.pencil_len(dir), "lane sized to the padded pencil");
+        let (base, stride) = self.pencil_base_stride(var, dir, t1, t2);
+        for (p, v) in lane.iter_mut().enumerate() {
+            *v = slab[base + p * stride];
+        }
+    }
+
+    /// Write `lane[range]` back to the matching pencil positions of one
+    /// variable — the one-pass SoA copy-out (interior cells only; guard
+    /// cells are owned by the exchange).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter_pencil(
+        &self,
+        slab: &mut [f64],
+        var: usize,
+        dir: usize,
+        t1: usize,
+        t2: usize,
+        range: core::ops::Range<usize>,
+        lane: &[f64],
+    ) {
+        debug_assert!(
+            range.end <= lane.len() && range.end <= self.pencil_len(dir),
+            "scatter range in bounds"
+        );
+        let (base, stride) = self.pencil_base_stride(var, dir, t1, t2);
+        for (p, &v) in lane.iter().enumerate().take(range.end).skip(range.start) {
+            slab[base + p * stride] = v;
+        }
+    }
+
     /// The access pattern of sweeping one variable along a full padded
     /// pencil in direction `dir` at transverse coordinates (t1, t2):
     /// dir 0 → (i varies; j=t1, k=t2), dir 1 → (j varies; i=t1, k=t2),
@@ -400,6 +471,57 @@ mod tests {
         assert_eq!(u.padded(), (24, 24, 24));
         assert_eq!(u.per_block(), 11 * 24 * 24 * 24);
         assert_eq!(u.interior_k(), 4..20);
+    }
+
+    #[test]
+    fn pencil_gather_scatter_round_trips_all_layouts_and_dirs() {
+        for layout in [Layout::VarFirst, Layout::VarLast] {
+            let mut u = UnkStorage::new(3, 4, 2, 3, 2, layout, Policy::None);
+            let g = u.geom();
+            let (ni, nj, nk) = u.padded();
+            // Seed every element with a unique value.
+            for var in 0..3 {
+                for k in 0..nk {
+                    for j in 0..nj {
+                        for i in 0..ni {
+                            let v = (var * 1000 + i * 100 + j * 10 + k) as f64;
+                            u.set(var, i, j, k, 1, v);
+                        }
+                    }
+                }
+            }
+            for dir in 0..3 {
+                let n = g.pencil_len(dir);
+                let mut lane = vec![0.0; n];
+                let (t1, t2) = (3, 2);
+                g.gather_pencil(u.block_slab(1), 2, dir, t1, t2, &mut lane);
+                // Lane contents match per-cell reads.
+                for (p, &got) in lane.iter().enumerate() {
+                    let (i, j, k) = match dir {
+                        0 => (p, t1, t2),
+                        1 => (t1, p, t2),
+                        _ => (t1, t2, p),
+                    };
+                    assert_eq!(got, u.get(2, i, j, k, 1), "{layout:?} dir {dir} p {p}");
+                }
+                // Scatter a transformed interior back; guard cells untouched.
+                let ng = g.nguard;
+                let hi = ng + g.nxb;
+                let doubled: Vec<f64> = lane.iter().map(|&v| 2.0 * v).collect();
+                g.scatter_pencil(u.block_slab_mut(1), 2, dir, t1, t2, ng..hi, &doubled);
+                for (p, &orig) in lane.iter().enumerate() {
+                    let (i, j, k) = match dir {
+                        0 => (p, t1, t2),
+                        1 => (t1, p, t2),
+                        _ => (t1, t2, p),
+                    };
+                    let want = if (ng..hi).contains(&p) { 2.0 * orig } else { orig };
+                    assert_eq!(u.get(2, i, j, k, 1), want, "{layout:?} dir {dir} p {p}");
+                }
+                // Restore for the next direction.
+                g.scatter_pencil(u.block_slab_mut(1), 2, dir, t1, t2, 0..n, &lane);
+            }
+        }
     }
 
     #[test]

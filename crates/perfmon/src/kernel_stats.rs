@@ -26,6 +26,19 @@ pub struct KernelStats {
     pub zones: u64,
     /// EOS evaluations performed (table lookups + Newton iterations).
     pub eos_calls: u64,
+    /// Cells copied `unk` → SoA pencil lanes by the sweep gather pass.
+    #[serde(default)]
+    pub gather_cells: u64,
+    /// Cells copied SoA lanes → `unk` by the sweep scatter pass.
+    #[serde(default)]
+    pub scatter_cells: u64,
+    /// Zones submitted to the batched EOS interface.
+    #[serde(default)]
+    pub batch_lanes: u64,
+    /// Of those, zones the vectorized fast path completed without scalar
+    /// fallback (batch occupancy = batch_vector_lanes / batch_lanes).
+    #[serde(default)]
+    pub batch_vector_lanes: u64,
 }
 
 impl KernelStats {
@@ -76,6 +89,16 @@ impl KernelStats {
     pub fn add_vec(&mut self, ops: u64) {
         self.vec_ops += ops;
     }
+
+    /// Fraction of batched-EOS zones the vector path handled; 0 when the
+    /// batched interface was never used.
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batch_lanes == 0 {
+            0.0
+        } else {
+            self.batch_vector_lanes as f64 / self.batch_lanes as f64
+        }
+    }
 }
 
 impl Add for KernelStats {
@@ -88,6 +111,10 @@ impl Add for KernelStats {
             vec_ops: self.vec_ops + r.vec_ops,
             zones: self.zones + r.zones,
             eos_calls: self.eos_calls + r.eos_calls,
+            gather_cells: self.gather_cells + r.gather_cells,
+            scatter_cells: self.scatter_cells + r.scatter_cells,
+            batch_lanes: self.batch_lanes + r.batch_lanes,
+            batch_vector_lanes: self.batch_vector_lanes + r.batch_vector_lanes,
         }
     }
 }
@@ -132,12 +159,29 @@ mod tests {
             vec_ops: 4,
             zones: 5,
             eos_calls: 6,
+            gather_cells: 7,
+            scatter_cells: 8,
+            batch_lanes: 9,
+            batch_vector_lanes: 10,
         };
         let sum = a + a;
         assert_eq!(sum.eos_calls, 12);
         assert_eq!(sum.zones, 10);
+        assert_eq!(sum.gather_cells, 14);
+        assert_eq!(sum.scatter_cells, 16);
+        assert_eq!(sum.batch_lanes, 18);
+        assert_eq!(sum.batch_vector_lanes, 20);
         let mut acc = KernelStats::default();
         acc += a;
         assert_eq!(acc, a);
+    }
+
+    #[test]
+    fn batch_occupancy_ratio() {
+        let mut s = KernelStats::default();
+        assert_eq!(s.batch_occupancy(), 0.0);
+        s.batch_lanes = 8;
+        s.batch_vector_lanes = 6;
+        assert!((s.batch_occupancy() - 0.75).abs() < 1e-15);
     }
 }

@@ -3,12 +3,48 @@
 //! SoA order (`VarLast`) are different *addresses* for the same arithmetic,
 //! so a run under each must agree bit-for-bit. This pins down that every
 //! kernel goes through the layout-aware indexing and none bakes in a
-//! stride.
+//! stride. The same contract holds one level down: the pencil-batched SoA
+//! sweep engine is a different *schedule* for the same arithmetic as the
+//! scalar per-zone engine, so full runs under each must also agree
+//! bit-for-bit.
 
 use rflash::core::setups::sedov::SedovSetup;
 use rflash::core::RuntimeParams;
 use rflash::hugepages::Policy;
+use rflash::hydro::SweepEngine;
 use rflash::mesh::{vars, Layout};
+
+/// Bitwise comparison of two evolved simulations: same AMR topology, same
+/// interior state in every compared variable.
+fn assert_runs_identical(a: &rflash::core::Simulation, b: &rflash::core::Simulation, what: &str) {
+    assert_eq!(a.step, b.step);
+    assert_eq!(a.time, b.time, "{what}: time steps must agree exactly");
+    let leaves_a = a.domain.tree.leaves();
+    let leaves_b = b.domain.tree.leaves();
+    assert_eq!(leaves_a.len(), leaves_b.len(), "{what}: same AMR evolution");
+    for (ia, ib) in leaves_a.iter().zip(&leaves_b) {
+        assert_eq!(
+            a.domain.tree.block(*ia).key,
+            b.domain.tree.block(*ib).key,
+            "{what}: same topology"
+        );
+        for var in [vars::DENS, vars::VELX, vars::PRES, vars::ENER] {
+            for k in a.domain.unk.interior_k() {
+                for j in a.domain.unk.interior() {
+                    for i in a.domain.unk.interior() {
+                        let va = a.domain.unk.get(var, i, j, k, ia.idx());
+                        let vb = b.domain.unk.get(var, i, j, k, ib.idx());
+                        assert_eq!(
+                            va, vb,
+                            "{what}: var {var} differs at ({i},{j},{k}) of {:?}",
+                            a.domain.tree.block(*ia).key
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
 
 fn run(layout: Layout) -> rflash::core::Simulation {
     let setup = SedovSetup {
@@ -35,29 +71,36 @@ fn run(layout: Layout) -> rflash::core::Simulation {
 fn physics_is_bit_identical_across_unk_layouts() {
     let a = run(Layout::VarFirst);
     let b = run(Layout::VarLast);
-    assert_eq!(a.step, b.step);
-    assert_eq!(a.time, b.time, "time steps must agree exactly");
-    let leaves_a = a.domain.tree.leaves();
-    let leaves_b = b.domain.tree.leaves();
-    assert_eq!(leaves_a.len(), leaves_b.len(), "same AMR evolution");
-    for (ia, ib) in leaves_a.iter().zip(&leaves_b) {
-        assert_eq!(
-            a.domain.tree.block(*ia).key,
-            b.domain.tree.block(*ib).key,
-            "same topology"
-        );
-        for var in [vars::DENS, vars::VELX, vars::PRES, vars::ENER] {
-            for j in a.domain.unk.interior() {
-                for i in a.domain.unk.interior() {
-                    let va = a.domain.unk.get(var, i, j, 0, ia.idx());
-                    let vb = b.domain.unk.get(var, i, j, 0, ib.idx());
-                    assert_eq!(
-                        va, vb,
-                        "layout changed physics: var {var} at ({i},{j}) of {:?}",
-                        a.domain.tree.block(*ia).key
-                    );
-                }
-            }
-        }
-    }
+    assert_runs_identical(&a, &b, "layout");
+}
+
+/// The pencil-batched SoA engine replicates the scalar engine's exact
+/// floating-point operation order, so a full 3-d Sedov run — sweeps,
+/// flux corrections, regrids, instrumented EOS passes — must agree
+/// bit-for-bit between the two.
+#[test]
+fn pencil_engine_is_bit_identical_to_scalar_on_sedov_3d() {
+    let run_engine = |engine: SweepEngine| {
+        let setup = SedovSetup {
+            ndim: 3,
+            nxb: 8,
+            max_refine: 2,
+            max_blocks: 256,
+            ..SedovSetup::default()
+        };
+        let params = RuntimeParams {
+            policy: Policy::None,
+            use_hw: false,
+            pattern_every: 0,
+            gather_every: 0,
+            sweep_engine: engine,
+            ..RuntimeParams::with_mesh(setup.mesh_config())
+        };
+        let mut sim = setup.build(params);
+        sim.evolve(8);
+        sim
+    };
+    let scalar = run_engine(SweepEngine::Scalar);
+    let pencil = run_engine(SweepEngine::Pencil);
+    assert_runs_identical(&scalar, &pencil, "sweep engine");
 }
