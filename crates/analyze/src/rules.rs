@@ -57,6 +57,10 @@ const HOT_PATH_PREFIXES: &[&str] = &[
 const HOT_PATH_FILES: &[&str] = &[
     "crates/mesh/src/executor.rs",
     "crates/mesh/src/guardcell.rs",
+    // The guardian's whole point is to turn bad states into typed errors;
+    // a panic on the validate/rollback path would be self-defeating.
+    "crates/core/src/guardian.rs",
+    "crates/mesh/src/shadow.rs",
 ];
 
 /// Macros that abort the simulation when expanded in non-test code.

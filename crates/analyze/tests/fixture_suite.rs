@@ -17,6 +17,7 @@ use rflash_analyze::{build_inventory, check_fixture, check_workspace, find_works
 const EXPECTED: &[(&str, &[&str])] = &[
     ("allow_bad_syntax.rs", &["allow_syntax", "panic"]),
     ("allow_unused.rs", &["unused_allow"]),
+    ("guardian_abort_panics.rs", &["panic"]),
     ("hot_path_todo.rs", &["panic"]),
     ("hot_path_unwrap.rs", &["panic"]),
     ("pencil_cell_access.rs", &["pencil_confinement"]),

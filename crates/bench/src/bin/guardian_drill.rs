@@ -1,0 +1,336 @@
+//! Exercise the step guardian end to end and *assert* its contract, for
+//! CI's guardian fault-matrix job.
+//!
+//! The fault plan comes from `RFLASH_FAULTS` (see `rflash-hugepages`), so a
+//! fresh process per (site, retry-budget) cell keeps the per-site call
+//! counters deterministic. Three modes:
+//!
+//! * `--require-recovery` — the run must complete, with ≥ 1 recorded
+//!   rollback or retry whenever a fault plan is active, and the final state
+//!   must be bit-identical to a fault-free reference run (the retry ladder
+//!   re-attempts transient corruption at the *same* dt, so recovery is
+//!   exact, not merely plausible).
+//! * `--require-abort` — the run must fail with a typed `StepError`, after
+//!   writing an emergency checkpoint that verifies via `read_checkpoint`.
+//! * `--overhead` — no faults: time the clean path with the guardian on
+//!   vs. off and append the ratio to `BENCH_guardian.json` (EXPERIMENTS.md
+//!   E14 tracks the <2% target on the 3-d Sedov workload).
+//!
+//! Exit codes: 0 = contract held, 1 = contract violated, 2 = usage error.
+//! This binary never panics on a guardian failure — panicking on the exact
+//! path whose job is not to panic would be self-defeating.
+
+use std::time::Instant;
+
+use rflash_core::checkpoint::read_checkpoint;
+use rflash_core::setups::sedov::SedovSetup;
+use rflash_core::{CheckpointSeries, GuardianConfig, RuntimeParams, Simulation};
+use rflash_hugepages::faults::FaultPlan;
+use rflash_hugepages::Policy;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct GuardianRecord {
+    git_rev: String,
+    host: String,
+    steps: u64,
+    s_guarded: f64,
+    s_unguarded: f64,
+    /// (guarded − unguarded) / unguarded; the E14 target is < 0.02.
+    overhead: f64,
+}
+
+fn sedov_sim(retries: u32) -> Simulation {
+    let setup = SedovSetup {
+        ndim: 3,
+        nxb: 8,
+        max_refine: 2,
+        max_blocks: 256,
+        ..SedovSetup::default()
+    };
+    setup.build(RuntimeParams {
+        policy: Policy::None,
+        pattern_every: 0,
+        gather_every: 0,
+        use_hw: false,
+        nranks: 2,
+        guardian: GuardianConfig {
+            max_retries: retries,
+            ..GuardianConfig::default()
+        },
+        ..RuntimeParams::with_mesh(setup.mesh_config())
+    })
+}
+
+/// Bit pattern of every interior zone of every variable — the "identical
+/// final state" witness.
+fn state_bits(sim: &Simulation) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for id in sim.domain.tree.leaves() {
+        for v in 0..sim.domain.unk.nvar() {
+            for k in sim.domain.unk.interior_k() {
+                for j in sim.domain.unk.interior() {
+                    for i in sim.domain.unk.interior() {
+                        bits.push(sim.domain.unk.get(v, i, j, k, id.idx()).to_bits());
+                    }
+                }
+            }
+        }
+    }
+    bits
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("rflash-guardian-drill-{}-{tag}", std::process::id()))
+}
+
+fn require_recovery(retries: u32, steps: u64) -> i32 {
+    let faults_active = std::env::var("RFLASH_FAULTS").is_ok_and(|v| !v.trim().is_empty());
+    let mut sim = sedov_sim(retries);
+    for n in 0..steps {
+        match sim.try_step() {
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("FAIL: step {n} aborted where recovery was required: {e}");
+                println!("{}", sim.guardian_stats);
+                return 1;
+            }
+        }
+    }
+    println!("{}", sim.guardian_stats);
+    let g = &sim.guardian_stats;
+    if faults_active && g.rollbacks == 0 && g.retries == 0 {
+        eprintln!("FAIL: fault plan active but the guardian never intervened");
+        return 1;
+    }
+    if g.validations < steps {
+        eprintln!(
+            "FAIL: {} validation scans for {steps} steps — the guardian skipped steps",
+            g.validations
+        );
+        return 1;
+    }
+
+    // Reference: identical run with the env fault plan shadowed by an
+    // empty TLS plan (thread-locals take precedence over RFLASH_FAULTS).
+    let reference_bits = {
+        let _quiet = FaultPlan::new(0).activate();
+        let mut r = sedov_sim(retries);
+        for n in 0..steps {
+            if let Err(e) = r.try_step() {
+                eprintln!("FAIL: fault-free reference run died at step {n}: {e}");
+                return 1;
+            }
+        }
+        if !r.guardian_stats.clean() {
+            eprintln!("FAIL: guardian intervened on the fault-free reference run");
+            return 1;
+        }
+        state_bits(&r)
+    };
+    if state_bits(&sim) != reference_bits {
+        eprintln!("FAIL: recovered state differs from the fault-free run");
+        return 1;
+    }
+    println!(
+        "OK: {steps} steps, {} rollback(s), {} retry(ies), final state bit-identical to fault-free",
+        g.rollbacks, g.retries
+    );
+    0
+}
+
+fn require_abort(retries: u32, steps: u64) -> i32 {
+    let dir = scratch_dir("abort");
+    let _ = std::fs::remove_dir_all(&dir);
+    let series = CheckpointSeries::new(&dir, "emergency");
+    let mut sim = sedov_sim(retries);
+    sim.emergency_series = Some(series);
+    let mut failure = None;
+    for _ in 0..steps {
+        match sim.try_step() {
+            Ok(_) => {}
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
+    println!("{}", sim.guardian_stats);
+    let Some(err) = failure else {
+        eprintln!("FAIL: run completed where a typed abort was required");
+        let _ = std::fs::remove_dir_all(&dir);
+        return 1;
+    };
+    println!("typed error: {err}");
+    if sim.guardian_stats.aborts == 0 {
+        eprintln!("FAIL: step errored but GuardianStats recorded no abort");
+        let _ = std::fs::remove_dir_all(&dir);
+        return 1;
+    }
+    let ckpt = match &err {
+        rflash_core::StepError::BadDt {
+            emergency_checkpoint,
+            ..
+        }
+        | rflash_core::StepError::Unphysical {
+            emergency_checkpoint,
+            ..
+        } => emergency_checkpoint.clone(),
+        rflash_core::StepError::Checkpoint(_) => None,
+    };
+    let Some(path) = ckpt else {
+        eprintln!("FAIL: abort carried no emergency checkpoint");
+        let _ = std::fs::remove_dir_all(&dir);
+        return 1;
+    };
+    match read_checkpoint(&path) {
+        Ok(state) => {
+            if state.step != sim.step {
+                eprintln!(
+                    "FAIL: emergency checkpoint at step {} but the simulation committed {}",
+                    state.step, sim.step
+                );
+                let _ = std::fs::remove_dir_all(&dir);
+                return 1;
+            }
+            println!(
+                "OK: typed abort, readable emergency checkpoint of committed step {} at {}",
+                state.step,
+                path.display()
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            0
+        }
+        Err(e) => {
+            eprintln!("FAIL: emergency checkpoint unreadable: {e}");
+            let _ = std::fs::remove_dir_all(&dir);
+            1
+        }
+    }
+}
+
+fn overhead(steps: u64) -> i32 {
+    // Shadow any env fault plan: overhead is a clean-path number.
+    let _quiet = FaultPlan::new(0).activate();
+
+    // Warm-up run so allocators and the rank pool are paid for outside
+    // the timed region.
+    let mut warm = sedov_sim(2);
+    warm.evolve(3);
+
+    let mut on = sedov_sim(2);
+    let t = Instant::now();
+    on.evolve(steps);
+    let s_guarded = t.elapsed().as_secs_f64();
+
+    let mut off = sedov_sim(2);
+    off.params.guardian.enabled = false;
+    let t = Instant::now();
+    off.evolve(steps);
+    let s_unguarded = t.elapsed().as_secs_f64();
+
+    if state_bits(&on) != state_bits(&off) {
+        eprintln!("FAIL: guardian on/off runs diverged on the clean path");
+        return 1;
+    }
+
+    let overhead = (s_guarded - s_unguarded) / s_unguarded;
+    println!(
+        "guardian on: {s_guarded:.3} s, off: {s_unguarded:.3} s over {steps} steps -> overhead {:.2}%",
+        overhead * 100.0
+    );
+    println!(
+        "  guardian timer: {:.3} s (shadow capture + validation scans)",
+        on.timers.seconds("guardian")
+    );
+
+    let rec = GuardianRecord {
+        git_rev: std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .unwrap_or_default(),
+        host: std::env::var("HOSTNAME").unwrap_or_default(),
+        steps,
+        s_guarded,
+        s_unguarded,
+        overhead,
+    };
+    let path = "BENCH_guardian.json";
+    let mut records: Vec<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    match serde_json::to_value(&rec) {
+        Ok(v) => records.push(v),
+        Err(e) => {
+            eprintln!("FAIL: cannot serialize record: {e}");
+            return 1;
+        }
+    }
+    match serde_json::to_string_pretty(&records) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("FAIL: cannot write {path}: {e}");
+                return 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: cannot serialize records: {e}");
+            return 1;
+        }
+    }
+    println!("appended to {path}");
+    0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut retries: u32 = 2;
+    let mut steps: u64 = 8;
+    let mut mode: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--retries" => {
+                retries = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("usage: --retries <N>");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--steps" => {
+                steps = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("usage: --steps <N>");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--require-recovery" => mode = Some("recovery"),
+            "--require-abort" => mode = Some("abort"),
+            "--overhead" => mode = Some("overhead"),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; expected --retries N, --steps N, \
+                     --require-recovery, --require-abort, or --overhead"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let code = match mode {
+        Some("recovery") => require_recovery(retries, steps),
+        Some("abort") => require_abort(retries, steps),
+        Some("overhead") => overhead(steps.max(20)),
+        _ => {
+            eprintln!("pick a mode: --require-recovery, --require-abort, or --overhead");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -108,6 +108,11 @@ fn main() {
     batch_report(&mut sim);
     rank_report(&sim.rank_loads());
 
+    // Guardian interventions: a run that rolled back, halved dt, or fell
+    // back to the scalar engine is not comparable to a clean run, and the
+    // table says so explicitly.
+    println!("\n{}", sim.guardian_stats);
+
     // Fallback/retry counters from the allocation degradation chain: a run
     // whose huge pages silently failed to engage shows up here, not just in
     // the DTLB numbers it skews.

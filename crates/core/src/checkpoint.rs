@@ -524,16 +524,19 @@ impl crate::Simulation {
     /// `params.checkpoint_every` steps (0 disables). Returns the paths
     /// written. A failed write aborts the run loop with the error — a
     /// driver that cannot checkpoint must not silently keep burning
-    /// compute it cannot save.
+    /// compute it cannot save. Steps run under the guardian with `series`
+    /// as the emergency-checkpoint target: a guardian abort leaves a
+    /// checkpoint of the last good state interleaved with the scheduled
+    /// ones, and [`CheckpointSeries::recover_latest`] picks it first.
     pub fn evolve_checkpointed(
         &mut self,
         nsteps: u64,
         series: &CheckpointSeries,
-    ) -> Result<Vec<PathBuf>, CheckpointError> {
+    ) -> Result<Vec<PathBuf>, crate::guardian::StepError> {
         let every = self.params.checkpoint_every;
         let mut written = Vec::new();
         for _ in 0..nsteps {
-            self.step();
+            self.guarded_step(Some(series))?;
             if every > 0 && self.step.is_multiple_of(every) {
                 written.push(series.write(self)?);
             }

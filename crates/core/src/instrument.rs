@@ -63,6 +63,12 @@ pub fn eos_pass(
     let geom = domain.unk.geom();
     let gather_every = params.gather_every;
     let pattern_every = params.pattern_every;
+    // Under the guardian, an EOS failure (bad density out of a corrupted
+    // sweep, a non-converging inversion) must not panic: the row is left
+    // stale and the guardian's validation scan flags the bad zone, rolls
+    // the step back, and retries. Without the guardian the legacy
+    // abort-on-bad-state behavior stands.
+    let tolerate_bad_rows = params.guardian.enabled;
 
     let probes = domain.par_leaf_update(params.nranks, |_tree, id, slab, probe| {
         let ng = geom.nguard;
@@ -122,14 +128,14 @@ pub fn eos_pass(
                     gamc: &mut gamc_l[ng..ng + nxb],
                     game: &mut game_l[ng..ng + nxb],
                 };
-                let report = eos
-                    .eos_batch(EosMode::DensEi, &mut batch)
-                    .unwrap_or_else(|e| {
-                        panic!(
-                            "EOS pass failed in row (j={j}, k={k}) of block {}: {e}",
-                            id.idx()
-                        )
-                    });
+                let report = match eos.eos_batch(EosMode::DensEi, &mut batch) {
+                    Ok(r) => r,
+                    Err(_) if tolerate_bad_rows => continue,
+                    Err(e) => panic!(
+                        "EOS pass failed in row (j={j}, k={k}) of block {}: {e}",
+                        id.idx()
+                    ),
+                };
                 probe.stats.batch_lanes += report.lanes;
                 probe.stats.batch_vector_lanes += report.vector_lanes;
                 geom.scatter_pencil(slab, vars::PRES, 0, j, k, ng..ng + nxb, &pres_l);

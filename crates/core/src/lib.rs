@@ -19,6 +19,7 @@
 pub mod checkpoint;
 pub mod crc32;
 pub mod eos_choice;
+pub mod guardian;
 pub mod instrument;
 pub mod output;
 pub mod params;
@@ -31,5 +32,6 @@ pub use checkpoint::{
     CHECKPOINT_FORMAT,
 };
 pub use eos_choice::{Composition, EosChoice};
+pub use guardian::{GuardianConfig, StepError};
 pub use params::RuntimeParams;
 pub use sim::Simulation;

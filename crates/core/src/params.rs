@@ -40,6 +40,10 @@ pub struct RuntimeParams {
     /// keeps the per-zone reference path).
     #[serde(default)]
     pub sweep_engine: SweepEngine,
+    /// Step-guardian policy (validation floors, retry budget, engine
+    /// degradation). Defaulted so pre-guardian checkpoints still load.
+    #[serde(default)]
+    pub guardian: crate::guardian::GuardianConfig,
 }
 
 impl RuntimeParams {
@@ -61,6 +65,7 @@ impl RuntimeParams {
             use_hw: true,
             checkpoint_every: 0,
             sweep_engine: SweepEngine::default(),
+            guardian: crate::guardian::GuardianConfig::default(),
         }
     }
 }

@@ -1,14 +1,23 @@
 //! The simulation driver (FLASH's `Driver_evolveFlash`).
 
+use std::path::PathBuf;
+
 use rflash_flame::AdrFlame;
 use rflash_gravity::{apply_gravity, GravityField, MonopoleSolver};
-use rflash_hydro::{compute_dt_parallel, sweep_direction, SweepConfig, SweepEos, NFLUX};
+use rflash_hugepages::faults::{self, FaultSite};
+use rflash_hydro::{
+    compute_dt_parallel_raw, sweep_direction, SweepConfig, SweepEngine, SweepEos, NFLUX,
+};
 use rflash_mesh::flux::FluxRegister;
 use rflash_mesh::refine::{lohner_marks, LohnerConfig};
-use rflash_mesh::{vars, Domain};
-use rflash_perfmon::{Measures, PerfSession, RankLoad, SessionConfig, Timers};
+use rflash_mesh::{vars, Domain, ShadowSnapshot};
+use rflash_perfmon::{
+    GuardianEvent, GuardianStats, Measures, PerfSession, RankLoad, SessionConfig, Timers,
+};
 
+use crate::checkpoint::CheckpointSeries;
 use crate::eos_choice::{Composition, EosChoice};
+use crate::guardian::{validate_domain, StepError};
 use crate::instrument::{eos_pass, register_buffers};
 use crate::params::RuntimeParams;
 
@@ -49,6 +58,14 @@ pub struct Simulation {
     /// Variables fed to the refinement estimator.
     pub refine_vars: Vec<usize>,
     pub lohner: LohnerConfig,
+    /// Every guardian intervention (rollbacks, retries, degradations).
+    pub guardian_stats: GuardianStats,
+    /// Where [`try_step`](Self::try_step) writes emergency checkpoints on
+    /// abort. [`evolve_checkpointed`](Self::evolve_checkpointed) uses its
+    /// own series regardless.
+    pub emergency_series: Option<CheckpointSeries>,
+    /// Pre-step leaf-state snapshot for guardian rollback.
+    shadow: ShadowSnapshot,
 }
 
 impl Simulation {
@@ -75,8 +92,12 @@ impl Simulation {
         register_buffers(&mut eos_session, &domain, &eos);
         let cfg = domain.tree.config();
         let reg = FluxRegister::new(cfg.ndim, cfg.nxb, NFLUX, cfg.max_blocks);
+        // The shadow rides the same backing policy (and degradation chain)
+        // as unk itself.
+        let shadow = ShadowSnapshot::new(domain.unk.policy());
         Simulation {
             reg,
+            shadow,
             domain,
             eos,
             comp,
@@ -91,6 +112,8 @@ impl Simulation {
             energy_released: 0.0,
             refine_vars: vec![vars::DENS, vars::PRES],
             lohner: LohnerConfig::default(),
+            guardian_stats: GuardianStats::default(),
+            emergency_series: None,
         }
     }
 
@@ -106,15 +129,43 @@ impl Simulation {
     }
 
     /// One time step: dt → split sweeps (each followed by the instrumented
-    /// EOS pass) → flame → gravity → optional regrid.
+    /// EOS pass) → flame → gravity → optional regrid. Runs under the step
+    /// guardian when `params.guardian.enabled`; an unrecoverable step
+    /// panics with the typed error's message. Drivers that must never
+    /// panic use [`try_step`](Self::try_step).
     pub fn step(&mut self) -> f64 {
-        let ndim = self.domain.tree.config().ndim;
-        self.timers.start("step");
+        match self.try_step() {
+            Ok(dt) => dt,
+            // analyze::allow would be needed were this a hot-path crate; it
+            // is not — the legacy f64 API keeps FLASH's abort-on-bad-state
+            // behavior for callers that opted out of typed errors.
+            Err(e) => panic!("simulation step failed: {e}"),
+        }
+    }
 
+    /// [`step`](Self::step) with a typed error instead of a panic. On
+    /// abort, an emergency checkpoint goes to
+    /// [`emergency_series`](Self::emergency_series) when one is set.
+    pub fn try_step(&mut self) -> Result<f64, StepError> {
+        let series = self.emergency_series.clone();
+        self.guarded_step(series.as_ref())
+    }
+
+    /// The raw CFL time step under the "dt" timer, unvalidated — the
+    /// guardian (or the legacy assert) judges the value.
+    fn compute_dt_timed(&mut self) -> f64 {
         self.timers.start("dt");
-        let dt = compute_dt_parallel(&mut self.domain, self.params.cfl, self.params.nranks);
+        let dt = compute_dt_parallel_raw(&mut self.domain, self.params.cfl, self.params.nranks);
         self.timers.stop("dt");
+        dt
+    }
 
+    /// The physics of one step at a fixed `dt`: split sweeps (each followed
+    /// by the instrumented EOS pass), flame, gravity. Does *not* advance
+    /// `step`/`time` or regrid — [`commit_step`](Self::commit_step) does,
+    /// so the guardian can validate (and roll back) in between.
+    fn advance_physics(&mut self, dt: f64) {
+        let ndim = self.domain.tree.config().ndim;
         let sweep_cfg = SweepConfig {
             nranks: self.params.nranks,
             dens_floor: self.params.dens_floor,
@@ -155,6 +206,29 @@ impl Simulation {
             self.timers.stop("eos");
         }
 
+        // Deterministic corruption hooks, consulted once per step each,
+        // after the sweeps so nothing downstream floors the damage away
+        // before the guardian's validation scan runs:
+        // * `step-nan` — poison one interior energy with a NaN, as if a
+        //   kernel had emitted one (exercises the finite check);
+        // * `flux-corrupt` — flip one interior density negative, the shape
+        //   of a Riemann-solver blow-up (exercises the floor check).
+        if faults::fires(FaultSite::StepNan) {
+            if let Some(&id) = self.domain.tree.leaves().first() {
+                let i = self.domain.unk.interior().start;
+                let k = self.domain.unk.interior_k().start;
+                self.domain.unk.set(vars::ENER, i, i, k, id.idx(), f64::NAN);
+            }
+        }
+        if faults::fires(FaultSite::FluxCorrupt) {
+            if let Some(&id) = self.domain.tree.leaves().first() {
+                let i = self.domain.unk.interior().start;
+                let k = self.domain.unk.interior_k().start;
+                let v = self.domain.unk.get(vars::DENS, i, i, k, id.idx());
+                self.domain.unk.set(vars::DENS, i, i, k, id.idx(), -v.abs() - 1.0);
+            }
+        }
+
         if let Some(flame) = &self.flame {
             self.timers.start("flame");
             self.domain.fill_guardcells(self.params.nranks);
@@ -179,7 +253,12 @@ impl Simulation {
             apply_gravity(&mut self.domain, &self.gravity.field, dt, self.params.nranks);
             self.timers.stop("gravity");
         }
+    }
 
+    /// Commit a validated step: advance counters, then regrid. Regridding
+    /// only ever happens here — after validation — so a shadow snapshot is
+    /// always restorable (same tree epoch) during a step's retries.
+    fn commit_step(&mut self, dt: f64) {
         self.step += 1;
         self.time += dt;
 
@@ -195,9 +274,177 @@ impl Simulation {
             self.domain.tree.adapt(&mut self.domain.unk, &marks);
             self.timers.stop("regrid");
         }
+    }
 
-        self.timers.stop("step");
-        dt
+    /// The guarded step state machine: validate → rollback → retry
+    /// (same dt first, then halved) → degrade engine → emergency
+    /// checkpoint → typed abort. See DESIGN.md §12.
+    pub(crate) fn guarded_step(
+        &mut self,
+        series: Option<&CheckpointSeries>,
+    ) -> Result<f64, StepError> {
+        self.timers.start("step");
+        let g = self.params.guardian;
+
+        if !g.enabled {
+            // The pre-guardian step, verbatim (plus the dt usability check
+            // the old assert provided).
+            let dt = self.compute_dt_timed();
+            if !(dt.is_finite() && dt > 0.0) {
+                self.timers.stop("step");
+                return Err(StepError::BadDt {
+                    step: self.step,
+                    dt,
+                    attempts: 1,
+                    emergency_checkpoint: None,
+                });
+            }
+            self.advance_physics(dt);
+            self.commit_step(dt);
+            self.timers.stop("step");
+            return Ok(dt);
+        }
+
+        // Snapshot the committed state. A capture failure (allocation
+        // exhausted on every degradation rung) leaves the step running
+        // unprotected rather than killing a healthy run.
+        self.timers.start("guardian");
+        let shadow_ok = self.shadow.capture(&self.domain);
+        self.timers.stop("guardian");
+
+        let saved_engine = self.params.sweep_engine;
+        let step = self.step;
+        let mut attempt: u32 = 0;
+        loop {
+            let raw = self.compute_dt_timed();
+            if !(raw.is_finite() && raw > 0.0) {
+                self.guardian_stats.record(GuardianEvent::BadDt {
+                    step,
+                    attempt,
+                    dt: raw,
+                });
+                if attempt < g.max_retries {
+                    // The state was not touched — a bad dt needs no
+                    // rollback, only another attempt (the fault may be
+                    // transient).
+                    attempt += 1;
+                    self.guardian_stats.record(GuardianEvent::Retry {
+                        step,
+                        attempt,
+                        dt: raw,
+                    });
+                    continue;
+                }
+                let ckpt = self.emergency(series, true);
+                self.guardian_stats.record(GuardianEvent::Abort {
+                    step,
+                    detail: format!("unusable time step {raw:e}"),
+                });
+                self.timers.stop("step");
+                return Err(StepError::BadDt {
+                    step,
+                    dt: raw,
+                    attempts: attempt + 1,
+                    emergency_checkpoint: ckpt,
+                });
+            }
+
+            // Retry ladder: attempt 0 and the first retry run at the
+            // computed dt — a transient fault then recovers bit-exactly,
+            // since the restored state reproduces the same dt. From the
+            // second retry on, halve: 0.5, 0.25, … of the computed value.
+            let dt = if attempt >= 2 {
+                let scaled = raw * 0.5f64.powi(attempt as i32 - 1);
+                self.guardian_stats.dt_halvings += 1;
+                scaled
+            } else {
+                raw
+            };
+
+            // Final attempt: optionally degrade the pencil engine to the
+            // scalar reference path, in case the SoA fast path itself is
+            // what keeps producing the bad state.
+            if attempt == g.max_retries
+                && attempt > 0
+                && g.degrade_engine
+                && saved_engine == SweepEngine::Pencil
+            {
+                self.params.sweep_engine = SweepEngine::Scalar;
+                self.guardian_stats
+                    .record(GuardianEvent::EngineDegrade { step, attempt });
+            }
+
+            self.advance_physics(dt);
+
+            self.timers.start("guardian");
+            let verdict = validate_domain(&mut self.domain, &g, self.params.nranks);
+            self.timers.stop("guardian");
+            self.guardian_stats.count_validation();
+
+            let Some(detail) = verdict else {
+                self.params.sweep_engine = saved_engine;
+                self.commit_step(dt);
+                self.timers.stop("step");
+                return Ok(dt);
+            };
+            self.guardian_stats.record(GuardianEvent::Violation {
+                step,
+                attempt,
+                detail: detail.clone(),
+            });
+
+            let rolled_back = shadow_ok && self.shadow.restore(&mut self.domain);
+            if rolled_back {
+                self.guardian_stats
+                    .record(GuardianEvent::Rollback { step, attempt });
+            }
+            if attempt < g.max_retries && rolled_back {
+                attempt += 1;
+                self.guardian_stats.record(GuardianEvent::Retry {
+                    step,
+                    attempt,
+                    dt: raw,
+                });
+                continue;
+            }
+
+            // Budget exhausted (or no snapshot to retry from). Only a
+            // rolled-back — known-good — state is worth checkpointing.
+            self.params.sweep_engine = saved_engine;
+            let ckpt = self.emergency(series, rolled_back);
+            self.guardian_stats.record(GuardianEvent::Abort {
+                step,
+                detail: detail.clone(),
+            });
+            self.timers.stop("step");
+            return Err(StepError::Unphysical {
+                step,
+                attempts: attempt + 1,
+                detail,
+                emergency_checkpoint: ckpt,
+            });
+        }
+    }
+
+    /// Write an emergency checkpoint of the current (rolled-back) state,
+    /// best-effort: an abort must surface the step error, not a nested
+    /// checkpoint failure.
+    fn emergency(&mut self, series: Option<&CheckpointSeries>, state_good: bool) -> Option<PathBuf> {
+        if !state_good {
+            return None;
+        }
+        let series = series?;
+        match series.write(self) {
+            Ok(path) => {
+                self.guardian_stats
+                    .record(GuardianEvent::EmergencyCheckpoint {
+                        step: self.step,
+                        path: path.display().to_string(),
+                    });
+                Some(path)
+            }
+            Err(_) => None,
+        }
     }
 
     /// Evolve `nsteps` steps under the "evolution" timer (the paper's

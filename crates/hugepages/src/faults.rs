@@ -28,10 +28,12 @@
 //!        | site '=' kind
 //! site   = 'hugetlb-mmap' | 'anon-mmap' | 'madvise'
 //!        | 'ckpt-write'   | 'ckpt-rename'
+//!        | 'step-nan'     | 'flux-corrupt' | 'dt-zero'
 //! kind   = 'always'            [':' errno]     -- every call fails
-//!        | 'first' ':' N      [':' errno]     -- calls 1..=N fail (transient
-//!                                                pool exhaustion: later calls
-//!                                                succeed, so retry recovers)
+//!        | 'first' [':' N]    [':' errno]     -- calls 1..=N fail (N defaults
+//!                                                to 1; transient exhaustion:
+//!                                                later calls succeed, so a
+//!                                                retry recovers)
 //!        | 'nth'   ':' N      [':' errno]     -- exactly call N fails
 //!        | 'prob'  ':' PERMILLE [':' errno]   -- seeded coin per call
 //!        | 'short' ':' BYTES                  -- I/O sites: write BYTES then
@@ -39,6 +41,15 @@
 //! errno  = 'ENOMEM' | 'EAGAIN' | 'EINVAL' | 'EACCES' | 'EPERM'
 //!        | 'EIO' | 'ENOSPC' | decimal
 //! ```
+//!
+//! The last three sites are *state-corruption* sites consumed by the step
+//! guardian (`rflash-core::guardian`): `step-nan` poisons one evolved zone
+//! with a NaN after the sweeps, `flux-corrupt` drives one density negative
+//! inside a directional sweep (a stand-in for a bad HLLC flux), and
+//! `dt-zero` zeroes the computed CFL step. They carry no errno — the hook
+//! only asks *whether* the rule fires ([`fires`]) — and make the whole
+//! validate → rollback → retry → degrade chain testable bit-exactly
+//! without real corruption.
 //!
 //! Example: `RFLASH_FAULTS="hugetlb-mmap=always:ENOMEM;madvise=first:2"`.
 //!
@@ -69,10 +80,17 @@ pub enum FaultSite {
     CkptWrite,
     /// The atomic rename publishing a finished checkpoint.
     CkptRename,
+    /// Step guardian: poison one evolved zone with a NaN after the sweeps.
+    StepNan,
+    /// Step guardian: drive one density negative inside a directional
+    /// sweep — a deterministic stand-in for a bad HLLC flux.
+    FluxCorrupt,
+    /// Step guardian: zero the computed CFL time step.
+    DtZero,
 }
 
 /// Number of distinct sites (sizes the per-site call counters).
-const NSITES: usize = 5;
+const NSITES: usize = 8;
 
 impl FaultSite {
     /// All sites, in counter-index order.
@@ -82,6 +100,9 @@ impl FaultSite {
         FaultSite::Madvise,
         FaultSite::CkptWrite,
         FaultSite::CkptRename,
+        FaultSite::StepNan,
+        FaultSite::FluxCorrupt,
+        FaultSite::DtZero,
     ];
 
     fn index(self) -> usize {
@@ -91,6 +112,9 @@ impl FaultSite {
             FaultSite::Madvise => 2,
             FaultSite::CkptWrite => 3,
             FaultSite::CkptRename => 4,
+            FaultSite::StepNan => 5,
+            FaultSite::FluxCorrupt => 6,
+            FaultSite::DtZero => 7,
         }
     }
 
@@ -102,6 +126,9 @@ impl FaultSite {
             FaultSite::Madvise => "madvise",
             FaultSite::CkptWrite => "ckpt-write",
             FaultSite::CkptRename => "ckpt-rename",
+            FaultSite::StepNan => "step-nan",
+            FaultSite::FluxCorrupt => "flux-corrupt",
+            FaultSite::DtZero => "dt-zero",
         }
     }
 
@@ -110,12 +137,15 @@ impl FaultSite {
     }
 
     /// Default errno when the spec names none: allocation sites report
-    /// pool exhaustion, I/O sites report an I/O error.
+    /// pool exhaustion, I/O sites report an I/O error. State-corruption
+    /// sites never surface an errno ([`fires`] discards it) but get EINVAL
+    /// so a misaddressed rule still produces a defined failure.
     fn default_errno(self) -> i32 {
         match self {
             FaultSite::HugeTlbMmap | FaultSite::AnonMmap => libc::ENOMEM,
             FaultSite::Madvise => libc::EINVAL,
             FaultSite::CkptWrite | FaultSite::CkptRename => libc::EIO,
+            FaultSite::StepNan | FaultSite::FluxCorrupt | FaultSite::DtZero => libc::EINVAL,
         }
     }
 }
@@ -298,6 +328,12 @@ fn parse_kind(site: FaultSite, s: &str) -> std::result::Result<FaultKind, String
     };
     match head {
         "always" => Ok(FaultKind::Always { errno: errno_arg(0)? }),
+        // `first` alone means `first:1` — one transient failure, the shape
+        // every retry loop must survive.
+        "first" if args.is_empty() => Ok(FaultKind::FirstN {
+            n: 1,
+            errno: site.default_errno(),
+        }),
         "first" => Ok(FaultKind::FirstN {
             n: num_arg(0, "count")? as u32,
             errno: errno_arg(1)?,
@@ -451,6 +487,18 @@ pub fn check_io(site: FaultSite) -> Option<IoFault> {
     current()?.decide(site)
 }
 
+/// Consult the active plan at a state-corruption site (`step-nan`,
+/// `flux-corrupt`, `dt-zero`): `true` when the rule fires and the hook
+/// should corrupt its value. The errno a rule may carry is irrelevant
+/// here — nothing fails, a value silently goes bad, and the step
+/// guardian's validation scan is what must catch it.
+pub fn fires(site: FaultSite) -> bool {
+    match current() {
+        Some(plan) => plan.decide(site).is_some(),
+        None => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,5 +645,49 @@ mod tests {
             assert_eq!(FaultSite::parse(site.name()), Some(site));
         }
         assert_eq!(FaultSite::parse("nope"), None);
+    }
+
+    #[test]
+    fn guardian_sites_parse_and_first_defaults_to_one() {
+        let plan =
+            FaultPlan::parse("step-nan=first; flux-corrupt=nth:5; dt-zero=always").unwrap();
+        assert_eq!(
+            plan.rules()[0],
+            FaultRule {
+                site: FaultSite::StepNan,
+                kind: FaultKind::FirstN {
+                    n: 1,
+                    errno: libc::EINVAL,
+                },
+            }
+        );
+        assert_eq!(plan.rules()[1].site, FaultSite::FluxCorrupt);
+        assert_eq!(plan.rules()[2].site, FaultSite::DtZero);
+        // An explicit count still parses.
+        let plan = FaultPlan::parse("flux-corrupt=first:3").unwrap();
+        assert_eq!(
+            plan.rules()[0].kind,
+            FaultKind::FirstN {
+                n: 3,
+                errno: libc::EINVAL,
+            }
+        );
+    }
+
+    #[test]
+    fn fires_is_transient_and_scoped() {
+        assert!(!fires(FaultSite::FluxCorrupt), "no plan, no fire");
+        let _g = FaultPlan::new(0)
+            .with(
+                FaultSite::FluxCorrupt,
+                FaultKind::FirstN {
+                    n: 1,
+                    errno: libc::EINVAL,
+                },
+            )
+            .activate();
+        assert!(fires(FaultSite::FluxCorrupt), "first call fires");
+        assert!(!fires(FaultSite::FluxCorrupt), "transient: second is clean");
+        assert!(!fires(FaultSite::StepNan), "other sites untouched");
     }
 }

@@ -49,13 +49,24 @@ pub fn compute_dt(domain: &Domain, cfl: f64) -> f64 {
 /// is exact (associative and commutative), so the result is bit-identical
 /// to the serial scan for any `nranks`.
 pub fn compute_dt_parallel(domain: &mut Domain, cfl: f64, nranks: usize) -> f64 {
-    assert!(cfl > 0.0 && cfl < 1.0, "CFL must be in (0, 1)");
-    let dt = domain.par_leaf_min(nranks, block_min_wavetime);
+    let dt = compute_dt_parallel_raw(domain, cfl, nranks);
     assert!(
-        dt.is_finite(),
-        "no finite time step: mesh uninitialized or all-zero state"
+        dt.is_finite() && dt > 0.0,
+        "no usable time step: mesh uninitialized or all-zero state"
     );
-    cfl * dt
+    dt
+}
+
+/// [`compute_dt_parallel`] without the usability assertion: the raw
+/// `cfl · min(wavetime)` reduction, which is `inf` on an uninitialized
+/// mesh and may be corrupted by the `dt-zero` fault site. Callers that
+/// cannot panic (the step guardian) inspect the value themselves.
+pub fn compute_dt_parallel_raw(domain: &mut Domain, cfl: f64, nranks: usize) -> f64 {
+    assert!(cfl > 0.0 && cfl < 1.0, "CFL must be in (0, 1)");
+    if rflash_hugepages::faults::fires(rflash_hugepages::faults::FaultSite::DtZero) {
+        return 0.0;
+    }
+    cfl * domain.par_leaf_min(nranks, block_min_wavetime)
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ pub mod sedov;
 pub mod state;
 pub mod sweep;
 
-pub use dt::{compute_dt, compute_dt_parallel};
+pub use dt::{compute_dt, compute_dt_parallel, compute_dt_parallel_raw};
 pub use exact_riemann::{ExactRiemann, GasState};
 pub use sedov::SedovSolution;
 pub use sweep::{sweep_direction, SweepConfig, SweepEngine, SweepEos};

@@ -31,6 +31,7 @@ pub mod flux;
 pub mod geometry;
 pub mod guardcell;
 pub mod refine;
+pub mod shadow;
 pub mod stats;
 pub mod tree;
 pub mod unk;
@@ -39,6 +40,7 @@ pub mod vars;
 pub use block::{BlockId, BlockMeta, BlockState, MortonKey};
 pub use domain::Domain;
 pub use geometry::Geometry;
+pub use shadow::ShadowSnapshot;
 pub use stats::MeshStats;
 pub use tree::{BoundaryCondition, MeshConfig, Tree};
 pub use unk::{Layout, UnkStorage};

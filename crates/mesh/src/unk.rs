@@ -125,6 +125,13 @@ impl UnkStorage {
     pub fn max_blocks(&self) -> usize {
         self.max_blocks
     }
+    /// The huge-page policy the container was allocated under, so sibling
+    /// allocations (scratch arenas, shadow snapshots) can ride the same
+    /// backing and degradation chain.
+    #[inline]
+    pub fn policy(&self) -> Policy {
+        self.buf.policy()
+    }
     /// Doubles per block slab.
     #[inline]
     pub fn per_block(&self) -> usize {

@@ -18,6 +18,7 @@
 //! rows formatted like the paper's Tables I/II.
 
 pub mod alloc;
+pub mod guardian;
 pub mod hw;
 pub mod kernel_stats;
 pub mod rank_load;
@@ -26,6 +27,7 @@ pub mod session;
 pub mod timers;
 
 pub use alloc::AllocSummary;
+pub use guardian::{GuardianEvent, GuardianStats};
 pub use hw::HwCounters;
 pub use kernel_stats::KernelStats;
 pub use rank_load::{idle_fraction, imbalance, RankLoad};
