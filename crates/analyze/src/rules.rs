@@ -61,6 +61,11 @@ const HOT_PATH_FILES: &[&str] = &[
     // a panic on the validate/rollback path would be self-defeating.
     "crates/core/src/guardian.rs",
     "crates/mesh/src/shadow.rs",
+    // The task-graph scheduler and the per-block step bodies run on pool
+    // ranks: a panic there is caught and re-raised as an execution abort,
+    // but the dispatch/reduction machinery itself must not be able to.
+    "crates/mesh/src/taskgraph.rs",
+    "crates/core/src/stepgraph.rs",
 ];
 
 /// Macros that abort the simulation when expanded in non-test code.

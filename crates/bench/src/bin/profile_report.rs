@@ -48,17 +48,64 @@ fn batch_report(sim: &mut rflash_core::Simulation) {
     );
 }
 
-fn breakdown(name: &str, timers: &rflash_perfmon::Timers) {
-    let labels = ["hydro", "eos", "flame", "gravity", "regrid", "dt"];
-    let total: f64 = labels.iter().map(|l| timers.seconds(l)).sum();
+fn breakdown(name: &str, sim: &rflash_core::Simulation) {
+    let g = &sim.graph_report;
+    let rows: Vec<(&str, f64)> = if g.executions > 0 {
+        // The task graph interleaves the phases freely, so the unit
+        // timers never tick — the per-task ledger is the breakdown
+        // (summed across ranks; flame/gravity still run on the driver
+        // thread and keep their timers).
+        vec![
+            ("guardcell", g.guardcell_ns as f64 / 1e9),
+            ("hydro", g.sweep_ns as f64 / 1e9),
+            ("eos", g.eos_ns as f64 / 1e9),
+            ("dt", g.dt_ns as f64 / 1e9),
+            ("guardian", g.guardian_ns as f64 / 1e9),
+            ("flame", sim.timers.seconds("flame")),
+            ("gravity", sim.timers.seconds("gravity")),
+            ("regrid", sim.timers.seconds("regrid")),
+        ]
+    } else {
+        ["guardcell", "hydro", "eos", "flame", "gravity", "regrid", "dt"]
+            .iter()
+            .map(|l| (*l, sim.timers.seconds(l)))
+            .collect()
+    };
+    let total: f64 = rows.iter().map(|(_, s)| s).sum();
     println!("\n{name}: unit share of step time (total {total:.2} s)");
-    for l in labels {
-        let s = timers.seconds(l);
+    for (l, s) in rows {
         if s == 0.0 {
             continue;
         }
         let pct = s / total * 100.0;
-        println!("  {l:<8} {s:>8.2} s  {pct:>5.1}%  |{}", "#".repeat(pct.round() as usize / 2));
+        println!("  {l:<9} {s:>8.2} s  {pct:>5.1}%  |{}", "#".repeat(pct.round() as usize / 2));
+    }
+}
+
+/// Task-graph scheduler counters: what each rank executed, how much it
+/// stole off other ranks' deques, and how much exchange time was hidden
+/// under compute.
+fn graph_report(sim: &rflash_core::Simulation) {
+    let g = &sim.graph_report;
+    if g.executions == 0 {
+        println!("  (task graph never engaged: barrier scheduler or serial run)");
+        return;
+    }
+    println!(
+        "  task graph: {} executions, {} steals, overlap ratio {:.2}",
+        g.executions,
+        g.total_steals(),
+        g.overlap_ratio()
+    );
+    for (rank, r) in g.per_rank.iter().enumerate() {
+        println!(
+            "    rank {:<2} tasks {:>7}  steals {:>6}  busy {:>7.3} s  idle {:>7.3} s",
+            rank,
+            r.tasks,
+            r.steals,
+            r.busy_ns as f64 / 1e9,
+            r.idle_ns as f64 / 1e9
+        );
     }
 }
 
@@ -82,12 +129,20 @@ fn main() {
         ..RuntimeParams::with_mesh(setup.mesh_config())
     });
     sim.evolve(steps);
-    breakdown("2-d supernova (the paper's EOS-dominated case)", &sim.timers);
-    let eos_share = sim.timers.seconds("eos")
-        / (sim.timers.seconds("eos") + sim.timers.seconds("hydro")).max(1e-12);
+    breakdown("2-d supernova (the paper's EOS-dominated case)", &sim);
+    let (eos_s, hydro_s) = if sim.graph_report.executions > 0 {
+        (
+            sim.graph_report.eos_ns as f64 / 1e9,
+            sim.graph_report.sweep_ns as f64 / 1e9,
+        )
+    } else {
+        (sim.timers.seconds("eos"), sim.timers.seconds("hydro"))
+    };
+    let eos_share = eos_s / (eos_s + hydro_s).max(1e-12);
     println!("  -> EOS fraction of (hydro+eos): {:.0}%", eos_share * 100.0);
     batch_report(&mut sim);
     rank_report(&sim.rank_loads());
+    graph_report(&sim);
 
     let setup = SedovSetup {
         ndim: 3,
@@ -104,9 +159,10 @@ fn main() {
         ..RuntimeParams::with_mesh(setup.mesh_config())
     });
     sim.evolve(steps.min(30));
-    breakdown("3-d Sedov (hydro-dominated)", &sim.timers);
+    breakdown("3-d Sedov (hydro-dominated)", &sim);
     batch_report(&mut sim);
     rank_report(&sim.rank_loads());
+    graph_report(&sim);
 
     // Guardian interventions: a run that rolled back, halved dt, or fell
     // back to the scalar engine is not comparable to a clean run, and the

@@ -160,8 +160,10 @@ pub fn validate_domain(domain: &mut Domain, cfg: &GuardianConfig, nranks: usize)
 
 /// The per-block piece of [`validate_domain`]: first violation in this
 /// block's interior, scanning zones in (k, j, i) order and variables in
-/// index order so the report is deterministic.
-fn check_block(
+/// index order so the report is deterministic. Also the body of the task
+/// graph's fused per-leaf Validate tasks (interior-only, so a shared read
+/// of the block slab suffices).
+pub(crate) fn check_block(
     key: MortonKey,
     slab: &[f64],
     geom: &rflash_mesh::unk::UnkGeom,

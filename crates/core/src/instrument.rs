@@ -3,8 +3,9 @@
 
 use rflash_eos::{EosBatch, EosMode};
 use rflash_hugepages::BackingReport;
-use rflash_mesh::{vars, Domain};
-use rflash_perfmon::PerfSession;
+use rflash_mesh::unk::UnkGeom;
+use rflash_mesh::{vars, BlockId, Domain};
+use rflash_perfmon::{PerfSession, Probe};
 use rflash_tlbsim::{AccessPattern, FrameSizing};
 
 use crate::eos_choice::{Composition, EosChoice};
@@ -71,6 +72,42 @@ pub fn eos_pass(
     let tolerate_bad_rows = params.guardian.enabled;
 
     let probes = domain.par_leaf_update(params.nranks, |_tree, id, slab, probe| {
+        eos_block(
+            &geom,
+            eos,
+            comp,
+            gather_every,
+            pattern_every,
+            tolerate_bad_rows,
+            id,
+            slab,
+            probe,
+        );
+    });
+    for probe in probes {
+        session.absorb(probe);
+    }
+    session.stop_region();
+}
+
+/// The per-block body of [`eos_pass`]: one leaf's instrumented
+/// `Eos_wrapped(MODE_DENS_EI)`. Also the body of the task-graph per-block
+/// EOS tasks — same code, same row order, bit-identical results. Reads the
+/// full row (guards included, though only interior lanes feed the solve)
+/// and scatters interior lanes back.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eos_block(
+    geom: &UnkGeom,
+    eos: &EosChoice,
+    comp: Composition,
+    gather_every: usize,
+    pattern_every: usize,
+    tolerate_bad_rows: bool,
+    id: BlockId,
+    slab: &mut [f64],
+    probe: &mut Probe,
+) {
+    {
         let ng = geom.nguard;
         let nxb = geom.nxb;
         let n = geom.ni; // full x-row (pencil) length, guards included
@@ -178,11 +215,7 @@ pub fn eos_pass(
                 }
             }
         }
-    });
-    for probe in probes {
-        session.absorb(probe);
     }
-    session.stop_region();
 }
 
 #[cfg(test)]

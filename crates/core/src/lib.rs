@@ -25,6 +25,7 @@ pub mod output;
 pub mod params;
 pub mod setups;
 pub mod sim;
+pub mod stepgraph;
 pub mod wd;
 
 pub use checkpoint::{
@@ -33,5 +34,6 @@ pub use checkpoint::{
 };
 pub use eos_choice::{Composition, EosChoice};
 pub use guardian::{GuardianConfig, StepError};
-pub use params::RuntimeParams;
+pub use params::{RuntimeParams, StepScheduler};
 pub use sim::Simulation;
+pub use stepgraph::{GraphExecReport, GraphRankReport};

@@ -5,6 +5,23 @@ use rflash_hydro::SweepEngine;
 use rflash_mesh::MeshConfig;
 use serde::{Deserialize, Serialize};
 
+/// How the driver schedules the work inside one time step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StepScheduler {
+    /// Bulk-synchronous phases: one pool-wide barrier per guard fill,
+    /// sweep, EOS pass, and reduction — the pre-task-graph loop, kept
+    /// selectable for parity testing and fallback.
+    Barrier,
+    /// Per-block dependency graph over the rank pool with work stealing:
+    /// a block sweeps the moment its own guard cells are ready, interior
+    /// compute overlaps other blocks' exchanges, and the only global sync
+    /// left is the end-of-step dt reduction. Bit-identical to `Barrier`
+    /// by construction (DESIGN.md §13).
+    #[default]
+    TaskGraph,
+}
+
 /// Everything a run needs beyond the setup-specific initial conditions.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct RuntimeParams {
@@ -44,6 +61,10 @@ pub struct RuntimeParams {
     /// degradation). Defaulted so pre-guardian checkpoints still load.
     #[serde(default)]
     pub guardian: crate::guardian::GuardianConfig,
+    /// In-step work scheduler. Defaulted so pre-task-graph checkpoints and
+    /// parameter files still load.
+    #[serde(default)]
+    pub step_scheduler: StepScheduler,
 }
 
 impl RuntimeParams {
@@ -66,6 +87,7 @@ impl RuntimeParams {
             checkpoint_every: 0,
             sweep_engine: SweepEngine::default(),
             guardian: crate::guardian::GuardianConfig::default(),
+            step_scheduler: StepScheduler::default(),
         }
     }
 }

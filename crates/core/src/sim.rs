@@ -6,7 +6,7 @@ use rflash_flame::AdrFlame;
 use rflash_gravity::{apply_gravity, GravityField, MonopoleSolver};
 use rflash_hugepages::faults::{self, FaultSite};
 use rflash_hydro::{
-    compute_dt_parallel_raw, sweep_direction, SweepConfig, SweepEngine, SweepEos, NFLUX,
+    compute_dt_parallel_raw, sweep_direction_prefilled, SweepConfig, SweepEngine, SweepEos, NFLUX,
 };
 use rflash_mesh::flux::FluxRegister;
 use rflash_mesh::refine::{lohner_marks, LohnerConfig};
@@ -51,7 +51,7 @@ pub struct Simulation {
     pub hydro_session: PerfSession,
     /// Instrumented "EOS" region (Table I).
     pub eos_session: PerfSession,
-    reg: FluxRegister,
+    pub(crate) reg: FluxRegister,
     pub time: f64,
     pub step: u64,
     pub energy_released: f64,
@@ -65,7 +65,12 @@ pub struct Simulation {
     /// own series regardless.
     pub emergency_series: Option<CheckpointSeries>,
     /// Pre-step leaf-state snapshot for guardian rollback.
-    shadow: ShadowSnapshot,
+    pub(crate) shadow: ShadowSnapshot,
+    /// Cached step graph (task-graph scheduler), keyed on tree epoch,
+    /// rank count, sweep parity, and validation fusion.
+    pub(crate) graph_plan: Option<crate::stepgraph::StepGraphPlan>,
+    /// Cumulative task-graph statistics (empty under the barrier path).
+    pub graph_report: crate::stepgraph::GraphExecReport,
 }
 
 impl Simulation {
@@ -114,6 +119,8 @@ impl Simulation {
             lohner: LohnerConfig::default(),
             guardian_stats: GuardianStats::default(),
             emergency_series: None,
+            graph_plan: None,
+            graph_report: crate::stepgraph::GraphExecReport::default(),
         }
     }
 
@@ -185,9 +192,15 @@ impl Simulation {
             (0..ndim).rev().collect()
         };
         for dir in dirs {
+            // The guard exchange gets its own timer so the per-phase
+            // breakdown exposes what the task-graph scheduler overlaps.
+            self.timers.start("guardcell");
+            self.domain.fill_guardcells(self.params.nranks);
+            self.timers.stop("guardcell");
+
             self.timers.start("hydro");
             self.hydro_session.start_region();
-            let probes = sweep_direction(
+            let probes = sweep_direction_prefilled(
                 &mut self.domain,
                 &defer_eos,
                 dir,
@@ -229,6 +242,13 @@ impl Simulation {
             }
         }
 
+        self.post_sweep_tail(dt);
+    }
+
+    /// The step physics after the split sweeps: flame and gravity. Shared
+    /// by the barrier path ([`advance_physics`](Self::advance_physics))
+    /// and the task-graph path, whose graph covers everything before this.
+    pub(crate) fn post_sweep_tail(&mut self, dt: f64) {
         if let Some(flame) = &self.flame {
             self.timers.start("flame");
             self.domain.fill_guardcells(self.params.nranks);
@@ -258,7 +278,7 @@ impl Simulation {
     /// Commit a validated step: advance counters, then regrid. Regridding
     /// only ever happens here — after validation — so a shadow snapshot is
     /// always restorable (same tree epoch) during a step's retries.
-    fn commit_step(&mut self, dt: f64) {
+    pub(crate) fn commit_step(&mut self, dt: f64) {
         self.step += 1;
         self.time += dt;
 
@@ -283,6 +303,9 @@ impl Simulation {
         &mut self,
         series: Option<&CheckpointSeries>,
     ) -> Result<f64, StepError> {
+        if self.use_taskgraph() {
+            return self.guarded_step_graph(series);
+        }
         self.timers.start("step");
         let g = self.params.guardian;
 
@@ -429,7 +452,11 @@ impl Simulation {
     /// Write an emergency checkpoint of the current (rolled-back) state,
     /// best-effort: an abort must surface the step error, not a nested
     /// checkpoint failure.
-    fn emergency(&mut self, series: Option<&CheckpointSeries>, state_good: bool) -> Option<PathBuf> {
+    pub(crate) fn emergency(
+        &mut self,
+        series: Option<&CheckpointSeries>,
+        state_good: bool,
+    ) -> Option<PathBuf> {
         if !state_good {
             return None;
         }

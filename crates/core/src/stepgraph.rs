@@ -1,0 +1,879 @@
+//! The task-graph step scheduler: one pool dispatch per attempt.
+//!
+//! The barrier step loop runs as pool-wide phases — guard fill, sweep,
+//! EOS, dt scan, validation — and every phase boundary is a full barrier,
+//! so the fastest rank idles until the slowest finishes *each phase*. This
+//! module assembles the whole step into one per-block dependency graph
+//! (see [`rflash_mesh::taskgraph`]) and executes it in a single dispatch
+//! of the rank pool: a block's sweep runs the moment its own guard cells
+//! are filled, interior compute overlaps other blocks' exchanges, and the
+//! only remaining global synchronization is the end-of-step dt reduction.
+//!
+//! Determinism (bit-identity with the barrier path) is by construction —
+//! DESIGN.md §13:
+//! * Task accesses are declared to the [`GraphBuilder`] in the canonical
+//!   serial barrier order, so resource versioning reproduces the serial
+//!   data flow exactly; any edge-consistent schedule computes the same
+//!   values.
+//! * Each block's slab is split into an *interior* and a *guards* resource:
+//!   same-level guard copies read only the source interior, so two
+//!   neighbors' fills don't falsely serialize on each other.
+//! * Order-sensitive reductions — the CFL minimum, the guardian verdict —
+//!   are folded over per-leaf slots in Morton order, never in completion
+//!   order (`f64::min` is exact, so the fold is bit-identical to the
+//!   serial scan).
+//! * An unusable dt poisons the graph: every state-mutating task after the
+//!   reduction no-ops, leaving leaf interiors untouched exactly like the
+//!   barrier path's bad-dt retry (guard cells are rewritten from the same
+//!   interiors on the next attempt, so they cannot diverge either).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use rflash_gravity::GravityField;
+use rflash_hugepages::faults::{self, FaultSite};
+use rflash_hydro::{
+    apply_block_corrections, block_min_wavetime_slab, sweep_leaf_block, SweepConfig, SweepEngine,
+    SweepEos, NFLUX,
+};
+use rflash_mesh::executor::PerRank;
+use rflash_mesh::flux::{Correction, Face};
+use rflash_mesh::guardcell::{pack_block_cells, restrict_parent_cells, unpack_block_cells};
+use rflash_mesh::taskgraph::{GraphBuilder, GraphStats, TaskClass, TaskGraph, TaskId};
+use rflash_mesh::tree::Neighbor;
+use rflash_mesh::{vars, BlockId, BlockState, Tree};
+use rflash_perfmon::{GuardianEvent, Probe};
+use serde::Serialize;
+
+use crate::checkpoint::CheckpointSeries;
+use crate::guardian::{check_block, validate_domain, StepError};
+use crate::instrument::eos_block;
+use crate::params::StepScheduler;
+use crate::sim::Simulation;
+
+// Task kinds, also the indices of the per-kind busy ledger.
+pub(crate) const K_DT: u8 = 0;
+pub(crate) const K_DTREDUCE: u8 = 1;
+pub(crate) const K_RESTRICT: u8 = 2;
+pub(crate) const K_PACK: u8 = 3;
+pub(crate) const K_UNPACK: u8 = 4;
+pub(crate) const K_SWEEP: u8 = 5;
+pub(crate) const K_CORRECT: u8 = 6;
+pub(crate) const K_EOS: u8 = 7;
+pub(crate) const K_INJECT: u8 = 8;
+pub(crate) const K_VALIDATE: u8 = 9;
+const NKINDS: usize = 10;
+
+/// Scheduling classes per kind, for the overlap ledger.
+const CLASSES: [TaskClass; NKINDS] = [
+    TaskClass::Other,    // Dt
+    TaskClass::Other,    // DtReduce
+    TaskClass::Exchange, // Restrict
+    TaskClass::Exchange, // Pack
+    TaskClass::Exchange, // Unpack
+    TaskClass::Compute,  // Sweep
+    TaskClass::Compute,  // Correct
+    TaskClass::Other,    // Eos
+    TaskClass::Other,    // Inject
+    TaskClass::Other,    // Validate
+];
+
+/// What a cached plan was built for; any mismatch forces a rebuild.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct PlanKey {
+    /// Tree topology revision.
+    pub epoch: u64,
+    pub nranks: usize,
+    /// Odd steps sweep the directions in reverse (Strang alternation).
+    pub reversed: bool,
+    /// Guardian validation folded into the graph tail (no flame/gravity).
+    pub fused: bool,
+}
+
+/// Everything the body closure needs to know about one task.
+#[derive(Clone, Copy)]
+struct TaskMeta {
+    kind: u8,
+    block: BlockId,
+    /// Morton position of the leaf (dt-contribution / verdict slot index).
+    leaf_idx: u32,
+    /// Sweep axis for the per-direction kinds.
+    dir: u8,
+}
+
+/// A frozen step graph for one [`PlanKey`].
+pub(crate) struct StepGraphPlan {
+    key: PlanKey,
+    graph: TaskGraph,
+    meta: Vec<TaskMeta>,
+    /// Leaves in Morton order — the slot index space.
+    leaves: Vec<BlockId>,
+}
+
+/// Result of one graph attempt.
+pub(crate) struct GraphAttemptOutcome {
+    /// `cfl · min(wavetime)`, bit-identical to `compute_dt_parallel_raw`.
+    pub raw: f64,
+    /// The dt the sweeps actually used (retry-ladder scaled).
+    pub dt: f64,
+    /// The dt was unusable: every state-mutating task no-opped.
+    pub poisoned: bool,
+    /// First guardian violation in Morton order (fused plans only).
+    pub verdict: Option<String>,
+}
+
+/// Fixed-size slot array written by graph tasks. Soundness is delegated to
+/// the graph's edges: a slot is only touched by the task(s) the plan
+/// assigns to it, with writers ordered around readers.
+struct SyncSlots<T>(Vec<UnsafeCell<T>>);
+
+// SAFETY: access discipline (one task at a time per slot, ordered by graph
+// edges) is documented on `get` and upheld by the plan builder.
+unsafe impl<T: Send> Sync for SyncSlots<T> {}
+
+impl<T> SyncSlots<T> {
+    fn new(n: usize, mut init: impl FnMut() -> T) -> SyncSlots<T> {
+        SyncSlots((0..n).map(|_| UnsafeCell::new(init())).collect())
+    }
+
+    /// Slot `i`, aliasing `&mut`.
+    ///
+    /// # Safety
+    /// The caller must be the only task touching slot `i` right now —
+    /// i.e. graph edges order every other accessor before or after it.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, i: usize) -> &mut T {
+        &mut *self.0[i].get()
+    }
+
+    fn into_inner(self) -> Vec<T> {
+        self.0.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+/// Per-rank counters accumulated over every graph execution of a run.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct GraphRankReport {
+    /// Tasks executed on this rank (own + stolen).
+    pub tasks: u64,
+    /// Tasks stolen from other ranks' deques.
+    pub steals: u64,
+    /// Nanoseconds inside task bodies.
+    pub busy_ns: u64,
+    /// Nanoseconds failing to find runnable work.
+    pub idle_ns: u64,
+}
+
+/// Cumulative task-graph statistics of a run — the task-graph analog of
+/// the barrier path's per-phase timers, plus the overlap and stealing
+/// ledgers the barrier path structurally cannot have.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct GraphExecReport {
+    /// Graph executions (one per step attempt).
+    pub executions: u64,
+    /// Busy ns in guard-cell exchange tasks (restrict + pack + unpack).
+    pub guardcell_ns: u64,
+    /// Busy ns in sweep + flux-correction tasks.
+    pub sweep_ns: u64,
+    /// Busy ns in EOS tasks.
+    pub eos_ns: u64,
+    /// Busy ns in dt scan + reduction tasks.
+    pub dt_ns: u64,
+    /// Busy ns in guardian validation tasks (fused plans only).
+    pub guardian_ns: u64,
+    /// Compute-class ns spent while ≥1 exchange task was in flight.
+    pub overlap_ns: u64,
+    /// Total compute-class ns (the overlap denominator).
+    pub compute_ns: u64,
+    /// Per-rank task/steal/busy/idle counters.
+    pub per_rank: Vec<GraphRankReport>,
+}
+
+impl GraphExecReport {
+    /// Fold one execution's statistics in.
+    pub fn accumulate(&mut self, stats: &GraphStats) {
+        self.executions += 1;
+        let kind = |k: u8| stats.kind_busy_ns.get(k as usize).copied().unwrap_or(0);
+        self.guardcell_ns += kind(K_RESTRICT) + kind(K_PACK) + kind(K_UNPACK);
+        self.sweep_ns += kind(K_SWEEP) + kind(K_CORRECT);
+        self.eos_ns += kind(K_EOS);
+        self.dt_ns += kind(K_DT) + kind(K_DTREDUCE);
+        self.guardian_ns += kind(K_VALIDATE);
+        self.overlap_ns += stats.overlap_ns;
+        self.compute_ns += stats.compute_ns;
+        if self.per_rank.len() < stats.per_rank.len() {
+            self.per_rank
+                .resize(stats.per_rank.len(), GraphRankReport::default());
+        }
+        for (r, s) in stats.per_rank.iter().enumerate() {
+            let slot = &mut self.per_rank[r];
+            slot.tasks += s.tasks;
+            slot.steals += s.steals;
+            slot.busy_ns += s.busy_ns;
+            slot.idle_ns += s.idle_ns;
+        }
+    }
+
+    /// Fraction of compute time overlapped with in-flight exchanges.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.compute_ns == 0 {
+            0.0
+        } else {
+            self.overlap_ns as f64 / self.compute_ns as f64
+        }
+    }
+
+    /// Total steals across ranks.
+    pub fn total_steals(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.steals).sum()
+    }
+}
+
+/// Build the step graph for `key`, declaring every task's resource
+/// accesses in the canonical serial barrier order (DESIGN.md §13).
+///
+/// Resource layout (`4·max_blocks + 1` resources): `interior(b) = b`,
+/// `guards(b) = max_blocks + b`, `stage buffer(b) = 2·max_blocks + b`,
+/// `flux rows(b) = 3·max_blocks + b`, and the dt cell at `4·max_blocks`.
+fn build_plan(tree: &Tree, parts: &[Vec<BlockId>], key: PlanKey) -> StepGraphPlan {
+    let cfg = tree.config();
+    let max_blocks = cfg.max_blocks;
+    let interior = |b: BlockId| b.idx();
+    let guards = |b: BlockId| max_blocks + b.idx();
+    let stage_buf = |b: BlockId| 2 * max_blocks + b.idx();
+    let fluxrow = |b: BlockId| 3 * max_blocks + b.idx();
+    let dt_res = 4 * max_blocks;
+
+    let leaves = tree.leaves();
+
+    // Block ownership: leaves from the cost-weighted Morton partition;
+    // parents follow their first child (processed deepest level first so
+    // the child's owner is already known). Ownership is a scheduling hint
+    // only — stealing rebalances, and correctness never depends on it.
+    let mut owner = vec![0u32; max_blocks];
+    for (r, part) in parts.iter().enumerate() {
+        for id in part {
+            owner[id.idx()] = r as u32;
+        }
+    }
+    // Active blocks level-ascending, BlockId-ascending within a level —
+    // the serial fill's stable sort order.
+    let mut active: Vec<BlockId> = (0..max_blocks as u32)
+        .map(BlockId)
+        .filter(|&id| tree.block(id).state != BlockState::Free)
+        .collect();
+    active.sort_by_key(|&id| tree.block(id).key.level);
+    // Parents deepest level first (the serial restriction order).
+    let mut parents: Vec<BlockId> = active
+        .iter()
+        .copied()
+        .filter(|&id| tree.block(id).state == BlockState::Parent)
+        .collect();
+    parents.sort_by_key(|&id| std::cmp::Reverse(tree.block(id).key.level));
+    for &pid in &parents {
+        let meta = tree.block(pid);
+        if let Some(children) = meta.children {
+            if meta.n_children > 0 {
+                owner[pid.idx()] = owner[children[0].idx()];
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::new(4 * max_blocks + 1);
+    let mut meta: Vec<TaskMeta> = Vec::new();
+    let mut add = |b: &mut GraphBuilder, kind: u8, block: BlockId, leaf_idx: u32, dir: u8| {
+        let t = b.add_task(kind, owner[block.idx()] as usize);
+        meta.push(TaskMeta {
+            kind,
+            block,
+            leaf_idx,
+            dir,
+        });
+        t
+    };
+
+    // 1. Per-leaf dt scans (Morton order), folded by one reduction task.
+    let mut dt_tasks: Vec<TaskId> = Vec::with_capacity(leaves.len());
+    for (li, &id) in leaves.iter().enumerate() {
+        let t = add(&mut b, K_DT, id, li as u32, 0);
+        b.note_read(interior(id), t);
+        dt_tasks.push(t);
+    }
+    if let Some(&first) = leaves.first() {
+        let reduce = add(&mut b, K_DTREDUCE, first, 0, 0);
+        for &t in &dt_tasks {
+            b.add_edge(t, reduce);
+        }
+        b.note_write(dt_res, reduce);
+    }
+
+    // 2. Per direction: restriction, guard exchange, sweeps, flux
+    //    corrections, EOS — each family declared in its serial order.
+    let ndim = cfg.ndim;
+    let dirs_order: Vec<usize> = if key.reversed {
+        (0..ndim).rev().collect()
+    } else {
+        (0..ndim).collect()
+    };
+    let ndirs = cfg.neighbor_dirs();
+    for &d in &dirs_order {
+        let d8 = d as u8;
+        // Restriction into parents, deepest first. Reads child interiors
+        // (pack_restrict touches no guard cells), writes the parent's.
+        for &pid in &parents {
+            let t = add(&mut b, K_RESTRICT, pid, 0, d8);
+            let m = tree.block(pid);
+            if let Some(children) = m.children {
+                for &cid in children.iter().take(m.n_children as usize) {
+                    b.note_read(interior(cid), t);
+                }
+            }
+            b.note_write(interior(pid), t);
+        }
+        // Guard exchange per active block, coarse levels first. Pack reads
+        // neighbor interiors (same level) or a coarser neighbor's full slab
+        // (prolongation also samples its guards); Unpack owns the stage
+        // buffer handoff, writes only the guards, and reads the interior
+        // for the physical boundary fills.
+        for &id in &active {
+            let tp = add(&mut b, K_PACK, id, 0, d8);
+            for &nd in &ndirs {
+                match tree.neighbor(id, nd) {
+                    Neighbor::Same(nid) => b.note_read(interior(nid), tp),
+                    Neighbor::Coarser(nid) => {
+                        b.note_read(interior(nid), tp);
+                        b.note_read(guards(nid), tp);
+                    }
+                    Neighbor::Boundary => {}
+                }
+            }
+            b.note_write(stage_buf(id), tp);
+            let tu = add(&mut b, K_UNPACK, id, 0, d8);
+            b.note_read(stage_buf(id), tu);
+            b.note_read(interior(id), tu);
+            b.note_write(guards(id), tu);
+        }
+        // Sweeps per leaf, Morton order.
+        for (li, &id) in leaves.iter().enumerate() {
+            let t = add(&mut b, K_SWEEP, id, li as u32, d8);
+            b.note_read(dt_res, t);
+            b.note_read(guards(id), t);
+            b.note_write(interior(id), t);
+            b.note_write(fluxrow(id), t);
+        }
+        // Flux corrections: only coarse leaves with a refined same-level
+        // neighbor along this axis receive any. The fine fluxes live in
+        // the rows of the parent neighbor's children.
+        for (li, &id) in leaves.iter().enumerate() {
+            let mut fine_neighbors: Vec<BlockId> = Vec::new();
+            for side in 0..2 {
+                let mut dv = [0i32; 3];
+                dv[d] = if side == 0 { -1 } else { 1 };
+                if let Neighbor::Same(nid) = tree.neighbor(id, dv) {
+                    if tree.block(nid).state == BlockState::Parent {
+                        fine_neighbors.push(nid);
+                    }
+                }
+            }
+            if fine_neighbors.is_empty() {
+                continue;
+            }
+            let t = add(&mut b, K_CORRECT, id, li as u32, d8);
+            b.note_read(fluxrow(id), t);
+            for nid in fine_neighbors {
+                let m = tree.block(nid);
+                if let Some(children) = m.children {
+                    for &cid in children.iter().take(m.n_children as usize) {
+                        b.note_read(fluxrow(cid), t);
+                    }
+                }
+            }
+            b.note_write(interior(id), t);
+        }
+        // EOS per leaf, Morton order. The row gather reads the whole
+        // pencil — guards included — so the read must be declared even
+        // though only interior lanes feed the solve.
+        for (li, &id) in leaves.iter().enumerate() {
+            let t = add(&mut b, K_EOS, id, li as u32, d8);
+            b.note_read(guards(id), t);
+            b.note_write(interior(id), t);
+        }
+    }
+
+    // 3. Fault injection on the first leaf — always present, driven by
+    //    per-attempt flags (the graph is cached across attempts and steps).
+    if let Some(&first) = leaves.first() {
+        let t = add(&mut b, K_INJECT, first, 0, 0);
+        b.note_write(interior(first), t);
+    }
+
+    // 4. Guardian validation per leaf when fused into the graph.
+    if key.fused {
+        for (li, &id) in leaves.iter().enumerate() {
+            let t = add(&mut b, K_VALIDATE, id, li as u32, 0);
+            b.note_read(interior(id), t);
+        }
+    }
+
+    StepGraphPlan {
+        key,
+        graph: b.build(),
+        meta,
+        leaves,
+    }
+}
+
+impl Simulation {
+    /// Whether this step should run through the task graph: the scheduler
+    /// is selected, there is a real pool, and there is work. Everything
+    /// else falls back to the (identical-result) barrier path.
+    pub(crate) fn use_taskgraph(&self) -> bool {
+        self.params.step_scheduler == StepScheduler::TaskGraph
+            && self.params.nranks > 1
+            && !self.domain.tree.leaves().is_empty()
+    }
+
+    /// Make the cached plan current for `key`, charging build time to the
+    /// pool's idle ledger (workers wait while the dispatcher builds).
+    fn ensure_graph_plan(&mut self, key: PlanKey) {
+        if let Some(plan) = &self.graph_plan {
+            if plan.key == key {
+                return;
+            }
+        }
+        let t0 = Instant::now();
+        let parts = self.domain.leaf_partition(key.nranks);
+        let plan = build_plan(&self.domain.tree, &parts, key);
+        let build_ns = t0.elapsed().as_nanos() as u64;
+        let (pool, _, _) = self.domain.pool_for_graph(key.nranks);
+        pool.account_idle(build_ns);
+        self.graph_plan = Some(plan);
+    }
+
+    /// One step attempt through the task graph: dt scan + reduction, the
+    /// split sweeps with per-block guard exchange, flux corrections, the
+    /// EOS passes, fault injection, and (fused plans) guardian validation —
+    /// all in a single pool dispatch.
+    ///
+    /// Fault sites live in main-thread TLS, so they are consulted *here*,
+    /// before the dispatch: `dt-zero` first (skipping the graph entirely,
+    /// like the barrier path's bad-dt attempt touches no state), then the
+    /// state-corruption sites whose flags drive the in-graph Inject task.
+    fn graph_attempt(&mut self, attempt: u32, degrade: bool, fused: bool) -> GraphAttemptOutcome {
+        let cfl = self.params.cfl;
+        assert!(cfl > 0.0 && cfl < 1.0, "CFL must be in (0, 1)");
+        if faults::fires(FaultSite::DtZero) {
+            return GraphAttemptOutcome {
+                raw: 0.0,
+                dt: 0.0,
+                poisoned: true,
+                verdict: None,
+            };
+        }
+        let inject_nan = faults::fires(FaultSite::StepNan);
+        let inject_neg = faults::fires(FaultSite::FluxCorrupt);
+
+        let nranks = self.params.nranks;
+        let key = PlanKey {
+            epoch: self.domain.tree.epoch(),
+            nranks,
+            reversed: !self.step.is_multiple_of(2),
+            fused,
+        };
+        self.ensure_graph_plan(key);
+
+        let engine = if degrade {
+            SweepEngine::Scalar
+        } else {
+            self.params.sweep_engine
+        };
+        let sweep_cfg = SweepConfig {
+            nranks,
+            dens_floor: self.params.dens_floor,
+            eint_floor: self.params.eint_floor,
+            pattern_every: self.params.pattern_every,
+            engine,
+            scratch_policy: self.params.policy,
+        };
+        let geom = self.domain.unk.geom();
+        let cfg = *self.domain.tree.config();
+        let ndirs = cfg.neighbor_dirs();
+        let gcfg = self.params.guardian;
+        let tolerate_bad_rows = gcfg.enabled;
+        let gather_every = self.params.gather_every;
+        let pattern_every = self.params.pattern_every;
+        let comp = self.comp;
+        let eos_choice = &self.eos;
+
+        self.reg.clear();
+        let fcells = self.reg.cells();
+
+        // analyze::allow(panic): `ensure_graph_plan` ran just above.
+        let plan = self.graph_plan.as_ref().expect("plan ensured");
+        let nleaves = plan.leaves.len();
+        let first_leaf = plan.leaves.first().copied();
+        let meta = &plan.meta;
+
+        let stage: SyncSlots<Vec<(usize, f64)>> = SyncSlots::new(cfg.max_blocks, Vec::new);
+        let contribs: SyncSlots<f64> = SyncSlots::new(nleaves, || f64::INFINITY);
+        let dt_slot: SyncSlots<(f64, f64)> = SyncSlots::new(1, || (f64::NAN, f64::NAN));
+        let verdicts: SyncSlots<Option<String>> = SyncSlots::new(nleaves, || None);
+        let poisoned = AtomicBool::new(false);
+        let probes: PerRank<(Probe, Probe)> = PerRank::new(nranks, || (Probe::new(), Probe::new()));
+        let scratch: PerRank<Vec<(usize, f64)>> = PerRank::new(nranks, Vec::new);
+
+        let interior = geom.nguard..geom.nguard + geom.nxb;
+        let interior_k = if geom.ndim == 3 {
+            interior.clone()
+        } else {
+            0..1
+        };
+        let (i0, k0) = (interior.start, interior_k.start);
+        let defer = SweepEos::Defer;
+
+        self.hydro_session.start_region();
+        self.eos_session.start_region();
+        self.timers.start("graph");
+        let (pool, tree, unk) = self.domain.pool_for_graph(nranks);
+        let cells = unk.cells();
+
+        let body = |rank: usize, t: TaskId| {
+            let m = meta[t as usize];
+            match m.kind {
+                K_DT => {
+                    // SAFETY: shared interior access and sole ownership of
+                    // this leaf's contribution slot, per the graph edges.
+                    let slab = unsafe { cells.slab(m.block.idx()) };
+                    let w = block_min_wavetime_slab(tree, &geom, slab, m.block);
+                    // SAFETY: sole writer of this leaf's slot.
+                    unsafe { *contribs.get(m.leaf_idx as usize) = w };
+                }
+                K_DTREDUCE => {
+                    // Morton-order fold: `min` is exact, so this matches
+                    // the serial scan bit for bit.
+                    let mut min = f64::INFINITY;
+                    for li in 0..nleaves {
+                        // SAFETY: explicit edges order this after every
+                        // per-leaf scan; the slots are quiescent.
+                        min = min.min(unsafe { *contribs.get(li) });
+                    }
+                    let raw = cfl * min;
+                    if !(raw.is_finite() && raw > 0.0) {
+                        poisoned.store(true, Ordering::Release);
+                    }
+                    // The retry ladder: the first retry reruns the computed
+                    // dt (bit-exact transient recovery), later ones halve.
+                    let dt = if attempt >= 2 {
+                        raw * 0.5f64.powi(attempt as i32 - 1)
+                    } else {
+                        raw
+                    };
+                    // SAFETY: sole writer; sweeps read through dt_res edges.
+                    unsafe { *dt_slot.get(0) = (raw, dt) };
+                }
+                K_RESTRICT => {
+                    // SAFETY: rank-local scratch; slab access per the edges.
+                    let buf = unsafe { scratch.slot(rank) };
+                    // SAFETY: child interiors are ordered shared reads and
+                    // the parent interior is exclusive, per the edges.
+                    unsafe { restrict_parent_cells(tree, &geom, &cells, m.block, buf) };
+                }
+                K_PACK => {
+                    // SAFETY: the stage-buffer resource makes this the only
+                    // task touching the block's slot; neighbor slabs are
+                    // ordered shared reads.
+                    let st = unsafe { stage.get(m.block.idx()) };
+                    // SAFETY: neighbor slabs are ordered shared reads.
+                    unsafe { pack_block_cells(tree, &geom, &cells, m.block, &ndirs, st) };
+                }
+                K_UNPACK => {
+                    // SAFETY: as for K_PACK, plus exclusive guard access.
+                    let st = unsafe { stage.get(m.block.idx()) };
+                    // SAFETY: exclusive guard access via the guards resource.
+                    unsafe { unpack_block_cells(tree, &geom, &cells, m.block, &ndirs, st) };
+                }
+                K_SWEEP => {
+                    if poisoned.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // SAFETY: ordered after the reduction via dt_res.
+                    let (_, dt) = unsafe { *dt_slot.get(0) };
+                    let dir = m.dir as usize;
+                    // SAFETY: exclusive interior access; rank-local probe.
+                    let slab = unsafe { cells.slab_mut(m.block.idx()) };
+                    // SAFETY: rank-local probe pair.
+                    let pr = unsafe { probes.slot(rank) };
+                    let bf =
+                        sweep_leaf_block(tree, &geom, m.block, slab, &defer, dir, dt, &sweep_cfg, &mut pr.0);
+                    for side in 0..2 {
+                        let face = Face { axis: dir, side };
+                        for t1 in 0..geom.nxb {
+                            for t2 in 0..bf.t2_cells() {
+                                for ch in 0..NFLUX {
+                                    // SAFETY: exclusive flux-row access via
+                                    // the fluxrow resource.
+                                    unsafe {
+                                        fcells.save(
+                                            m.block.idx(),
+                                            face,
+                                            [t1, t2],
+                                            ch,
+                                            bf.at(side, t1, t2, ch),
+                                        )
+                                    };
+                                }
+                            }
+                        }
+                    }
+                }
+                K_CORRECT => {
+                    if poisoned.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let dir = m.dir as usize;
+                    let mut corrs: Vec<Correction> = Vec::new();
+                    // SAFETY: ordered after every flux-row writer it reads.
+                    unsafe { fcells.corrections_for(tree, m.block, dir, &mut corrs) };
+                    if corrs.is_empty() {
+                        return;
+                    }
+                    // SAFETY: as for K_SWEEP.
+                    let (_, dt) = unsafe { *dt_slot.get(0) };
+                    // SAFETY: exclusive interior access via the edges.
+                    let slab = unsafe { cells.slab_mut(m.block.idx()) };
+                    let refs: Vec<&Correction> = corrs.iter().collect();
+                    // The barrier path discards correction probes too.
+                    let mut probe = Probe::new();
+                    apply_block_corrections(
+                        tree, &geom, m.block, slab, &refs, &defer, dir, dt, &sweep_cfg, &mut probe,
+                    );
+                }
+                K_EOS => {
+                    if poisoned.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // SAFETY: exclusive interior access; rank-local probe.
+                    let slab = unsafe { cells.slab_mut(m.block.idx()) };
+                    // SAFETY: rank-local probe pair.
+                    let pr = unsafe { probes.slot(rank) };
+                    eos_block(
+                        &geom,
+                        eos_choice,
+                        comp,
+                        gather_every,
+                        pattern_every,
+                        tolerate_bad_rows,
+                        m.block,
+                        slab,
+                        &mut pr.1,
+                    );
+                }
+                K_INJECT => {
+                    if poisoned.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if !(inject_nan || inject_neg) {
+                        return;
+                    }
+                    let Some(first) = first_leaf else { return };
+                    // SAFETY: exclusive interior access via the edges.
+                    let slab = unsafe { cells.slab_mut(first.idx()) };
+                    if inject_nan {
+                        slab[geom.slab_idx(vars::ENER, i0, i0, k0)] = f64::NAN;
+                    }
+                    if inject_neg {
+                        let idx = geom.slab_idx(vars::DENS, i0, i0, k0);
+                        let v = slab[idx];
+                        slab[idx] = -v.abs() - 1.0;
+                    }
+                }
+                K_VALIDATE => {
+                    if poisoned.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // SAFETY: shared interior read; sole verdict-slot owner.
+                    let slab = unsafe { cells.slab(m.block.idx()) };
+                    let key = tree.block(m.block).key;
+                    let v = check_block(
+                        key,
+                        slab,
+                        &geom,
+                        interior.clone(),
+                        interior_k.clone(),
+                        &gcfg,
+                    );
+                    // SAFETY: sole writer of this leaf's verdict slot.
+                    unsafe { *verdicts.get(m.leaf_idx as usize) = v };
+                }
+                // The builder only emits the kinds matched above.
+                other => unreachable!("unknown task kind {other}"),
+            }
+        };
+        let stats = plan.graph.execute(pool, &CLASSES, &body);
+        self.timers.stop("graph");
+
+        let (raw, dt) = dt_slot.into_inner()[0];
+        let was_poisoned = poisoned.load(Ordering::Acquire);
+        for (hydro, eos) in probes.into_inner() {
+            self.hydro_session.absorb(hydro);
+            self.eos_session.absorb(eos);
+        }
+        self.hydro_session.stop_region();
+        self.eos_session.stop_region();
+        self.graph_report.accumulate(&stats);
+        // Morton-order verdict fold: the slots are leaf-ordered, so the
+        // first `Some` is the same violation the serial scan reports.
+        let verdict = verdicts.into_inner().into_iter().find_map(|v| v);
+        GraphAttemptOutcome {
+            raw,
+            dt: if was_poisoned { raw } else { dt },
+            poisoned: was_poisoned,
+            verdict,
+        }
+    }
+
+    /// The guarded step driven by graph attempts — the same state machine
+    /// as the barrier `guarded_step` (validate → rollback → retry →
+    /// degrade → abort), with `advance_physics` + `validate_domain`
+    /// replaced by one graph dispatch per attempt.
+    pub(crate) fn guarded_step_graph(
+        &mut self,
+        series: Option<&CheckpointSeries>,
+    ) -> Result<f64, StepError> {
+        self.timers.start("step");
+        let g = self.params.guardian;
+        let fused = g.enabled
+            && self.flame.is_none()
+            && matches!(self.gravity.field, GravityField::None)
+            && self.gravity.monopole.is_none();
+
+        if !g.enabled {
+            // The unguarded step: one attempt, typed error on a bad dt
+            // (the poisoned graph left the state untouched).
+            let out = self.graph_attempt(0, false, fused);
+            if out.poisoned {
+                self.timers.stop("step");
+                return Err(StepError::BadDt {
+                    step: self.step,
+                    dt: out.raw,
+                    attempts: 1,
+                    emergency_checkpoint: None,
+                });
+            }
+            self.post_sweep_tail(out.dt);
+            self.commit_step(out.dt);
+            self.timers.stop("step");
+            return Ok(out.dt);
+        }
+
+        self.timers.start("guardian");
+        let shadow_ok = self.shadow.capture(&self.domain);
+        self.timers.stop("guardian");
+
+        let saved_engine = self.params.sweep_engine;
+        let step = self.step;
+        let mut attempt: u32 = 0;
+        loop {
+            // Final attempt: optionally fall back to the scalar reference
+            // engine. The flag is applied to the attempt's sweep config up
+            // front (the graph needs it before dispatch) but recorded only
+            // when the attempt actually advances state — a bad-dt attempt
+            // never sweeps, matching the barrier ordering.
+            let degrade = attempt == g.max_retries
+                && attempt > 0
+                && g.degrade_engine
+                && saved_engine == SweepEngine::Pencil;
+
+            let out = self.graph_attempt(attempt, degrade, fused);
+            if out.poisoned {
+                self.guardian_stats.record(GuardianEvent::BadDt {
+                    step,
+                    attempt,
+                    dt: out.raw,
+                });
+                if attempt < g.max_retries {
+                    // Leaf interiors were not touched (poisoned sweeps
+                    // no-op) — no rollback, only another attempt.
+                    attempt += 1;
+                    self.guardian_stats.record(GuardianEvent::Retry {
+                        step,
+                        attempt,
+                        dt: out.raw,
+                    });
+                    continue;
+                }
+                let ckpt = self.emergency(series, true);
+                self.guardian_stats.record(GuardianEvent::Abort {
+                    step,
+                    detail: format!("unusable time step {:e}", out.raw),
+                });
+                self.timers.stop("step");
+                return Err(StepError::BadDt {
+                    step,
+                    dt: out.raw,
+                    attempts: attempt + 1,
+                    emergency_checkpoint: ckpt,
+                });
+            }
+            let (raw, dt) = (out.raw, out.dt);
+            if degrade {
+                self.params.sweep_engine = SweepEngine::Scalar;
+                self.guardian_stats
+                    .record(GuardianEvent::EngineDegrade { step, attempt });
+            }
+
+            let verdict = if fused {
+                out.verdict
+            } else {
+                self.post_sweep_tail(dt);
+                self.timers.start("guardian");
+                let v = validate_domain(&mut self.domain, &g, self.params.nranks);
+                self.timers.stop("guardian");
+                v
+            };
+            self.guardian_stats.count_validation();
+
+            let Some(detail) = verdict else {
+                self.params.sweep_engine = saved_engine;
+                self.commit_step(dt);
+                self.timers.stop("step");
+                return Ok(dt);
+            };
+            self.guardian_stats.record(GuardianEvent::Violation {
+                step,
+                attempt,
+                detail: detail.clone(),
+            });
+
+            let rolled_back = shadow_ok && self.shadow.restore(&mut self.domain);
+            if rolled_back {
+                self.guardian_stats
+                    .record(GuardianEvent::Rollback { step, attempt });
+            }
+            if attempt < g.max_retries && rolled_back {
+                attempt += 1;
+                self.guardian_stats.record(GuardianEvent::Retry {
+                    step,
+                    attempt,
+                    dt: raw,
+                });
+                continue;
+            }
+
+            self.params.sweep_engine = saved_engine;
+            let ckpt = self.emergency(series, rolled_back);
+            self.guardian_stats.record(GuardianEvent::Abort {
+                step,
+                detail: detail.clone(),
+            });
+            self.timers.stop("step");
+            return Err(StepError::Unphysical {
+                step,
+                attempts: attempt + 1,
+                detail,
+                emergency_checkpoint: ckpt,
+            });
+        }
+    }
+}

@@ -1,23 +1,34 @@
 //! CFL time-step control (FLASH's `Driver_computeDt` / `Hydro_computeDt`).
 
+use rflash_mesh::unk::UnkGeom;
 use rflash_mesh::{vars, BlockId, Domain, Tree, UnkStorage};
 
 /// Smallest `dx_d / (|u_d| + c_s)` over the interior zones of one leaf —
 /// the per-block piece shared by the serial scan and the pooled reduction.
 fn block_min_wavetime(tree: &Tree, unk: &UnkStorage, id: BlockId) -> f64 {
+    block_min_wavetime_slab(tree, &unk.geom(), unk.block_slab(id.idx()), id)
+}
+
+/// [`block_min_wavetime`] over one block's slab — the form the task-graph
+/// scheduler's per-block dt tasks call (same loop, same `min` fold order,
+/// hence bit-identical contributions).
+pub fn block_min_wavetime_slab(tree: &Tree, geom: &UnkGeom, slab: &[f64], id: BlockId) -> f64 {
     let ndim = tree.config().ndim;
+    let ng = geom.nguard;
+    let nxb = geom.nxb;
+    let krange = if ndim == 3 { ng..ng + nxb } else { 0..1 };
     let vel = [vars::VELX, vars::VELY, vars::VELZ];
     let dx = tree.cell_size(id);
     let mut dt = f64::INFINITY;
-    for k in unk.interior_k() {
-        for j in unk.interior() {
-            for i in unk.interior() {
-                let dens = unk.get(vars::DENS, i, j, k, id.idx());
-                let pres = unk.get(vars::PRES, i, j, k, id.idx());
-                let gamc = unk.get(vars::GAMC, i, j, k, id.idx());
+    for k in krange {
+        for j in ng..ng + nxb {
+            for i in ng..ng + nxb {
+                let dens = slab[geom.slab_idx(vars::DENS, i, j, k)];
+                let pres = slab[geom.slab_idx(vars::PRES, i, j, k)];
+                let gamc = slab[geom.slab_idx(vars::GAMC, i, j, k)];
                 let cs = (gamc * pres / dens).max(0.0).sqrt();
                 for d in 0..ndim {
-                    let u = unk.get(vel[d], i, j, k, id.idx()).abs();
+                    let u = slab[geom.slab_idx(vel[d], i, j, k)].abs();
                     let speed = u + cs;
                     if speed > 0.0 {
                         dt = dt.min(dx[d] / speed);

@@ -28,10 +28,13 @@ pub mod sedov;
 pub mod state;
 pub mod sweep;
 
-pub use dt::{compute_dt, compute_dt_parallel, compute_dt_parallel_raw};
+pub use dt::{block_min_wavetime_slab, compute_dt, compute_dt_parallel, compute_dt_parallel_raw};
 pub use exact_riemann::{ExactRiemann, GasState};
 pub use sedov::SedovSolution;
-pub use sweep::{sweep_direction, SweepConfig, SweepEngine, SweepEos};
+pub use sweep::{
+    apply_block_corrections, sweep_direction, sweep_direction_prefilled, sweep_leaf_block,
+    BlockFluxes, SweepConfig, SweepEngine, SweepEos,
+};
 
 /// Number of conserved flux channels (ρ, ρu, ρv, ρw, ρE) — fixed even in
 /// 2-d, where the w channel is identically zero.

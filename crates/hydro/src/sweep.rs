@@ -9,9 +9,9 @@
 
 use rflash_eos::{Eos, EosBatch, EosError, EosMode, EosState};
 use rflash_hugepages::Policy;
-use rflash_mesh::flux::{Face, FluxRegister};
+use rflash_mesh::flux::{Correction, Face, FluxRegister};
 use rflash_mesh::unk::UnkGeom;
-use rflash_mesh::{vars, BlockId, Domain};
+use rflash_mesh::{vars, BlockId, Domain, Tree};
 use rflash_perfmon::Probe;
 use serde::{Deserialize, Serialize};
 
@@ -126,7 +126,7 @@ pub(crate) const WRITE_VARS: [usize; 10] = [
 
 /// Boundary fluxes of one block for the sweep direction:
 /// `[side][t1][t2][channel]` flattened.
-pub(crate) struct BlockFluxes {
+pub struct BlockFluxes {
     data: Vec<f64>,
     t2_cells: usize,
 }
@@ -139,6 +139,10 @@ impl BlockFluxes {
             t2_cells,
         }
     }
+    /// Transverse extent along the second face-plane axis (1 in 2-d).
+    pub fn t2_cells(&self) -> usize {
+        self.t2_cells
+    }
     #[inline]
     fn slot(&self, side: usize, t1: usize, t2: usize, ch: usize) -> usize {
         ((side * (self.data.len() / (2 * self.t2_cells * NFLUX)) + t1) * self.t2_cells + t2)
@@ -150,8 +154,9 @@ impl BlockFluxes {
         let s = self.slot(side, t1, t2, 0);
         self.data[s..s + NFLUX].copy_from_slice(f);
     }
+    /// Stored flux of `ch` at face cell (t1, t2) of `side` (0 = low).
     #[inline]
-    fn at(&self, side: usize, t1: usize, t2: usize, ch: usize) -> f64 {
+    pub fn at(&self, side: usize, t1: usize, t2: usize, ch: usize) -> f64 {
         self.data[self.slot(side, t1, t2, ch)]
     }
 }
@@ -206,30 +211,30 @@ pub(crate) fn pencil_cell(dir: usize, p: usize, t1: usize, t2: usize) -> (usize,
     }
 }
 
-/// One directional sweep over the whole domain. Returns the rank probes for
-/// the driver to absorb.
-pub fn sweep_direction(
-    domain: &mut Domain,
+/// Sweep one leaf block along `dir`: the per-block body of
+/// [`sweep_direction`], shared verbatim with the task-graph scheduler's
+/// per-block sweep tasks (which is what keeps the two paths bit-identical).
+/// Guard cells of `slab` must already be filled for this step.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_leaf_block(
+    tree: &Tree,
+    geom: &UnkGeom,
+    id: BlockId,
+    slab: &mut [f64],
     eos: &SweepEos<'_>,
     dir: usize,
     dt: f64,
-    reg: &mut FluxRegister,
     cfg: &SweepConfig,
-) -> Vec<Probe> {
-    let ndim = domain.tree.config().ndim;
-    assert!(dir < ndim, "sweep direction outside dimensionality");
-    let nxb = domain.tree.config().nxb;
-    let ng = domain.tree.config().nguard;
-    assert!(ng >= 4, "PPM needs 4 guard cells");
-
-    domain.fill_guardcells(cfg.nranks);
-
-    let geom = domain.unk.geom();
+    probe: &mut Probe,
+) -> BlockFluxes {
+    let ndim = tree.config().ndim;
+    let nxb = tree.config().nxb;
+    let ng = tree.config().nguard;
+    let geometry = tree.config().geometry;
+    let geom = *geom;
     let vm = vel_map(dir);
     let cfg_local = *cfg;
-
-    let geometry = domain.tree.config().geometry;
-    let (probes, block_fluxes) = domain.par_leaf_map(cfg.nranks, |tree, id, slab, probe| {
+    {
         let dx = tree.cell_size(id)[dir];
         let dtdx = dt / dx;
         // Cylindrical r-sweep: divergence picks up face-radius weights and
@@ -456,6 +461,43 @@ pub fn sweep_direction(
             }
         }
         fluxes_out
+    }
+}
+
+/// One directional sweep over the whole domain. Returns the rank probes for
+/// the driver to absorb.
+pub fn sweep_direction(
+    domain: &mut Domain,
+    eos: &SweepEos<'_>,
+    dir: usize,
+    dt: f64,
+    reg: &mut FluxRegister,
+    cfg: &SweepConfig,
+) -> Vec<Probe> {
+    domain.fill_guardcells(cfg.nranks);
+    sweep_direction_prefilled(domain, eos, dir, dt, reg, cfg)
+}
+
+/// [`sweep_direction`] minus the guard-cell fill — for drivers that fill (and
+/// time) the exchange themselves, e.g. the barrier stepper's per-phase
+/// wall-time breakdown. Guard cells must be current for this step.
+pub fn sweep_direction_prefilled(
+    domain: &mut Domain,
+    eos: &SweepEos<'_>,
+    dir: usize,
+    dt: f64,
+    reg: &mut FluxRegister,
+    cfg: &SweepConfig,
+) -> Vec<Probe> {
+    let ndim = domain.tree.config().ndim;
+    assert!(dir < ndim, "sweep direction outside dimensionality");
+    let nxb = domain.tree.config().nxb;
+    let ng = domain.tree.config().nguard;
+    assert!(ng >= 4, "PPM needs 4 guard cells");
+
+    let geom = domain.unk.geom();
+    let (probes, block_fluxes) = domain.par_leaf_map(cfg.nranks, |tree, id, slab, probe| {
+        sweep_leaf_block(tree, &geom, id, slab, eos, dir, dt, cfg, probe)
     });
 
     // Record boundary fluxes and apply the fine–coarse corrections.
@@ -595,14 +637,10 @@ fn apply_flux_corrections(
         return;
     }
     let geom = domain.unk.geom();
-    let ng = domain.tree.config().nguard;
-    let nxb = domain.tree.config().nxb;
-    let ndim = domain.tree.config().ndim;
-    let vm = vel_map(dir);
     let mut probe = Probe::new();
 
     // Group by block so we can fetch slabs one at a time.
-    let mut by_block: std::collections::HashMap<BlockId, Vec<&rflash_mesh::flux::Correction>> =
+    let mut by_block: std::collections::HashMap<BlockId, Vec<&Correction>> =
         std::collections::HashMap::new();
     for c in &corrections {
         if c.face.axis == dir {
@@ -611,43 +649,80 @@ fn apply_flux_corrections(
     }
 
     for (id, corrs) in by_block {
-        let dx = domain.tree.cell_size(id)[dir];
-        let dtdx = dt / dx;
-        // Accumulate per-zone channel deltas first (5 channels per zone).
-        let mut zone_delta: std::collections::HashMap<(usize, usize, usize), [f64; NFLUX]> =
-            std::collections::HashMap::new();
-        for c in corrs {
-            let p = if c.face.side == 0 { ng } else { ng + nxb - 1 };
-            let t1 = ng + c.cell[0];
-            let t2 = if ndim == 3 { ng + c.cell[1] } else { 0 };
-            let cell = pencil_cell(dir, p, t1, t2);
-            // Outward-face sign: subtracting a larger outgoing flux lowers U.
-            let sign = if c.face.side == 0 { 1.0 } else { -1.0 };
-            zone_delta.entry(cell).or_default()[c.channel] += sign * dtdx * c.delta;
-        }
         let slab = domain.unk.block_slab_mut(id.idx());
-        for ((i, j, k), delta) in zone_delta {
-            let at = |var: usize, slab: &[f64]| slab[geom.slab_idx(var, i, j, k)];
-            let prim = Prim {
-                dens: at(vars::DENS, slab),
-                vel: [at(vm[0], slab), at(vm[1], slab), at(vm[2], slab)],
-                pres: at(vars::PRES, slab),
-                ener: at(vars::ENER, slab),
-                gamc: at(vars::GAMC, slab),
-            };
-            let mut u5 = prim.to_cons();
-            for n in 0..NFLUX {
-                u5[n] += delta[n];
-            }
-            // Re-derive the zone (reuse the sweep-frame write-back, p/t1/t2
-            // reconstruction from (i,j,k) via identity mapping for dir 0).
-            let (p, t1, t2) = match dir {
-                0 => (i, j, k),
-                1 => (j, i, k),
-                _ => (k, i, j),
-            };
-            write_zone(slab, &geom, dir, p, t1, t2, &vm, &u5, cfg, eos, &mut probe);
+        apply_block_corrections(
+            &domain.tree,
+            &geom,
+            id,
+            slab,
+            &corrs,
+            eos,
+            dir,
+            dt,
+            cfg,
+            &mut probe,
+        );
+    }
+}
+
+/// Apply one block's flux corrections to its slab and re-run the EOS on the
+/// corrected zones: the per-block body of the fix-up pass, shared verbatim
+/// with the task-graph scheduler's correction tasks. `corrs` must all target
+/// block `id` along `dir`, in the order the register emitted them (the
+/// per-zone accumulation order is part of the bit-identical contract).
+#[allow(clippy::too_many_arguments)]
+pub fn apply_block_corrections(
+    tree: &Tree,
+    geom: &UnkGeom,
+    id: BlockId,
+    slab: &mut [f64],
+    corrs: &[&Correction],
+    eos: &SweepEos<'_>,
+    dir: usize,
+    dt: f64,
+    cfg: &SweepConfig,
+    probe: &mut Probe,
+) {
+    let ng = tree.config().nguard;
+    let nxb = tree.config().nxb;
+    let ndim = tree.config().ndim;
+    let vm = vel_map(dir);
+    let dx = tree.cell_size(id)[dir];
+    let dtdx = dt / dx;
+    // Accumulate per-zone channel deltas first (5 channels per zone).
+    let mut zone_delta: std::collections::HashMap<(usize, usize, usize), [f64; NFLUX]> =
+        std::collections::HashMap::new();
+    for c in corrs {
+        debug_assert!(c.block == id && c.face.axis == dir);
+        let p = if c.face.side == 0 { ng } else { ng + nxb - 1 };
+        let t1 = ng + c.cell[0];
+        let t2 = if ndim == 3 { ng + c.cell[1] } else { 0 };
+        let cell = pencil_cell(dir, p, t1, t2);
+        // Outward-face sign: subtracting a larger outgoing flux lowers U.
+        let sign = if c.face.side == 0 { 1.0 } else { -1.0 };
+        zone_delta.entry(cell).or_default()[c.channel] += sign * dtdx * c.delta;
+    }
+    for ((i, j, k), delta) in zone_delta {
+        let at = |var: usize, slab: &[f64]| slab[geom.slab_idx(var, i, j, k)];
+        let prim = Prim {
+            dens: at(vars::DENS, slab),
+            vel: [at(vm[0], slab), at(vm[1], slab), at(vm[2], slab)],
+            pres: at(vars::PRES, slab),
+            ener: at(vars::ENER, slab),
+            gamc: at(vars::GAMC, slab),
+        };
+        let mut u5 = prim.to_cons();
+        for n in 0..NFLUX {
+            u5[n] += delta[n];
         }
+        // Re-derive the zone (reuse the sweep-frame write-back, p/t1/t2
+        // reconstruction from (i,j,k) via identity mapping for dir 0).
+        let (p, t1, t2) = match dir {
+            0 => (i, j, k),
+            1 => (j, i, k),
+            _ => (k, i, j),
+        };
+        write_zone(slab, geom, dir, p, t1, t2, &vm, &u5, cfg, eos, probe);
     }
 }
 

@@ -68,7 +68,16 @@ impl Exec {
             None => true,
         };
         if plan_stale {
+            let t0 = std::time::Instant::now();
             self.plan = Some(build_plan(tree, nranks));
+            // The partition epoch refresh runs on the dispatching thread
+            // while every worker waits: charge it to the idle ledger so it
+            // doesn't vanish from the busy+idle ≈ wall invariant.
+            if let Some(pool) = &mut self.pool {
+                if pool.nranks() == nranks {
+                    pool.account_idle(t0.elapsed().as_nanos() as u64);
+                }
+            }
         }
         let pool_stale = match &self.pool {
             Some(p) => p.nranks() != nranks,
@@ -216,6 +225,26 @@ impl Domain {
     pub fn rank_partition(&self, nranks: usize) -> Vec<Vec<BlockId>> {
         assert!(nranks > 0);
         partition_by_cost(&self.tree, nranks)
+    }
+
+    /// The cached cost-weighted partition (building it if stale) — the
+    /// block-ownership map task-graph builders seed their deques from.
+    pub fn leaf_partition(&mut self, nranks: usize) -> Vec<Vec<BlockId>> {
+        assert!(nranks > 0);
+        let Domain { tree, unk: _, exec } = self;
+        exec.ensure(tree, nranks);
+        exec.plan.as_ref().expect("plan ensured").parts.clone()
+    }
+
+    /// Borrow the persistent rank pool together with the tree and storage,
+    /// for executing an externally-built task graph in one dispatch.
+    /// Requires `nranks > 1` (a one-rank "graph" is just the serial path).
+    pub fn pool_for_graph(&mut self, nranks: usize) -> (&mut RankPool, &Tree, &mut UnkStorage) {
+        assert!(nranks > 1, "task-graph execution needs a real pool");
+        let Domain { tree, unk, exec } = self;
+        exec.ensure(tree, nranks);
+        let pool = exec.pool.as_mut().expect("pool ensured for nranks > 1");
+        (pool, tree, unk)
     }
 
     /// Update every leaf in parallel over `nranks` simulated ranks.
@@ -378,9 +407,14 @@ impl Domain {
                         for (c, &cid) in
                             children.iter().enumerate().take(meta.n_children as usize)
                         {
-                            guardcell::pack_restrict(tree, unk_ref, cid, pid, c, &mut |off, v| {
-                                buf.push((pid.0, off as u32, v));
-                            });
+                            guardcell::pack_restrict(
+                                &geom,
+                                unk_ref.block_slab(cid.idx()),
+                                c,
+                                &mut |off, v| {
+                                    buf.push((pid.0, off as u32, v));
+                                },
+                            );
                         }
                     }
                 });
@@ -417,18 +451,15 @@ impl Domain {
                         for &d in &dirs {
                             match tree.neighbor(id, d) {
                                 Neighbor::Same(nid) => guardcell::pack_copy_same(
-                                    tree,
-                                    unk_ref,
-                                    id,
-                                    nid,
+                                    &geom,
+                                    unk_ref.block_slab(nid.idx()),
                                     d,
                                     &mut |off, v| buf.push((id.0, off as u32, v)),
                                 ),
                                 Neighbor::Coarser(nid) => guardcell::pack_prolong(
-                                    tree,
-                                    unk_ref,
-                                    id,
-                                    nid,
+                                    &geom,
+                                    tree.block(id).key,
+                                    unk_ref.block_slab(nid.idx()),
                                     d,
                                     &mut |off, v| buf.push((id.0, off as u32, v)),
                                 ),

@@ -115,81 +115,200 @@ impl FluxRegister {
     /// fine fluxes come from its children's opposing faces.
     pub fn corrections(&self, tree: &Tree) -> Vec<Correction> {
         let mut out = Vec::new();
-        let ndim = self.ndim;
-        let nxb = self.nxb;
         for id in tree.leaves() {
-            for axis in 0..ndim {
-                for side in 0..2 {
-                    let face = Face { axis, side };
-                    let Neighbor::Same(nid) = tree.neighbor(id, face.outward()) else {
-                        continue;
-                    };
-                    if tree.block(nid).state != BlockState::Parent {
-                        continue; // same-level leaf: fluxes already agree
-                    }
-                    if !self.face_written(id.idx(), face) {
-                        continue;
-                    }
-                    // The children of `nid` that touch the shared face have
-                    // child offset (1 − side) along `axis`, and their
-                    // opposing face faces us.
-                    let opp = Face {
-                        axis,
-                        side: 1 - side,
-                    };
-                    let children = tree.block(nid).children.expect("parent");
-                    let nchild = tree.block(nid).n_children as usize;
-                    // Transverse axes (face-plane coordinates).
-                    let t_axes: Vec<usize> = (0..ndim).filter(|&a| a != axis).collect();
-                    let cells2 = if ndim == 3 { nxb } else { 1 };
-                    for c1 in 0..nxb {
-                        for c2 in 0..cells2 {
-                            // Exactly one child covers coarse face cell
-                            // (c1, c2); find it by its transverse halves.
-                            for (ci, &cid) in children.iter().enumerate().take(nchild) {
-                                let off = [(ci & 1), ((ci >> 1) & 1), ((ci >> 2) & 1)];
-                                if off[axis] != 1 - side {
-                                    continue;
-                                }
-                                if c1 / (nxb / 2) != off[t_axes[0]] {
-                                    continue;
-                                }
-                                if let Some(&a2) = t_axes.get(1) {
-                                    if c2 / (nxb / 2) != off[a2] {
-                                        continue;
-                                    }
-                                }
-                                if !self.face_written(cid.idx(), opp) {
-                                    continue;
-                                }
-                                // Fine face cells covering coarse cell (c1, c2).
-                                let f1 = (c1 % (nxb / 2)) * 2;
-                                let f2 = if ndim == 3 { (c2 % (nxb / 2)) * 2 } else { 0 };
-                                let fr2 = if ndim == 3 { 2 } else { 1 };
-                                let n_faces = (2 * fr2) as f64;
-                                for ch in 0..self.nflux {
-                                    let mut s = 0.0;
-                                    for d1 in 0..2 {
-                                        for d2 in 0..fr2 {
-                                            s += self.get(cid.idx(), opp, [f1 + d1, f2 + d2], ch);
-                                        }
-                                    }
-                                    let coarse = self.get(id.idx(), face, [c1, c2], ch);
-                                    out.push(Correction {
-                                        block: id,
-                                        face,
-                                        cell: [c1, c2],
-                                        channel: ch,
-                                        delta: s / n_faces - coarse,
-                                    });
+            corrections_for_leaf(
+                tree,
+                id,
+                self.ndim,
+                self.nxb,
+                self.nflux,
+                None,
+                &mut |b, f, c, ch| self.get(b, f, c, ch),
+                &mut |b, f| self.face_written(b, f),
+                &mut out,
+            );
+        }
+        out
+    }
+
+    /// Raw view for task-graph sweeps: every (block, face) flux row is
+    /// touched by exactly one sweep task, and the graph's flux-row resource
+    /// edges order each row's writer before its correction readers.
+    pub fn cells(&mut self) -> FluxCells {
+        FluxCells {
+            data: self.data.as_mut_ptr(),
+            written: self.written.as_mut_ptr(),
+            nxb: self.nxb,
+            ndim: self.ndim,
+            nflux: self.nflux,
+            face_cells: self.face_cells,
+            max_blocks: self.written.len() / (2 * self.ndim),
+        }
+    }
+}
+
+/// One leaf's share of [`FluxRegister::corrections`], with the identical
+/// loop structure — the serial output restricted to `id` (and optionally to
+/// one `axis`) is exactly what this emits, in the same order, which is what
+/// makes per-block graph corrections bit-identical to the barrier path.
+#[allow(clippy::too_many_arguments)]
+fn corrections_for_leaf(
+    tree: &Tree,
+    id: BlockId,
+    ndim: usize,
+    nxb: usize,
+    nflux: usize,
+    axis_filter: Option<usize>,
+    get: &mut dyn FnMut(usize, Face, [usize; 2], usize) -> f64,
+    written: &mut dyn FnMut(usize, Face) -> bool,
+    out: &mut Vec<Correction>,
+) {
+    for axis in 0..ndim {
+        if axis_filter.is_some_and(|a| a != axis) {
+            continue;
+        }
+        for side in 0..2 {
+            let face = Face { axis, side };
+            let Neighbor::Same(nid) = tree.neighbor(id, face.outward()) else {
+                continue;
+            };
+            if tree.block(nid).state != BlockState::Parent {
+                continue; // same-level leaf: fluxes already agree
+            }
+            if !written(id.idx(), face) {
+                continue;
+            }
+            // The children of `nid` that touch the shared face have
+            // child offset (1 − side) along `axis`, and their
+            // opposing face faces us.
+            let opp = Face {
+                axis,
+                side: 1 - side,
+            };
+            let children = tree.block(nid).children.expect("parent");
+            let nchild = tree.block(nid).n_children as usize;
+            // Transverse axes (face-plane coordinates).
+            let t_axes: Vec<usize> = (0..ndim).filter(|&a| a != axis).collect();
+            let cells2 = if ndim == 3 { nxb } else { 1 };
+            for c1 in 0..nxb {
+                for c2 in 0..cells2 {
+                    // Exactly one child covers coarse face cell
+                    // (c1, c2); find it by its transverse halves.
+                    for (ci, &cid) in children.iter().enumerate().take(nchild) {
+                        let off = [(ci & 1), ((ci >> 1) & 1), ((ci >> 2) & 1)];
+                        if off[axis] != 1 - side {
+                            continue;
+                        }
+                        if c1 / (nxb / 2) != off[t_axes[0]] {
+                            continue;
+                        }
+                        if let Some(&a2) = t_axes.get(1) {
+                            if c2 / (nxb / 2) != off[a2] {
+                                continue;
+                            }
+                        }
+                        if !written(cid.idx(), opp) {
+                            continue;
+                        }
+                        // Fine face cells covering coarse cell (c1, c2).
+                        let f1 = (c1 % (nxb / 2)) * 2;
+                        let f2 = if ndim == 3 { (c2 % (nxb / 2)) * 2 } else { 0 };
+                        let fr2 = if ndim == 3 { 2 } else { 1 };
+                        let n_faces = (2 * fr2) as f64;
+                        for ch in 0..nflux {
+                            let mut s = 0.0;
+                            for d1 in 0..2 {
+                                for d2 in 0..fr2 {
+                                    s += get(cid.idx(), opp, [f1 + d1, f2 + d2], ch);
                                 }
                             }
+                            let coarse = get(id.idx(), face, [c1, c2], ch);
+                            out.push(Correction {
+                                block: id,
+                                face,
+                                cell: [c1, c2],
+                                channel: ch,
+                                delta: s / n_faces - coarse,
+                            });
                         }
                     }
                 }
             }
         }
-        out
+    }
+}
+
+/// Raw, copyable view of a [`FluxRegister`] for task-graph execution. Each
+/// (block, face) row is one graph resource: its sweep task is the only
+/// writer, correction tasks are the readers, and the builder's edges
+/// serialize them — the same discipline [`crate::unk::UnkCells`] relies on.
+#[derive(Clone, Copy)]
+pub struct FluxCells {
+    data: *mut f64,
+    written: *mut bool,
+    nxb: usize,
+    ndim: usize,
+    nflux: usize,
+    face_cells: usize,
+    max_blocks: usize,
+}
+
+// SAFETY: the pointers span plain POD regions owned by the register this
+// view was taken from; cross-thread discipline is the graph's edges.
+unsafe impl Send for FluxCells {}
+// SAFETY: as above.
+unsafe impl Sync for FluxCells {}
+
+impl FluxCells {
+    #[inline]
+    fn slot(&self, blk: usize, face: Face, cell: [usize; 2], channel: usize) -> usize {
+        debug_assert!(face.axis < self.ndim);
+        debug_assert!(cell[0] < self.nxb);
+        debug_assert!(channel < self.nflux);
+        debug_assert!(blk < self.max_blocks);
+        let cell_idx = cell[0] + self.nxb * cell[1];
+        ((blk * 2 * self.ndim + face.index()) * self.face_cells + cell_idx) * self.nflux + channel
+    }
+
+    /// Record a per-area flux, like [`FluxRegister::save`].
+    ///
+    /// # Safety
+    /// The calling task must be the only task touching block `blk`'s flux
+    /// rows (graph edges make the sweep task each row's sole writer).
+    #[inline]
+    pub unsafe fn save(&self, blk: usize, face: Face, cell: [usize; 2], channel: usize, flux: f64) {
+        let s = self.slot(blk, face, cell, channel);
+        *self.data.add(s) = flux;
+        *self.written.add(blk * 2 * self.ndim + face.index()) = true;
+    }
+
+    /// Corrections for one leaf along one axis, in the exact order the
+    /// serial [`FluxRegister::corrections`] emits them for that leaf/axis.
+    ///
+    /// # Safety
+    /// Graph edges must order the calling task after the sweep tasks of
+    /// `id` and of every finer neighbor's child along `axis` (their rows
+    /// are read here), with no concurrent writer of those rows.
+    pub unsafe fn corrections_for(
+        &self,
+        tree: &Tree,
+        id: BlockId,
+        axis: usize,
+        out: &mut Vec<Correction>,
+    ) {
+        corrections_for_leaf(
+            tree,
+            id,
+            self.ndim,
+            self.nxb,
+            self.nflux,
+            Some(axis),
+            // SAFETY: row-shared read access is the caller's contract.
+            &mut |b, f, c, ch| unsafe { *self.data.add(self.slot(b, f, c, ch)) },
+            // SAFETY: as above.
+            &mut |b, f| unsafe { *self.written.add(b * 2 * self.ndim + f.index()) },
+            out,
+        );
     }
 }
 

@@ -16,9 +16,9 @@
 //! run the *same* arithmetic in the same order per destination block, which
 //! is what makes the parallel fill bit-identical to the serial one.
 
-use crate::block::{BlockId, BlockState};
+use crate::block::{BlockId, BlockState, MortonKey};
 use crate::tree::{BoundaryCondition, Neighbor, Tree};
-use crate::unk::{UnkGeom, UnkStorage};
+use crate::unk::{UnkCells, UnkGeom, UnkStorage};
 use crate::vars::{VELX, VELY, VELZ};
 
 /// minmod slope limiter.
@@ -100,50 +100,45 @@ pub fn prolong_interior(
     }
 }
 
-/// Emit the restriction of child `c`'s interior into the corresponding
-/// quadrant/octant of the parent: `sink(offset_in_parent_slab, value)`.
-/// Reads only child interiors, so every restriction at one tree level can
-/// run concurrently.
+/// Emit the restriction of child `c`'s interior (its slab, passed
+/// directly) into the corresponding quadrant/octant of the parent:
+/// `sink(offset_in_parent_slab, value)`. Reads only the child slab, so
+/// every restriction at one tree level can run concurrently.
 pub(crate) fn pack_restrict(
-    tree: &Tree,
-    unk: &UnkStorage,
-    child: BlockId,
-    parent: BlockId,
+    geom: &UnkGeom,
+    child: &[f64],
     c: usize,
     sink: &mut dyn FnMut(usize, f64),
 ) {
-    let cfg = tree.config();
-    let ng = cfg.nguard;
-    let nxb = cfg.nxb;
+    let ng = geom.nguard;
+    let nxb = geom.nxb;
     let half = nxb / 2;
     let (ox, oy, oz) = (c & 1, (c >> 1) & 1, (c >> 2) & 1);
-    let cb = child.idx();
-    let _ = parent; // destination identity is carried by the caller's sink
-    let kcells = if cfg.ndim == 3 { half } else { 1 };
-    let weight = 1.0 / (1 << cfg.ndim) as f64;
+    let kcells = if geom.ndim == 3 { half } else { 1 };
+    let weight = 1.0 / (1 << geom.ndim) as f64;
 
-    for var in 0..cfg.nvar {
+    for var in 0..geom.nvar {
         for pk in 0..kcells {
             for pj in 0..half {
                 for pi in 0..half {
                     let mut sum = 0.0;
-                    let kk = if cfg.ndim == 3 { 2 } else { 1 };
+                    let kk = if geom.ndim == 3 { 2 } else { 1 };
                     for dk in 0..kk {
                         for dj in 0..2 {
                             for di in 0..2 {
                                 let ci = ng + 2 * pi + di;
                                 let cj = ng + 2 * pj + dj;
-                                let ck = if cfg.ndim == 3 { ng + 2 * pk + dk } else { 0 };
-                                sum += unk.get(var, ci, cj, ck, cb);
+                                let ck = if geom.ndim == 3 { ng + 2 * pk + dk } else { 0 };
+                                sum += child[geom.slab_idx(var, ci, cj, ck)];
                             }
                         }
                     }
                     let p = [
                         ng + ox * half + pi,
                         ng + oy * half + pj,
-                        if cfg.ndim == 3 { ng + oz * half + pk } else { 0 },
+                        if geom.ndim == 3 { ng + oz * half + pk } else { 0 },
                     ];
-                    sink(unk.slab_idx(var, p[0], p[1], p[2]), sum * weight);
+                    sink(geom.slab_idx(var, p[0], p[1], p[2]), sum * weight);
                 }
             }
         }
@@ -159,8 +154,10 @@ pub fn restrict_interior(
     parent: BlockId,
     c: usize,
 ) {
+    let _ = tree;
     let mut staged: Vec<(usize, f64)> = Vec::new();
-    pack_restrict(tree, unk, child, parent, c, &mut |off, v| {
+    let geom = unk.geom();
+    pack_restrict(&geom, unk.block_slab(child.idx()), c, &mut |off, v| {
         staged.push((off, v))
     });
     let slab = unk.block_slab_mut(parent.idx());
@@ -217,12 +214,18 @@ pub fn fill_guardcells(tree: &Tree, unk: &mut UnkStorage) {
         staged.clear();
         for &d in &dirs {
             match tree.neighbor(id, d) {
-                Neighbor::Same(nid) => pack_copy_same(tree, unk, id, nid, d, &mut |off, v| {
-                    staged.push((off, v))
-                }),
-                Neighbor::Coarser(nid) => pack_prolong(tree, unk, id, nid, d, &mut |off, v| {
-                    staged.push((off, v))
-                }),
+                Neighbor::Same(nid) => {
+                    pack_copy_same(&geom, unk.block_slab(nid.idx()), d, &mut |off, v| {
+                        staged.push((off, v))
+                    })
+                }
+                Neighbor::Coarser(nid) => pack_prolong(
+                    &geom,
+                    tree.block(id).key,
+                    unk.block_slab(nid.idx()),
+                    d,
+                    &mut |off, v| staged.push((off, v)),
+                ),
                 Neighbor::Boundary => {}
             }
         }
@@ -250,8 +253,11 @@ pub(crate) fn restrict_into_parent(
     let Some(children) = meta.children else {
         return; // leaf: nothing to restrict
     };
+    let geom = unk.geom();
     for (c, &cid) in children.iter().enumerate().take(meta.n_children as usize) {
-        pack_restrict(tree, unk, cid, pid, c, &mut |off, v| staged.push((off, v)));
+        pack_restrict(&geom, unk.block_slab(cid.idx()), c, &mut |off, v| {
+            staged.push((off, v))
+        });
     }
     let slab = unk.block_slab_mut(pid.idx());
     for &(off, v) in staged.iter() {
@@ -259,27 +265,121 @@ pub(crate) fn restrict_into_parent(
     }
 }
 
-/// Emit the guard region of `dst` in direction `d` copied from the
-/// same-level block `src` (interior shifted by one block):
-/// `sink(offset_in_dst_slab, value)`. Reads only `src`'s interior.
-pub(crate) fn pack_copy_same(
+/// Restrict all of `pid`'s children into its interior through a raw
+/// [`UnkCells`] view — the task-graph form of [`restrict_into_parent`].
+/// Runs the same kernels in the same child order, so the values written are
+/// bit-identical to the serial downward pass.
+///
+/// # Safety
+/// The caller's task must have exclusive access to `pid`'s slab and shared
+/// access to every child slab for the duration of the call (i.e. graph
+/// edges order it after all child writers and around all other `pid`
+/// access).
+pub unsafe fn restrict_parent_cells(
     tree: &Tree,
-    unk: &UnkStorage,
-    dst: BlockId,
-    src: BlockId,
+    geom: &UnkGeom,
+    cells: &UnkCells,
+    pid: BlockId,
+    staged: &mut Vec<(usize, f64)>,
+) {
+    staged.clear();
+    let meta = tree.block(pid);
+    let Some(children) = meta.children else {
+        return;
+    };
+    for (c, &cid) in children.iter().enumerate().take(meta.n_children as usize) {
+        // SAFETY: shared child access is the caller's contract.
+        let child = unsafe { cells.slab(cid.idx()) };
+        pack_restrict(geom, child, c, &mut |off, v| staged.push((off, v)));
+    }
+    // SAFETY: exclusive parent access is the caller's contract.
+    let slab = unsafe { cells.slab_mut(pid.idx()) };
+    for &(off, v) in staged.iter() {
+        slab[off] = v;
+    }
+}
+
+/// Pack every neighbor-sourced guard value of block `id` into `staged` as
+/// `(own-slab offset, value)` pairs, reading neighbor slabs through a raw
+/// [`UnkCells`] view. Directions are visited in `dirs` order — the same
+/// order the serial fill uses — so the staged sequence (and therefore the
+/// last-write-wins result of unpacking) is identical to the serial path.
+///
+/// # Safety
+/// The caller's task must have shared access to every neighbor slab of
+/// `id`: graph edges must order it after the relevant restriction /
+/// coarse-fill writers and outside any concurrent writer of those slabs.
+pub unsafe fn pack_block_cells(
+    tree: &Tree,
+    geom: &UnkGeom,
+    cells: &UnkCells,
+    id: BlockId,
+    dirs: &[[i32; 3]],
+    staged: &mut Vec<(usize, f64)>,
+) {
+    staged.clear();
+    for &d in dirs {
+        match tree.neighbor(id, d) {
+            Neighbor::Same(nid) => {
+                // SAFETY: shared neighbor access is the caller's contract.
+                let src = unsafe { cells.slab(nid.idx()) };
+                pack_copy_same(geom, src, d, &mut |off, v| staged.push((off, v)));
+            }
+            Neighbor::Coarser(nid) => {
+                // SAFETY: as above.
+                let src = unsafe { cells.slab(nid.idx()) };
+                pack_prolong(geom, tree.block(id).key, src, d, &mut |off, v| {
+                    staged.push((off, v))
+                });
+            }
+            Neighbor::Boundary => {}
+        }
+    }
+}
+
+/// Apply a staged guard pack to block `id`'s own slab and then run the
+/// physical boundary conditions, in `dirs` order — the unpack half of
+/// [`pack_block_cells`], writing exactly what the serial fill writes.
+///
+/// # Safety
+/// The caller's task must have exclusive access to `id`'s slab (graph
+/// edges order it after the matching pack and around every other access).
+pub unsafe fn unpack_block_cells(
+    tree: &Tree,
+    geom: &UnkGeom,
+    cells: &UnkCells,
+    id: BlockId,
+    dirs: &[[i32; 3]],
+    staged: &[(usize, f64)],
+) {
+    // SAFETY: exclusive own-slab access is the caller's contract.
+    let slab = unsafe { cells.slab_mut(id.idx()) };
+    for &(off, v) in staged {
+        slab[off] = v;
+    }
+    for &d in dirs {
+        if tree.neighbor(id, d) == Neighbor::Boundary {
+            fill_boundary_slab(tree, geom, id, d, slab);
+        }
+    }
+}
+
+/// Emit the guard region of the destination block in direction `d` copied
+/// from the same-level source block's slab (interior shifted by one
+/// block): `sink(offset_in_dst_slab, value)`. Reads only `src`'s interior.
+pub(crate) fn pack_copy_same(
+    geom: &UnkGeom,
+    src: &[f64],
     d: [i32; 3],
     sink: &mut dyn FnMut(usize, f64),
 ) {
-    let cfg = tree.config();
-    let nxb = cfg.nxb as i64;
-    let ri = guard_range(cfg.nguard, cfg.nxb, d[0], false);
-    let rj = guard_range(cfg.nguard, cfg.nxb, d[1], false);
-    let rk = guard_range(cfg.nguard, cfg.nxb, d[2], cfg.ndim == 2);
-    let _ = dst; // destination identity is carried by the caller's sink
-    let sb = src.idx();
-    for var in 0..cfg.nvar {
+    let nxb = geom.nxb as i64;
+    let ri = guard_range(geom.nguard, geom.nxb, d[0], false);
+    let rj = guard_range(geom.nguard, geom.nxb, d[1], false);
+    let rk = guard_range(geom.nguard, geom.nxb, d[2], geom.ndim == 2);
+    for var in 0..geom.nvar {
         for k in rk.clone() {
-            let sk = if cfg.ndim == 3 {
+            let sk = if geom.ndim == 3 {
                 (k as i64 - d[2] as i64 * nxb) as usize
             } else {
                 0
@@ -288,38 +388,34 @@ pub(crate) fn pack_copy_same(
                 let sj = (j as i64 - d[1] as i64 * nxb) as usize;
                 for i in ri.clone() {
                     let si = (i as i64 - d[0] as i64 * nxb) as usize;
-                    sink(unk.slab_idx(var, i, j, k), unk.get(var, si, sj, sk, sb));
+                    sink(geom.slab_idx(var, i, j, k), src[geom.slab_idx(var, si, sj, sk)]);
                 }
             }
         }
     }
 }
 
-/// Emit the prolongated guard region of fine block `dst` in direction `d`
-/// from its coarser neighbor `src`: `sink(offset_in_dst_slab, value)`.
-/// Reads only `src` (one level coarser — already fully filled when the
-/// exchange proceeds coarse → fine).
+/// Emit the prolongated guard region of the fine destination block (whose
+/// Morton key is `key`) in direction `d` from its coarser neighbor's slab:
+/// `sink(offset_in_dst_slab, value)`. Reads only `src` (one level coarser —
+/// already fully filled when the exchange proceeds coarse → fine).
 pub(crate) fn pack_prolong(
-    tree: &Tree,
-    unk: &UnkStorage,
-    dst: BlockId,
-    src: BlockId,
+    geom: &UnkGeom,
+    key: MortonKey,
+    src: &[f64],
     d: [i32; 3],
     sink: &mut dyn FnMut(usize, f64),
 ) {
-    let cfg = tree.config();
-    let ng = cfg.nguard as i64;
-    let nxb = cfg.nxb as i64;
-    let key = tree.block(dst).key;
+    let ng = geom.nguard as i64;
+    let nxb = geom.nxb as i64;
     let halves = [
         (key.ix & 1) as i64,
         (key.iy & 1) as i64,
         (key.iz & 1) as i64,
     ];
-    let ri = guard_range(cfg.nguard, cfg.nxb, d[0], false);
-    let rj = guard_range(cfg.nguard, cfg.nxb, d[1], false);
-    let rk = guard_range(cfg.nguard, cfg.nxb, d[2], cfg.ndim == 2);
-    let sb = src.idx();
+    let ri = guard_range(geom.nguard, geom.nxb, d[0], false);
+    let rj = guard_range(geom.nguard, geom.nxb, d[1], false);
+    let rk = guard_range(geom.nguard, geom.nxb, d[2], geom.ndim == 2);
 
     // Map a destination padded index to (source padded index, ±¼ offset).
     // The coarse source block's offset from the fine block's parent along
@@ -327,9 +423,10 @@ pub(crate) fn pack_prolong(
     // can be 0 even when d[axis] ≠ 0 (the guard region stays inside the
     // parent's column on that axis).
     let coords = [key.ix as i64, key.iy as i64, key.iz as i64];
-    let padded_i = unk.padded().0;
+    let padded_i = geom.ni;
+    let ndim = geom.ndim;
     let map = move |axis: usize, idx: usize| -> (usize, f64) {
-        if axis >= cfg.ndim {
+        if axis >= ndim {
             return (0, 0.0);
         }
         let f = idx as i64 - ng; // offset from fine block start
@@ -346,18 +443,18 @@ pub(crate) fn pack_prolong(
         (local as usize, if r == 0 { -0.25 } else { 0.25 })
     };
 
-    let slope = |unk: &UnkStorage, var: usize, s: [usize; 3], axis: usize| -> f64 {
+    let slope = |var: usize, s: [usize; 3], axis: usize| -> f64 {
         let mut hi = s;
         let mut lo = s;
         hi[axis] += 1;
         lo[axis] -= 1;
-        let vh = unk.get(var, hi[0], hi[1], hi[2], sb);
-        let v0 = unk.get(var, s[0], s[1], s[2], sb);
-        let vl = unk.get(var, lo[0], lo[1], lo[2], sb);
+        let vh = src[geom.slab_idx(var, hi[0], hi[1], hi[2])];
+        let v0 = src[geom.slab_idx(var, s[0], s[1], s[2])];
+        let vl = src[geom.slab_idx(var, lo[0], lo[1], lo[2])];
         minmod(vh - v0, v0 - vl)
     };
 
-    for var in 0..cfg.nvar {
+    for var in 0..geom.nvar {
         for k in rk.clone() {
             let (sk, ok) = map(2, k);
             for j in rj.clone() {
@@ -365,12 +462,12 @@ pub(crate) fn pack_prolong(
                 for i in ri.clone() {
                     let (si, oi) = map(0, i);
                     let s = [si, sj, sk];
-                    let mut v = unk.get(var, si, sj, sk, sb);
+                    let mut v = src[geom.slab_idx(var, si, sj, sk)];
                     let offs = [oi, oj, ok];
-                    for (axis, &off) in offs.iter().enumerate().take(cfg.ndim) {
-                        v += slope(unk, var, s, axis) * off;
+                    for (axis, &off) in offs.iter().enumerate().take(geom.ndim) {
+                        v += slope(var, s, axis) * off;
                     }
-                    sink(unk.slab_idx(var, i, j, k), v);
+                    sink(geom.slab_idx(var, i, j, k), v);
                 }
             }
         }

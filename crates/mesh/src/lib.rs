@@ -33,6 +33,7 @@ pub mod guardcell;
 pub mod refine;
 pub mod shadow;
 pub mod stats;
+pub mod taskgraph;
 pub mod tree;
 pub mod unk;
 pub mod vars;
@@ -42,6 +43,7 @@ pub use domain::Domain;
 pub use geometry::Geometry;
 pub use shadow::ShadowSnapshot;
 pub use stats::MeshStats;
+pub use taskgraph::{GraphBuilder, GraphRankStats, GraphStats, TaskClass, TaskGraph, TaskId};
 pub use tree::{BoundaryCondition, MeshConfig, Tree};
-pub use unk::{Layout, UnkStorage};
+pub use unk::{Layout, UnkCells, UnkStorage};
 pub use vars::*;

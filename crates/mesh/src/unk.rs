@@ -243,6 +243,18 @@ impl UnkStorage {
         self.buf.as_mut_slice().as_mut_ptr()
     }
 
+    /// Raw per-block slab handout for task-graph execution. The mutable
+    /// borrow taken here ends when the view is dropped conceptually, but
+    /// the view itself is `Copy`; safety rests entirely on the graph's
+    /// read/write edges serializing all conflicting slab access.
+    pub fn cells(&mut self) -> UnkCells {
+        UnkCells {
+            per_block: self.per_block,
+            max_blocks: self.max_blocks,
+            ptr: self.base_ptr_mut(),
+        }
+    }
+
     /// Flat index of `(var, i, j, k)` *within* a block slab, matching
     /// [`UnkStorage::idx`] minus the block offset. Kernels operating on a
     /// slab from [`UnkStorage::slabs_mut`] use this.
@@ -451,6 +463,53 @@ impl UnkGeom {
             count,
             elem: 8,
         }
+    }
+}
+
+/// Raw, copyable view of every block slab, for kernels executed as graph
+/// tasks. Unlike the rank-partitioned handout in `Domain`, a task graph has
+/// no static block-to-thread assignment — any rank may touch any slab — so
+/// exclusivity cannot be expressed with `&mut` partitioning. Instead the
+/// graph builder's read/write edges serialize every pair of conflicting
+/// accesses, and the accessors below make the obligation explicit.
+#[derive(Clone, Copy)]
+pub struct UnkCells {
+    ptr: *mut f64,
+    per_block: usize,
+    max_blocks: usize,
+}
+
+// SAFETY: the pointer spans a plain-f64 region owned by the `UnkStorage`
+// this view was taken from; cross-thread access discipline is the graph
+// edges' responsibility, documented on the accessors.
+unsafe impl Send for UnkCells {}
+// SAFETY: as above.
+unsafe impl Sync for UnkCells {}
+
+impl UnkCells {
+    /// Shared view of block `blk`'s slab.
+    ///
+    /// # Safety
+    /// No concurrently running task may hold a mutable reference to the
+    /// same slab: the caller's task must be ordered (by graph edges) after
+    /// every writer of `blk` and before the next one.
+    #[inline]
+    pub unsafe fn slab(&self, blk: usize) -> &[f64] {
+        debug_assert!(blk < self.max_blocks);
+        std::slice::from_raw_parts(self.ptr.add(blk * self.per_block), self.per_block)
+    }
+
+    /// Exclusive view of block `blk`'s slab.
+    ///
+    /// # Safety
+    /// The caller's task must be the only task touching `blk` while it
+    /// runs: graph edges must order it after every prior reader and writer
+    /// of `blk` and before every later one.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn slab_mut(&self, blk: usize) -> &mut [f64] {
+        debug_assert!(blk < self.max_blocks);
+        std::slice::from_raw_parts_mut(self.ptr.add(blk * self.per_block), self.per_block)
     }
 }
 

@@ -1,0 +1,253 @@
+//! Scheduler parity battery: the per-block task-graph step path must be
+//! bit-identical to the pool-wide-barrier path — same leaves, same time
+//! series, same interior bits — on both paper problems, across rank
+//! counts and both sweep engines, and straight through guardian-driven
+//! mid-step rollbacks and dt-retry ladders.
+//!
+//! The graph schedules per-block work the moment its dependencies clear,
+//! so blocks race each other freely; determinism rests on the canonical
+//! edge order and the Morton-ordered reductions, and these tests are the
+//! witness.
+
+use std::path::PathBuf;
+
+use rflash::core::checkpoint::read_checkpoint;
+use rflash::core::setups::sedov::SedovSetup;
+use rflash::core::setups::supernova::SupernovaSetup;
+use rflash::core::{
+    CheckpointSeries, GuardianConfig, RuntimeParams, Simulation, StepScheduler,
+};
+use rflash::hugepages::{FaultKind, FaultPlan, FaultSite, Policy};
+use rflash::hydro::SweepEngine;
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rflash-schedpar-it-{}-{name}", std::process::id()))
+}
+
+/// Bit pattern of every interior zone of every variable, leaves in Morton
+/// order, prefixed by the step counter and the time bits — the
+/// "identical run" witness.
+fn state_bits(sim: &Simulation) -> Vec<u64> {
+    let mut bits = vec![sim.step, sim.time.to_bits()];
+    for id in sim.domain.tree.leaves() {
+        for v in 0..sim.domain.unk.nvar() {
+            for k in sim.domain.unk.interior_k() {
+                for j in sim.domain.unk.interior() {
+                    for i in sim.domain.unk.interior() {
+                        bits.push(sim.domain.unk.get(v, i, j, k, id.idx()).to_bits());
+                    }
+                }
+            }
+        }
+    }
+    bits
+}
+
+fn sedov3d(scheduler: StepScheduler, nranks: usize, engine: SweepEngine) -> Simulation {
+    let setup = SedovSetup {
+        ndim: 3,
+        nxb: 8,
+        max_refine: 2,
+        max_blocks: 512,
+        ..SedovSetup::default()
+    };
+    let params = RuntimeParams {
+        policy: Policy::None,
+        use_hw: false,
+        pattern_every: 0,
+        gather_every: 0,
+        nranks,
+        sweep_engine: engine,
+        step_scheduler: scheduler,
+        ..RuntimeParams::with_mesh(setup.mesh_config())
+    };
+    setup.build(params)
+}
+
+fn supernova2d(scheduler: StepScheduler, nranks: usize, engine: SweepEngine) -> Simulation {
+    let setup = SupernovaSetup {
+        max_refine: 1,
+        max_blocks: 256,
+        coarse_table: true,
+        ..SupernovaSetup::default()
+    };
+    setup.build(RuntimeParams {
+        policy: Policy::None,
+        use_hw: false,
+        pattern_every: 0,
+        gather_every: 0,
+        nranks,
+        sweep_engine: engine,
+        step_scheduler: scheduler,
+        ..RuntimeParams::with_mesh(setup.mesh_config())
+    })
+}
+
+/// 3-d Sedov: task-graph vs barrier, every rank count and both sweep
+/// engines. The nranks = 1 column also pins the documented fallback (a
+/// single rank has nothing to overlap, so the graph path defers to the
+/// barrier loop).
+#[test]
+fn sedov_3d_taskgraph_matches_barrier_all_ranks_and_engines() {
+    let _quiet = FaultPlan::new(0).activate();
+    for engine in [SweepEngine::Scalar, SweepEngine::Pencil] {
+        for nranks in [1usize, 3, 4] {
+            let mut barrier = sedov3d(StepScheduler::Barrier, nranks, engine);
+            barrier.evolve(3);
+            let mut graph = sedov3d(StepScheduler::TaskGraph, nranks, engine);
+            graph.evolve(3);
+            assert_eq!(
+                state_bits(&barrier),
+                state_bits(&graph),
+                "divergence at nranks={nranks}, engine={engine:?}"
+            );
+            if nranks > 1 {
+                assert!(
+                    graph.graph_report.executions >= 3,
+                    "the graph path must actually have run at nranks={nranks}"
+                );
+                let tasks: u64 = graph.graph_report.per_rank.iter().map(|r| r.tasks).sum();
+                assert!(tasks > 0, "ranks executed tasks");
+            } else {
+                assert_eq!(
+                    graph.graph_report.executions, 0,
+                    "one rank falls back to the barrier loop"
+                );
+            }
+        }
+    }
+}
+
+/// 2-d Helmholtz supernova (flame + gravity live, so the graph runs its
+/// unfused tail): task-graph vs barrier across rank counts and engines.
+#[test]
+fn supernova_2d_taskgraph_matches_barrier_all_ranks_and_engines() {
+    let _quiet = FaultPlan::new(0).activate();
+    for engine in [SweepEngine::Scalar, SweepEngine::Pencil] {
+        for nranks in [1usize, 3, 4] {
+            let mut barrier = supernova2d(StepScheduler::Barrier, nranks, engine);
+            barrier.evolve(3);
+            let mut graph = supernova2d(StepScheduler::TaskGraph, nranks, engine);
+            graph.evolve(3);
+            assert_eq!(
+                state_bits(&barrier),
+                state_bits(&graph),
+                "divergence at nranks={nranks}, engine={engine:?}"
+            );
+        }
+    }
+}
+
+/// Checkpoints written under the two schedulers hold identical physics:
+/// same step, same time, same domain bits. (The raw container bytes are
+/// allowed to differ — the serialized params header records which
+/// scheduler wrote it.)
+#[test]
+fn checkpoints_agree_across_schedulers() {
+    let _quiet = FaultPlan::new(0).activate();
+    let run = |scheduler: StepScheduler, tag: &str| {
+        let dir = scratch(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        let series = CheckpointSeries::new(&dir, "chk");
+        let mut sim = sedov3d(scheduler, 4, SweepEngine::Pencil);
+        sim.params.checkpoint_every = 2;
+        sim.evolve_checkpointed(4, &series).expect("clean run");
+        let (step, path) = series.scan().unwrap().pop().expect("a checkpoint landed");
+        let state = read_checkpoint(&path).expect("checkpoint verifies");
+        assert_eq!(state.step, step);
+        let mut bits = vec![state.step, state.time.to_bits()];
+        for id in state.domain.tree.leaves() {
+            for v in 0..state.domain.unk.nvar() {
+                for k in state.domain.unk.interior_k() {
+                    for j in state.domain.unk.interior() {
+                        for i in state.domain.unk.interior() {
+                            bits.push(state.domain.unk.get(v, i, j, k, id.idx()).to_bits());
+                        }
+                    }
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+        bits
+    };
+    assert_eq!(
+        run(StepScheduler::Barrier, "barrier"),
+        run(StepScheduler::TaskGraph, "graph"),
+        "checkpointed physics must not depend on the scheduler"
+    );
+}
+
+/// A state-corruption fault fired mid-run under the task-graph: the
+/// guardian's validation (folded into the graph as per-leaf tasks) must
+/// catch it, roll the whole step back across every in-flight block, and
+/// retry to bits identical to a fault-free barrier run.
+#[test]
+fn guardian_rollback_mid_graph_recovers_bit_exactly() {
+    let sim = {
+        let _g = FaultPlan::new(0)
+            .with(FaultSite::StepNan, FaultKind::FirstN { n: 1, errno: 22 })
+            .activate();
+        let mut sim = sedov3d(StepScheduler::TaskGraph, 4, SweepEngine::Pencil);
+        sim.params.guardian = GuardianConfig {
+            max_retries: 2,
+            ..GuardianConfig::default()
+        };
+        for n in 0..4 {
+            sim.try_step()
+                .unwrap_or_else(|e| panic!("step {n} must recover: {e}"));
+        }
+        sim
+    };
+    assert!(sim.guardian_stats.violations >= 1, "the fault was seen");
+    assert!(sim.guardian_stats.rollbacks >= 1, "and rolled back");
+    assert!(
+        sim.graph_report.executions > 4,
+        "the retry re-dispatched the graph"
+    );
+
+    let _quiet = FaultPlan::new(0).activate();
+    let mut clean = sedov3d(StepScheduler::Barrier, 4, SweepEngine::Pencil);
+    clean.params.guardian = GuardianConfig {
+        max_retries: 2,
+        ..GuardianConfig::default()
+    };
+    clean.evolve(4);
+    assert_eq!(
+        state_bits(&sim),
+        state_bits(&clean),
+        "mid-graph rollback + retry must reproduce the fault-free barrier run"
+    );
+    // The witness ignores scheduler-private state, so also pin the ledger.
+    assert_eq!(sim.step, clean.step);
+    assert_eq!(sim.time, clean.time);
+}
+
+/// A transient zero dt under the task-graph poisons the step (no block
+/// mutates state), retries down the dt ladder, and lands on the fault-free
+/// barrier bits — BadDt handling is scheduler-invariant.
+#[test]
+fn poisoned_dt_under_taskgraph_matches_barrier_recovery() {
+    let run = |scheduler: StepScheduler| {
+        let _g = FaultPlan::new(0)
+            .with(FaultSite::DtZero, FaultKind::FirstN { n: 1, errno: 22 })
+            .activate();
+        let mut sim = sedov3d(scheduler, 3, SweepEngine::Scalar);
+        sim.params.guardian = GuardianConfig {
+            max_retries: 2,
+            ..GuardianConfig::default()
+        };
+        for _ in 0..3 {
+            sim.try_step().expect("must recover");
+        }
+        assert_eq!(sim.guardian_stats.bad_dts, 1);
+        assert_eq!(
+            sim.guardian_stats.rollbacks, 0,
+            "a poisoned step never touched state — no rollback"
+        );
+        sim
+    };
+    let graph = run(StepScheduler::TaskGraph);
+    let barrier = run(StepScheduler::Barrier);
+    assert_eq!(state_bits(&graph), state_bits(&barrier));
+    assert_eq!(graph.guardian_stats, barrier.guardian_stats);
+}
