@@ -3,6 +3,8 @@
 //! Commands:
 //!   check [--root DIR]            run all rules over the workspace; exit 1
 //!                                 on any violation
+//!   check --json                  emit findings as a JSON array on stdout
+//!                                 (exit codes unchanged)
 //!   check --fixture FILE...       run the rules over standalone fixture
 //!                                 files (honors their `//@ path:` header)
 //!   inventory [--root DIR]        write unsafe_inventory.json at the root
@@ -28,7 +30,7 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("rflash-analyze: {err}");
-    eprintln!("usage: rflash-analyze check [--root DIR] | check --fixture FILE...");
+    eprintln!("usage: rflash-analyze check [--root DIR] [--json] | check --fixture FILE...");
     eprintln!("       rflash-analyze inventory [--root DIR] [--check | --stdout]");
     ExitCode::from(2)
 }
@@ -50,6 +52,7 @@ fn resolve_root(explicit: Option<PathBuf>) -> Result<PathBuf, ExitCode> {
 fn cmd_check(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut fixtures: Vec<PathBuf> = Vec::new();
+    let mut json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -57,6 +60,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 Some(d) => root = Some(PathBuf::from(d)),
                 None => return usage("--root needs a directory"),
             },
+            "--json" => json = true,
             "--fixture" => {
                 fixtures.extend(it.by_ref().map(PathBuf::from));
             }
@@ -90,8 +94,12 @@ fn cmd_check(args: &[String]) -> ExitCode {
         all
     };
 
-    for v in &violations {
-        println!("{v}");
+    if json {
+        println!("{}", findings_json(&violations));
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
     }
     if violations.is_empty() {
         eprintln!("rflash-analyze: clean");
@@ -100,6 +108,49 @@ fn cmd_check(args: &[String]) -> ExitCode {
         eprintln!("rflash-analyze: {} violation(s)", violations.len());
         ExitCode::FAILURE
     }
+}
+
+/// Findings as a JSON array — one object per violation, stable field order
+/// (`file`, `line`, `rule`, `message`) so CI diffs are meaningful. Built by
+/// hand: the analyzer deliberately has no serde dependency.
+fn findings_json(violations: &[analyze::Violation]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&v.rel),
+            v.line,
+            json_string(v.rule),
+            json_string(&v.msg)
+        ));
+    }
+    if !violations.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn cmd_inventory(args: &[String]) -> ExitCode {

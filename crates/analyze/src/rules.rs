@@ -7,6 +7,7 @@
 //! | `panic`            | no unwrap/expect/panic!/todo!/unimplemented! in hot paths |
 //! | `send_sync`        | `unsafe impl Send/Sync` names its invariant           |
 //! | `pencil_confinement`| no per-cell unk accessors in pencil/batched-EOS modules |
+//! | `graph_confinement`| no raw slab/slot accessors in step-graph task bodies  |
 //! | `allow_syntax`     | malformed escape-hatch annotations                    |
 //! | `unused_allow`     | escape hatches that suppress nothing                  |
 //!
@@ -25,6 +26,7 @@ pub const ALLOWABLE_RULES: &[&str] = &[
     "panic",
     "send_sync",
     "pencil_confinement",
+    "graph_confinement",
 ];
 
 /// Page-level syscall identifiers confined to `crates/hugepages` (rule 2).
@@ -81,6 +83,18 @@ const PENCIL_CONFINED: &[&str] = &["crates/hydro/src/pencil.rs", "crates/eos/src
 /// Matched as whole identifier tokens (comments and strings never trip
 /// them, nor do longer names like `base_addr` or `offset`).
 const PENCIL_FORBIDDEN: &[&str] = &["get", "set", "addr", "slab_idx"];
+
+/// Step-graph task-body modules (rule `graph_confinement`): every slab and
+/// slot access must flow through the race-audit claiming accessors
+/// (`read_slab`/`write_slab`/`update_cell`, `read_slot`/`write_slot`) so it
+/// lands in the declared-vs-actual ledger — a raw accessor is an access the
+/// audit cannot see (DESIGN.md §14).
+const GRAPH_CONFINED: &[&str] = &["crates/core/src/stepgraph.rs"];
+
+/// Raw accessor method names forbidden inside graph-confined modules.
+/// Matched only in method-call position (`.name(`) so locals named `slab`
+/// and prose in comments never trip them.
+const GRAPH_FORBIDDEN: &[&str] = &["get", "set", "addr", "slab_idx", "slab", "slab_mut"];
 
 /// One finding. `line` is 1-based.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -181,6 +195,7 @@ pub fn check_source(rel: &str, src: &str) -> Vec<Violation> {
     rule_alloc_confinement(&sf, &mut candidate);
     rule_panic_freedom(&sf, &mut candidate);
     rule_pencil_confinement(&sf, &mut candidate);
+    rule_graph_confinement(&sf, &mut candidate);
 
     for v in candidate {
         if let Some(a) = allows.iter().find(|a| {
@@ -470,6 +485,36 @@ fn rule_pencil_confinement(sf: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+fn rule_graph_confinement(sf: &SourceFile, out: &mut Vec<Violation>) {
+    if !GRAPH_CONFINED.contains(&sf.rel.as_str()) {
+        return;
+    }
+    let toks = &sf.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if sf.in_test[i] || sf.is_attr[i] {
+            continue;
+        }
+        let Some(word) = tok.ident() else { continue };
+        if !GRAPH_FORBIDDEN.contains(&word) {
+            continue;
+        }
+        let prev_is_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next_is_paren = toks.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false);
+        if prev_is_dot && next_is_paren {
+            out.push(Violation {
+                rel: sf.rel.clone(),
+                line: tok.line,
+                rule: "graph_confinement",
+                msg: format!(
+                    "raw accessor `.{word}()` in a step-graph module — task bodies must \
+                     use the claiming accessors (read_slab/write_slab/update_cell, \
+                     read_slot/write_slot) so the race-audit ledger sees the access"
+                ),
+            });
+        }
+    }
+}
+
 fn collect_allows(sf: &SourceFile) -> Vec<Allow> {
     const NEEDLE: &str = "analyze::allow(";
     let mut allows = Vec::new();
@@ -710,6 +755,35 @@ mod tests {
             "fn f(u: &Unk) {\n    // analyze::allow(pencil_confinement): one-off probe read, not a loop.\n    u.get(0, 1, 1, 0, 0);\n}\n",
         );
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn graph_confinement_flags_raw_accessor_calls_in_stepgraph() {
+        let src = "fn f(c: &UnkCells, s: &Slots) {\n    let a = unsafe { c.slab(0) };\n    let b = unsafe { c.slab_mut(1) };\n    let v = unsafe { s.get(2) };\n}\n";
+        let v = check("crates/core/src/stepgraph.rs", src);
+        let graph: Vec<_> = v.iter().filter(|v| v.rule == "graph_confinement").collect();
+        assert_eq!(graph.len(), 3, "{v:?}");
+        // The same code is fine anywhere else (modulo the panic/safety rules).
+        let elsewhere = check("crates/mesh/src/domain.rs", src);
+        assert!(elsewhere.iter().all(|v| v.rule != "graph_confinement"), "{elsewhere:?}");
+    }
+
+    #[test]
+    fn graph_confinement_ignores_locals_comments_tests_and_claiming_accessors() {
+        let src = "// the old body called c.slab(0) and s.get(i) directly\n\
+                   fn f(c: &UnkCells) {\n    let slab = unsafe { c.read_slab(0, Region::Interior) };\n    let w = unsafe { c.write_slab(1, Region::Guards, None) };\n}\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t(s: &Slots) { unsafe { s.get(0) }; }\n}\n";
+        let v = check("crates/core/src/stepgraph.rs", src);
+        assert!(v.iter().all(|v| v.rule != "graph_confinement"), "{v:?}");
+    }
+
+    #[test]
+    fn graph_confinement_honors_allow() {
+        let v = check(
+            "crates/core/src/stepgraph.rs",
+            "fn f(s: &Slots) {\n    // analyze::allow(graph_confinement): diagnostic probe outside any task body.\n    // SAFETY: quiescent graph.\n    let x = unsafe { s.get(0) };\n}\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "graph_confinement"), "{v:?}");
     }
 
     #[test]

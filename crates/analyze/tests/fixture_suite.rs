@@ -22,6 +22,7 @@ const EXPECTED: &[(&str, &[&str])] = &[
     ("hot_path_unwrap.rs", &["panic"]),
     ("pencil_cell_access.rs", &["pencil_confinement"]),
     ("send_sync_unnamed.rs", &["send_sync"]),
+    ("stepgraph_raw_slab.rs", &["graph_confinement"]),
     ("stray_mmap.rs", &["alloc_confinement"]),
     ("unsafe_missing_safety.rs", &["safety_comment"]),
 ];
@@ -107,13 +108,18 @@ fn committed_inventory_matches_fresh_build() {
 // ---- CLI exit codes (what CI scripts against) --------------------------
 
 fn run_cli(args: &[&str]) -> i32 {
-    Command::new(env!("CARGO_BIN_EXE_rflash-analyze"))
+    run_cli_output(args).0
+}
+
+fn run_cli_output(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rflash-analyze"))
         .args(args)
         .output()
-        .expect("spawn rflash-analyze")
-        .status
-        .code()
-        .expect("exit code")
+        .expect("spawn rflash-analyze");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+    )
 }
 
 #[test]
@@ -131,6 +137,33 @@ fn cli_check_is_nonzero_on_each_fail_fixture() {
     for path in fixtures("fail") {
         let p = path.to_str().expect("utf-8 path");
         assert_eq!(run_cli(&["check", "--fixture", p]), 1, "{p}");
+    }
+}
+
+#[test]
+fn cli_check_json_keeps_exit_codes_and_emits_parseable_findings() {
+    // Clean run: exit 0 and an empty JSON array.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let (code, stdout) = run_cli_output(&["check", "--json", "--root", root.to_str().expect("utf-8 root")]);
+    assert_eq!(code, 0);
+    let parsed: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
+    assert_eq!(parsed.as_array().expect("array").len(), 0, "{stdout}");
+
+    // Failing run: exit 1 (unchanged) and one object per violation with the
+    // documented fields.
+    for path in fixtures("fail") {
+        let p = path.to_str().expect("utf-8 path");
+        let (code, stdout) = run_cli_output(&["check", "--json", "--fixture", p]);
+        assert_eq!(code, 1, "{p}");
+        let parsed: serde_json::Value = serde_json::from_str(stdout.trim())
+            .unwrap_or_else(|e| panic!("{p}: invalid JSON ({e}): {stdout}"));
+        let arr = parsed.as_array().expect("array");
+        assert!(!arr.is_empty(), "{p}: expected findings in {stdout}");
+        for f in arr {
+            for field in ["file", "line", "rule", "message"] {
+                assert!(f.get(field).is_some(), "{p}: finding missing '{field}': {f:?}");
+            }
+        }
     }
 }
 

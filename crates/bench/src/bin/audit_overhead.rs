@@ -1,0 +1,170 @@
+//! Measure the race-audit ledger's per-step cost (EXPERIMENTS.md E15).
+//!
+//! The audit is compiled in under `debug_assertions` or the `race-audit`
+//! feature; within such a build, [`rflash_mesh::audit::set_runtime_enabled`]
+//! is a kill switch that leaves every instrumentation call in place but
+//! makes it return before touching the thread-local ledger. Timing the same
+//! task-graph workload with the switch on vs. off therefore isolates
+//! exactly what the audit adds: per-access recording, the per-task ledger
+//! harvest, and the post-run coverage + happens-before replay.
+//!
+//! Run it in a build where the ledger exists:
+//!
+//! ```text
+//! cargo run --release --features race-audit -p rflash-bench --bin audit_overhead
+//! ```
+//!
+//! Both runs use the canonical pool schedule; bit-identity between them is
+//! asserted (the toggle must observe, never perturb). Appends to
+//! `BENCH_audit.json`. Exit codes: 0 = measured (or skipped: audit not
+//! compiled in), 1 = contract violated.
+
+use std::time::Instant;
+
+use rflash_core::setups::sedov::SedovSetup;
+use rflash_core::{RuntimeParams, Simulation, StepScheduler};
+use rflash_hugepages::faults::FaultPlan;
+use rflash_hugepages::Policy;
+use rflash_mesh::audit;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct AuditRecord {
+    git_rev: String,
+    host: String,
+    steps: u64,
+    s_audited: f64,
+    s_muted: f64,
+    /// (audited − muted) / muted on the same compiled-in binary.
+    overhead: f64,
+}
+
+fn sedov_sim() -> Simulation {
+    let setup = SedovSetup {
+        ndim: 3,
+        nxb: 8,
+        max_refine: 2,
+        max_blocks: 256,
+        ..SedovSetup::default()
+    };
+    setup.build(RuntimeParams {
+        policy: Policy::None,
+        pattern_every: 0,
+        gather_every: 0,
+        use_hw: false,
+        nranks: 2,
+        step_scheduler: StepScheduler::TaskGraph,
+        ..RuntimeParams::with_mesh(setup.mesh_config())
+    })
+}
+
+/// Interior bits of every leaf, the bit-identity witness.
+fn state_bits(sim: &Simulation) -> Vec<u64> {
+    let mut bits = vec![sim.step, sim.time.to_bits()];
+    for id in sim.domain.tree.leaves() {
+        for v in 0..sim.domain.unk.nvar() {
+            for k in sim.domain.unk.interior_k() {
+                for j in sim.domain.unk.interior() {
+                    for i in sim.domain.unk.interior() {
+                        bits.push(sim.domain.unk.get(v, i, j, k, id.idx()).to_bits());
+                    }
+                }
+            }
+        }
+    }
+    bits
+}
+
+fn timed_run(steps: u64, record: bool) -> (f64, Vec<u64>) {
+    audit::set_runtime_enabled(record);
+    let mut sim = sedov_sim();
+    let t0 = Instant::now();
+    sim.evolve(steps);
+    let s = t0.elapsed().as_secs_f64();
+    audit::set_runtime_enabled(true);
+    (s, state_bits(&sim))
+}
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let steps: u64 = std::env::args()
+        .skip_while(|a| a != "--steps")
+        .nth(1)
+        .map(|s| s.parse().expect("--steps N"))
+        .unwrap_or(20);
+    let _quiet = FaultPlan::new(0).activate();
+
+    if !audit::COMPILED {
+        println!(
+            "audit not compiled into this build — rebuild with \
+             `--features race-audit` (or a debug profile) to measure; \
+             nothing to record."
+        );
+        return 0;
+    }
+
+    println!("race-audit ledger overhead: 3-d Sedov, {steps} steps, task-graph scheduler");
+    // Alternate the two modes and keep the best of each: the first run on
+    // a cold container pays allocator/page-fault warmup that would
+    // otherwise be billed to whichever mode ran first.
+    let (mut s_audited, mut s_muted) = (f64::INFINITY, f64::INFINITY);
+    let (mut bits_on, mut bits_off) = (Vec::new(), Vec::new());
+    for _ in 0..2 {
+        let (s, b) = timed_run(steps, true);
+        s_audited = s_audited.min(s);
+        bits_on = b;
+        let (s, b) = timed_run(steps, false);
+        s_muted = s_muted.min(s);
+        bits_off = b;
+    }
+    if bits_on != bits_off {
+        eprintln!("FAIL: the audit toggle changed the physics (state bits differ)");
+        return 1;
+    }
+    let overhead = (s_audited - s_muted) / s_muted;
+    println!("  audited: {s_audited:.3} s   muted: {s_muted:.3} s   overhead: {:+.1} %", overhead * 100.0);
+    println!("  bit-identity between the two runs: OK");
+
+    let rec = AuditRecord {
+        git_rev: std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .unwrap_or_default(),
+        host: std::env::var("HOSTNAME").unwrap_or_default(),
+        steps,
+        s_audited,
+        s_muted,
+        overhead,
+    };
+    let path = "BENCH_audit.json";
+    let mut records: Vec<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    match serde_json::to_value(&rec) {
+        Ok(v) => records.push(v),
+        Err(e) => {
+            eprintln!("FAIL: cannot serialize record: {e}");
+            return 1;
+        }
+    }
+    match serde_json::to_string_pretty(&records) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("FAIL: cannot write {path}: {e}");
+                return 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: cannot serialize records: {e}");
+            return 1;
+        }
+    }
+    println!("appended to {path}");
+    0
+}

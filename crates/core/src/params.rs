@@ -65,6 +65,13 @@ pub struct RuntimeParams {
     /// parameter files still load.
     #[serde(default)]
     pub step_scheduler: StepScheduler,
+    /// When set, every graph attempt executes single-threaded in a seeded
+    /// random edge-consistent topological order instead of on the pool —
+    /// the adversarial scheduler used by the race-audit tests to shake out
+    /// schedules the work-stealing executor rarely produces. Results must
+    /// stay bit-identical (DESIGN.md §13/§14).
+    #[serde(default)]
+    pub adversary_seed: Option<u64>,
 }
 
 impl RuntimeParams {
@@ -88,6 +95,7 @@ impl RuntimeParams {
             sweep_engine: SweepEngine::default(),
             guardian: crate::guardian::GuardianConfig::default(),
             step_scheduler: StepScheduler::default(),
+            adversary_seed: None,
         }
     }
 }

@@ -27,7 +27,6 @@
 //!   barrier path's bad-dt retry (guard cells are rewritten from the same
 //!   interiors on the next attempt, so they cannot diverge either).
 
-use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
@@ -37,11 +36,13 @@ use rflash_hydro::{
     apply_block_corrections, block_min_wavetime_slab, sweep_leaf_block, SweepConfig, SweepEngine,
     SweepEos, NFLUX,
 };
+use rflash_mesh::audit::ResourceMap;
 use rflash_mesh::executor::PerRank;
 use rflash_mesh::flux::{Correction, Face};
 use rflash_mesh::guardcell::{pack_block_cells, restrict_parent_cells, unpack_block_cells};
-use rflash_mesh::taskgraph::{GraphBuilder, GraphStats, TaskClass, TaskGraph, TaskId};
+use rflash_mesh::taskgraph::{GraphBuilder, GraphStats, SlotRes, SyncSlots, TaskClass, TaskGraph, TaskId};
 use rflash_mesh::tree::Neighbor;
+use rflash_mesh::unk::Region;
 use rflash_mesh::{vars, BlockId, BlockState, Tree};
 use rflash_perfmon::{GuardianEvent, Probe};
 use serde::Serialize;
@@ -51,6 +52,8 @@ use crate::guardian::{check_block, validate_domain, StepError};
 use crate::instrument::eos_block;
 use crate::params::StepScheduler;
 use crate::sim::Simulation;
+
+pub mod mutation;
 
 // Task kinds, also the indices of the per-kind busy ledger.
 pub(crate) const K_DT: u8 = 0;
@@ -123,35 +126,6 @@ pub(crate) struct GraphAttemptOutcome {
     pub verdict: Option<String>,
 }
 
-/// Fixed-size slot array written by graph tasks. Soundness is delegated to
-/// the graph's edges: a slot is only touched by the task(s) the plan
-/// assigns to it, with writers ordered around readers.
-struct SyncSlots<T>(Vec<UnsafeCell<T>>);
-
-// SAFETY: access discipline (one task at a time per slot, ordered by graph
-// edges) is documented on `get` and upheld by the plan builder.
-unsafe impl<T: Send> Sync for SyncSlots<T> {}
-
-impl<T> SyncSlots<T> {
-    fn new(n: usize, mut init: impl FnMut() -> T) -> SyncSlots<T> {
-        SyncSlots((0..n).map(|_| UnsafeCell::new(init())).collect())
-    }
-
-    /// Slot `i`, aliasing `&mut`.
-    ///
-    /// # Safety
-    /// The caller must be the only task touching slot `i` right now —
-    /// i.e. graph edges order every other accessor before or after it.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn get(&self, i: usize) -> &mut T {
-        &mut *self.0[i].get()
-    }
-
-    fn into_inner(self) -> Vec<T> {
-        self.0.into_iter().map(UnsafeCell::into_inner).collect()
-    }
-}
-
 /// Per-rank counters accumulated over every graph execution of a run.
 #[derive(Clone, Copy, Debug, Default, Serialize)]
 pub struct GraphRankReport {
@@ -194,7 +168,14 @@ impl GraphExecReport {
     /// Fold one execution's statistics in.
     pub fn accumulate(&mut self, stats: &GraphStats) {
         self.executions += 1;
-        let kind = |k: u8| stats.kind_busy_ns.get(k as usize).copied().unwrap_or(0);
+        let kind = |k: u8| {
+            let i = k as usize;
+            if i < stats.kind_busy_ns.len() {
+                stats.kind_busy_ns[i]
+            } else {
+                0
+            }
+        };
         self.guardcell_ns += kind(K_RESTRICT) + kind(K_PACK) + kind(K_UNPACK);
         self.sweep_ns += kind(K_SWEEP) + kind(K_CORRECT);
         self.eos_ns += kind(K_EOS);
@@ -233,17 +214,23 @@ impl GraphExecReport {
 /// Build the step graph for `key`, declaring every task's resource
 /// accesses in the canonical serial barrier order (DESIGN.md §13).
 ///
-/// Resource layout (`4·max_blocks + 1` resources): `interior(b) = b`,
-/// `guards(b) = max_blocks + b`, `stage buffer(b) = 2·max_blocks + b`,
-/// `flux rows(b) = 3·max_blocks + b`, and the dt cell at `4·max_blocks`.
+/// Resource layout ([`ResourceMap`], `4·max_blocks + 1` resources):
+/// `interior(b) = b`, `guards(b) = max_blocks + b`,
+/// `stage buffer(b) = 2·max_blocks + b`, `flux rows(b) = 3·max_blocks + b`,
+/// and the dt cell at `4·max_blocks`.
+///
+/// Every declaration goes through [`mutation::keep`] with a stable site
+/// number (`S0`–`S22`, see [`mutation::NAMES`]) so the race-audit harness
+/// can drop any single one and require the audit to notice.
 fn build_plan(tree: &Tree, parts: &[Vec<BlockId>], key: PlanKey) -> StepGraphPlan {
     let cfg = tree.config();
     let max_blocks = cfg.max_blocks;
-    let interior = |b: BlockId| b.idx();
-    let guards = |b: BlockId| max_blocks + b.idx();
-    let stage_buf = |b: BlockId| 2 * max_blocks + b.idx();
-    let fluxrow = |b: BlockId| 3 * max_blocks + b.idx();
-    let dt_res = 4 * max_blocks;
+    let rmap = ResourceMap { max_blocks };
+    let interior = |b: BlockId| rmap.interior(b.idx());
+    let guards = |b: BlockId| rmap.guards(b.idx());
+    let stage_buf = |b: BlockId| rmap.stage(b.idx());
+    let fluxrow = |b: BlockId| rmap.fluxrow(b.idx());
+    let dt_res = rmap.dt();
 
     let leaves = tree.leaves();
 
@@ -280,7 +267,7 @@ fn build_plan(tree: &Tree, parts: &[Vec<BlockId>], key: PlanKey) -> StepGraphPla
         }
     }
 
-    let mut b = GraphBuilder::new(4 * max_blocks + 1);
+    let mut b = GraphBuilder::new(rmap.count());
     let mut meta: Vec<TaskMeta> = Vec::new();
     let mut add = |b: &mut GraphBuilder, kind: u8, block: BlockId, leaf_idx: u32, dir: u8| {
         let t = b.add_task(kind, owner[block.idx()] as usize);
@@ -297,7 +284,9 @@ fn build_plan(tree: &Tree, parts: &[Vec<BlockId>], key: PlanKey) -> StepGraphPla
     let mut dt_tasks: Vec<TaskId> = Vec::with_capacity(leaves.len());
     for (li, &id) in leaves.iter().enumerate() {
         let t = add(&mut b, K_DT, id, li as u32, 0);
-        b.note_read(interior(id), t);
+        if mutation::keep(0) {
+            b.note_read(interior(id), t); // S0
+        }
         dt_tasks.push(t);
     }
     if let Some(&first) = leaves.first() {
@@ -305,7 +294,9 @@ fn build_plan(tree: &Tree, parts: &[Vec<BlockId>], key: PlanKey) -> StepGraphPla
         for &t in &dt_tasks {
             b.add_edge(t, reduce);
         }
-        b.note_write(dt_res, reduce);
+        if mutation::keep(1) {
+            b.note_write(dt_res, reduce); // S1
+        }
     }
 
     // 2. Per direction: restriction, guard exchange, sweeps, flux
@@ -326,10 +317,14 @@ fn build_plan(tree: &Tree, parts: &[Vec<BlockId>], key: PlanKey) -> StepGraphPla
             let m = tree.block(pid);
             if let Some(children) = m.children {
                 for &cid in children.iter().take(m.n_children as usize) {
-                    b.note_read(interior(cid), t);
+                    if mutation::keep(2) {
+                        b.note_read(interior(cid), t); // S2
+                    }
                 }
             }
-            b.note_write(interior(pid), t);
+            if mutation::keep(3) {
+                b.note_write(interior(pid), t); // S3
+            }
         }
         // Guard exchange per active block, coarse levels first. Pack reads
         // neighbor interiors (same level) or a coarser neighbor's full slab
@@ -340,27 +335,51 @@ fn build_plan(tree: &Tree, parts: &[Vec<BlockId>], key: PlanKey) -> StepGraphPla
             let tp = add(&mut b, K_PACK, id, 0, d8);
             for &nd in &ndirs {
                 match tree.neighbor(id, nd) {
-                    Neighbor::Same(nid) => b.note_read(interior(nid), tp),
+                    Neighbor::Same(nid) => {
+                        if mutation::keep(4) {
+                            b.note_read(interior(nid), tp); // S4
+                        }
+                    }
                     Neighbor::Coarser(nid) => {
-                        b.note_read(interior(nid), tp);
-                        b.note_read(guards(nid), tp);
+                        if mutation::keep(5) {
+                            b.note_read(interior(nid), tp); // S5
+                        }
+                        if mutation::keep(6) {
+                            b.note_read(guards(nid), tp); // S6
+                        }
                     }
                     Neighbor::Boundary => {}
                 }
             }
-            b.note_write(stage_buf(id), tp);
+            if mutation::keep(7) {
+                b.note_write(stage_buf(id), tp); // S7
+            }
             let tu = add(&mut b, K_UNPACK, id, 0, d8);
-            b.note_read(stage_buf(id), tu);
-            b.note_read(interior(id), tu);
-            b.note_write(guards(id), tu);
+            if mutation::keep(8) {
+                b.note_read(stage_buf(id), tu); // S8
+            }
+            if mutation::keep(9) {
+                b.note_read(interior(id), tu); // S9
+            }
+            if mutation::keep(10) {
+                b.note_write(guards(id), tu); // S10
+            }
         }
         // Sweeps per leaf, Morton order.
         for (li, &id) in leaves.iter().enumerate() {
             let t = add(&mut b, K_SWEEP, id, li as u32, d8);
-            b.note_read(dt_res, t);
-            b.note_read(guards(id), t);
-            b.note_write(interior(id), t);
-            b.note_write(fluxrow(id), t);
+            if mutation::keep(11) {
+                b.note_read(dt_res, t); // S11
+            }
+            if mutation::keep(12) {
+                b.note_read(guards(id), t); // S12
+            }
+            if mutation::keep(13) {
+                b.note_write(interior(id), t); // S13
+            }
+            if mutation::keep(14) {
+                b.note_write(fluxrow(id), t); // S14
+            }
         }
         // Flux corrections: only coarse leaves with a refined same-level
         // neighbor along this axis receive any. The fine fluxes live in
@@ -380,24 +399,40 @@ fn build_plan(tree: &Tree, parts: &[Vec<BlockId>], key: PlanKey) -> StepGraphPla
                 continue;
             }
             let t = add(&mut b, K_CORRECT, id, li as u32, d8);
-            b.note_read(fluxrow(id), t);
+            if mutation::keep(15) {
+                b.note_read(fluxrow(id), t); // S15
+            }
             for nid in fine_neighbors {
                 let m = tree.block(nid);
                 if let Some(children) = m.children {
                     for &cid in children.iter().take(m.n_children as usize) {
-                        b.note_read(fluxrow(cid), t);
+                        if mutation::keep(16) {
+                            b.note_read(fluxrow(cid), t); // S16
+                        }
                     }
                 }
             }
-            b.note_write(interior(id), t);
+            // The correction rescales with the step's dt, read from the
+            // reduction's slot (ordered transitively through the flux rows,
+            // but the read itself must still be declared).
+            if mutation::keep(17) {
+                b.note_read(dt_res, t); // S17
+            }
+            if mutation::keep(18) {
+                b.note_write(interior(id), t); // S18
+            }
         }
         // EOS per leaf, Morton order. The row gather reads the whole
         // pencil — guards included — so the read must be declared even
         // though only interior lanes feed the solve.
         for (li, &id) in leaves.iter().enumerate() {
             let t = add(&mut b, K_EOS, id, li as u32, d8);
-            b.note_read(guards(id), t);
-            b.note_write(interior(id), t);
+            if mutation::keep(19) {
+                b.note_read(guards(id), t); // S19
+            }
+            if mutation::keep(20) {
+                b.note_write(interior(id), t); // S20
+            }
         }
     }
 
@@ -405,20 +440,43 @@ fn build_plan(tree: &Tree, parts: &[Vec<BlockId>], key: PlanKey) -> StepGraphPla
     //    per-attempt flags (the graph is cached across attempts and steps).
     if let Some(&first) = leaves.first() {
         let t = add(&mut b, K_INJECT, first, 0, 0);
-        b.note_write(interior(first), t);
+        if mutation::keep(21) {
+            b.note_write(interior(first), t); // S21
+        }
     }
 
     // 4. Guardian validation per leaf when fused into the graph.
     if key.fused {
         for (li, &id) in leaves.iter().enumerate() {
             let t = add(&mut b, K_VALIDATE, id, li as u32, 0);
-            b.note_read(interior(id), t);
+            if mutation::keep(22) {
+                b.note_read(interior(id), t); // S22
+            }
         }
     }
 
+    let mut graph = b.build();
+    let label_meta = meta.clone();
+    graph.set_audit_context(
+        move |t| {
+            const KIND_NAMES: [&str; NKINDS] = [
+                "dt", "dt-reduce", "restrict", "pack", "unpack", "sweep", "correct", "eos",
+                "inject", "validate",
+            ];
+            let m = label_meta[t as usize];
+            format!(
+                "{}(block {}, dir {})",
+                KIND_NAMES[m.kind as usize],
+                m.block.idx(),
+                m.dir
+            )
+        },
+        move |r| rmap.describe(r),
+    );
+
     StepGraphPlan {
         key,
-        graph: b.build(),
+        graph,
         meta,
         leaves,
     }
@@ -475,6 +533,12 @@ impl Simulation {
         let inject_neg = faults::fires(FaultSite::FluxCorrupt);
 
         let nranks = self.params.nranks;
+        // Adversarial mode: mix the step and attempt into the seed so every
+        // dispatch explores a different (but reproducible) topological order.
+        let adversary = self
+            .params
+            .adversary_seed
+            .map(|s| s ^ self.step.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(attempt));
         let key = PlanKey {
             epoch: self.domain.tree.epoch(),
             nranks,
@@ -515,10 +579,19 @@ impl Simulation {
         let first_leaf = plan.leaves.first().copied();
         let meta = &plan.meta;
 
-        let stage: SyncSlots<Vec<(usize, f64)>> = SyncSlots::new(cfg.max_blocks, Vec::new);
-        let contribs: SyncSlots<f64> = SyncSlots::new(nleaves, || f64::INFINITY);
-        let dt_slot: SyncSlots<(f64, f64)> = SyncSlots::new(1, || (f64::NAN, f64::NAN));
-        let verdicts: SyncSlots<Option<String>> = SyncSlots::new(nleaves, || None);
+        // Slot arrays mapped onto the plan's resource ids so their accesses
+        // land in the race-audit ledger: the stage buffers are per-block
+        // resources, the dt pair is the single dt cell, and the reduction /
+        // verdict inputs are ordered by explicit edges only.
+        let rmap = ResourceMap {
+            max_blocks: cfg.max_blocks,
+        };
+        let stage: SyncSlots<Vec<(usize, f64)>> =
+            SyncSlots::new(cfg.max_blocks, SlotRes::PerIndex(rmap.stage(0)), Vec::new);
+        let contribs: SyncSlots<f64> = SyncSlots::new(nleaves, SlotRes::Unmapped, || f64::INFINITY);
+        let dt_slot: SyncSlots<(f64, f64)> =
+            SyncSlots::new(1, SlotRes::Fixed(rmap.dt()), || (f64::NAN, f64::NAN));
+        let verdicts: SyncSlots<Option<String>> = SyncSlots::new(nleaves, SlotRes::Unmapped, || None);
         let poisoned = AtomicBool::new(false);
         let probes: PerRank<(Probe, Probe)> = PerRank::new(nranks, || (Probe::new(), Probe::new()));
         let scratch: PerRank<Vec<(usize, f64)>> = PerRank::new(nranks, Vec::new);
@@ -544,10 +617,10 @@ impl Simulation {
                 K_DT => {
                     // SAFETY: shared interior access and sole ownership of
                     // this leaf's contribution slot, per the graph edges.
-                    let slab = unsafe { cells.slab(m.block.idx()) };
+                    let slab = unsafe { cells.read_slab(m.block.idx(), Region::Interior) };
                     let w = block_min_wavetime_slab(tree, &geom, slab, m.block);
                     // SAFETY: sole writer of this leaf's slot.
-                    unsafe { *contribs.get(m.leaf_idx as usize) = w };
+                    unsafe { *contribs.write_slot(m.leaf_idx as usize) = w };
                 }
                 K_DTREDUCE => {
                     // Morton-order fold: `min` is exact, so this matches
@@ -556,7 +629,7 @@ impl Simulation {
                     for li in 0..nleaves {
                         // SAFETY: explicit edges order this after every
                         // per-leaf scan; the slots are quiescent.
-                        min = min.min(unsafe { *contribs.get(li) });
+                        min = min.min(unsafe { *contribs.read_slot(li) });
                     }
                     let raw = cfl * min;
                     if !(raw.is_finite() && raw > 0.0) {
@@ -570,7 +643,7 @@ impl Simulation {
                         raw
                     };
                     // SAFETY: sole writer; sweeps read through dt_res edges.
-                    unsafe { *dt_slot.get(0) = (raw, dt) };
+                    unsafe { *dt_slot.write_slot(0) = (raw, dt) };
                 }
                 K_RESTRICT => {
                     // SAFETY: rank-local scratch; slab access per the edges.
@@ -583,13 +656,14 @@ impl Simulation {
                     // SAFETY: the stage-buffer resource makes this the only
                     // task touching the block's slot; neighbor slabs are
                     // ordered shared reads.
-                    let st = unsafe { stage.get(m.block.idx()) };
+                    let st = unsafe { stage.write_slot(m.block.idx()) };
                     // SAFETY: neighbor slabs are ordered shared reads.
                     unsafe { pack_block_cells(tree, &geom, &cells, m.block, &ndirs, st) };
                 }
                 K_UNPACK => {
-                    // SAFETY: as for K_PACK, plus exclusive guard access.
-                    let st = unsafe { stage.get(m.block.idx()) };
+                    // SAFETY: ordered after the block's pack via the
+                    // stage-buffer resource.
+                    let st = unsafe { stage.read_slot(m.block.idx()) };
                     // SAFETY: exclusive guard access via the guards resource.
                     unsafe { unpack_block_cells(tree, &geom, &cells, m.block, &ndirs, st) };
                 }
@@ -598,10 +672,13 @@ impl Simulation {
                         return;
                     }
                     // SAFETY: ordered after the reduction via dt_res.
-                    let (_, dt) = unsafe { *dt_slot.get(0) };
+                    let (_, dt) = unsafe { *dt_slot.read_slot(0) };
                     let dir = m.dir as usize;
-                    // SAFETY: exclusive interior access; rank-local probe.
-                    let slab = unsafe { cells.slab_mut(m.block.idx()) };
+                    // SAFETY: exclusive interior access with ordered shared
+                    // guard reads, per the declared resources.
+                    let slab = unsafe {
+                        cells.write_slab(m.block.idx(), Region::Interior, Some(Region::Guards))
+                    };
                     // SAFETY: rank-local probe pair.
                     let pr = unsafe { probes.slot(rank) };
                     let bf =
@@ -639,9 +716,9 @@ impl Simulation {
                         return;
                     }
                     // SAFETY: as for K_SWEEP.
-                    let (_, dt) = unsafe { *dt_slot.get(0) };
+                    let (_, dt) = unsafe { *dt_slot.read_slot(0) };
                     // SAFETY: exclusive interior access via the edges.
-                    let slab = unsafe { cells.slab_mut(m.block.idx()) };
+                    let slab = unsafe { cells.write_slab(m.block.idx(), Region::Interior, None) };
                     let refs: Vec<&Correction> = corrs.iter().collect();
                     // The barrier path discards correction probes too.
                     let mut probe = Probe::new();
@@ -653,8 +730,11 @@ impl Simulation {
                     if poisoned.load(Ordering::Acquire) {
                         return;
                     }
-                    // SAFETY: exclusive interior access; rank-local probe.
-                    let slab = unsafe { cells.slab_mut(m.block.idx()) };
+                    // SAFETY: exclusive interior access with ordered shared
+                    // guard reads (the pencil gather spans the guards).
+                    let slab = unsafe {
+                        cells.write_slab(m.block.idx(), Region::Interior, Some(Region::Guards))
+                    };
                     // SAFETY: rank-local probe pair.
                     let pr = unsafe { probes.slot(rank) };
                     eos_block(
@@ -677,15 +757,20 @@ impl Simulation {
                         return;
                     }
                     let Some(first) = first_leaf else { return };
-                    // SAFETY: exclusive interior access via the edges.
-                    let slab = unsafe { cells.slab_mut(first.idx()) };
-                    if inject_nan {
-                        slab[geom.slab_idx(vars::ENER, i0, i0, k0)] = f64::NAN;
-                    }
-                    if inject_neg {
-                        let idx = geom.slab_idx(vars::DENS, i0, i0, k0);
-                        let v = slab[idx];
-                        slab[idx] = -v.abs() - 1.0;
+                    // SAFETY: exclusive interior access via the edges; the
+                    // corrupted zone is the first interior cell, so the
+                    // recorded claim classifies as an interior write.
+                    unsafe {
+                        if inject_nan {
+                            cells.update_cell(&geom, first.idx(), vars::ENER, i0, i0, k0, |_| {
+                                f64::NAN
+                            });
+                        }
+                        if inject_neg {
+                            cells.update_cell(&geom, first.idx(), vars::DENS, i0, i0, k0, |v| {
+                                -v.abs() - 1.0
+                            });
+                        }
                     }
                 }
                 K_VALIDATE => {
@@ -693,7 +778,7 @@ impl Simulation {
                         return;
                     }
                     // SAFETY: shared interior read; sole verdict-slot owner.
-                    let slab = unsafe { cells.slab(m.block.idx()) };
+                    let slab = unsafe { cells.read_slab(m.block.idx(), Region::Interior) };
                     let key = tree.block(m.block).key;
                     let v = check_block(
                         key,
@@ -704,13 +789,16 @@ impl Simulation {
                         &gcfg,
                     );
                     // SAFETY: sole writer of this leaf's verdict slot.
-                    unsafe { *verdicts.get(m.leaf_idx as usize) = v };
+                    unsafe { *verdicts.write_slot(m.leaf_idx as usize) = v };
                 }
                 // The builder only emits the kinds matched above.
                 other => unreachable!("unknown task kind {other}"),
             }
         };
-        let stats = plan.graph.execute(pool, &CLASSES, &body);
+        let stats = match adversary {
+            Some(seed) => plan.graph.execute_adversarial(&CLASSES, seed, &body),
+            None => plan.graph.execute(pool, &CLASSES, &body),
+        };
         self.timers.stop("graph");
 
         let (raw, dt) = dt_slot.into_inner()[0];

@@ -1,0 +1,97 @@
+//! Declaration-mutation hooks for the race-audit harness (DESIGN.md §14).
+//!
+//! `build_plan` funnels every `note_read`/`note_write` through [`keep`],
+//! each with a stable site number `S0`–`S22`. The harness drops one site
+//! at a time ([`drop_site`]), rebuilds the plan, and requires the audit to
+//! fail — i.e. 100% mutant detection: if the step could lose a declaration
+//! without the audit noticing, the audit would also miss a real missing
+//! declaration introduced by a future refactor.
+//!
+//! Thread-local so concurrent tests don't interfere; effectively a no-op
+//! in builds without the audit (the builder's `note_*` calls are no-ops
+//! there anyway, so dropping one changes nothing).
+
+use std::cell::Cell;
+
+/// Number of declaration sites in `build_plan`. The mutation matrix in
+/// `tests/race_audit.rs` exercises all of them and fails if any site never
+/// fires in its scenario.
+pub const NSITES: u32 = 23;
+
+/// What each site declares, for harness diagnostics.
+pub const NAMES: [&str; NSITES as usize] = [
+    "dt scan reads the leaf interior",           // S0
+    "dt reduce writes the dt cell",              // S1
+    "restrict reads the child interiors",        // S2
+    "restrict writes the parent interior",       // S3
+    "pack reads a same-level neighbor interior", // S4
+    "pack reads a coarser neighbor interior",    // S5
+    "pack reads a coarser neighbor's guards",    // S6
+    "pack writes the stage buffer",              // S7
+    "unpack reads the stage buffer",             // S8
+    "unpack reads its own interior",             // S9
+    "unpack writes its own guards",              // S10
+    "sweep reads the dt cell",                   // S11
+    "sweep reads its own guards",                // S12
+    "sweep writes its own interior",             // S13
+    "sweep writes its own flux rows",            // S14
+    "correct reads its own flux rows",           // S15
+    "correct reads fine children's flux rows",   // S16
+    "correct reads the dt cell",                 // S17
+    "correct writes its own interior",           // S18
+    "eos reads its own guards",                  // S19
+    "eos writes its own interior",               // S20
+    "inject writes the first leaf interior",     // S21
+    "validate reads the leaf interior",          // S22
+];
+
+thread_local! {
+    static DROPPED: Cell<Option<u32>> = const { Cell::new(None) };
+}
+
+/// Should declaration site `site` be emitted? True except for the one site
+/// the current thread is mutating.
+#[inline]
+pub fn keep(site: u32) -> bool {
+    debug_assert!(site < NSITES);
+    DROPPED.with(|d| d.get() != Some(site))
+}
+
+/// Drop declaration site `site` on this thread until the guard drops. The
+/// next plan built on this thread omits that `note_read`/`note_write`.
+#[must_use = "the site is restored when the guard drops"]
+pub fn drop_site(site: u32) -> MutationGuard {
+    assert!(site < NSITES, "unknown mutation site {site}");
+    DROPPED.with(|d| d.set(Some(site)));
+    MutationGuard
+}
+
+/// Restores the full declaration set on drop.
+pub struct MutationGuard;
+
+impl Drop for MutationGuard {
+    fn drop(&mut self) {
+        DROPPED.with(|d| d.set(None));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_site_masks_exactly_one_site_until_the_guard_drops() {
+        assert!(keep(0) && keep(22));
+        {
+            let _g = drop_site(5);
+            assert!(!keep(5));
+            assert!(keep(4) && keep(6));
+        }
+        assert!(keep(5));
+    }
+
+    #[test]
+    fn names_cover_every_site() {
+        assert_eq!(NAMES.len(), NSITES as usize);
+    }
+}

@@ -270,13 +270,23 @@ impl FluxCells {
         ((blk * 2 * self.ndim + face.index()) * self.face_cells + cell_idx) * self.nflux + channel
     }
 
-    /// Record a per-area flux, like [`FluxRegister::save`].
+    #[inline]
+    fn rmap(&self) -> crate::audit::ResourceMap {
+        crate::audit::ResourceMap {
+            max_blocks: self.max_blocks,
+        }
+    }
+
+    /// Record a per-area flux, like [`FluxRegister::save`]. The write is
+    /// recorded against the block's flux-row resource in the race-audit
+    /// ledger.
     ///
     /// # Safety
     /// The calling task must be the only task touching block `blk`'s flux
     /// rows (graph edges make the sweep task each row's sole writer).
     #[inline]
     pub unsafe fn save(&self, blk: usize, face: Face, cell: [usize; 2], channel: usize, flux: f64) {
+        crate::audit::rec_write(self.rmap().fluxrow(blk));
         let s = self.slot(blk, face, cell, channel);
         *self.data.add(s) = flux;
         *self.written.add(blk * 2 * self.ndim + face.index()) = true;
@@ -284,6 +294,8 @@ impl FluxCells {
 
     /// Corrections for one leaf along one axis, in the exact order the
     /// serial [`FluxRegister::corrections`] emits them for that leaf/axis.
+    /// Every flux row probed is recorded as a read in the race-audit
+    /// ledger.
     ///
     /// # Safety
     /// Graph edges must order the calling task after the sweep tasks of
@@ -296,6 +308,7 @@ impl FluxCells {
         axis: usize,
         out: &mut Vec<Correction>,
     ) {
+        let rm = self.rmap();
         corrections_for_leaf(
             tree,
             id,
@@ -304,9 +317,15 @@ impl FluxCells {
             self.nflux,
             Some(axis),
             // SAFETY: row-shared read access is the caller's contract.
-            &mut |b, f, c, ch| unsafe { *self.data.add(self.slot(b, f, c, ch)) },
+            &mut |b, f, c, ch| unsafe {
+                crate::audit::rec_read(rm.fluxrow(b));
+                *self.data.add(self.slot(b, f, c, ch))
+            },
             // SAFETY: as above.
-            &mut |b, f| unsafe { *self.written.add(b * 2 * self.ndim + f.index()) },
+            &mut |b, f| unsafe {
+                crate::audit::rec_read(rm.fluxrow(b));
+                *self.written.add(b * 2 * self.ndim + f.index())
+            },
             out,
         );
     }

@@ -18,7 +18,7 @@
 
 use crate::block::{BlockId, BlockState, MortonKey};
 use crate::tree::{BoundaryCondition, Neighbor, Tree};
-use crate::unk::{UnkCells, UnkGeom, UnkStorage};
+use crate::unk::{Region, UnkCells, UnkGeom, UnkStorage};
 use crate::vars::{VELX, VELY, VELZ};
 
 /// minmod slope limiter.
@@ -288,12 +288,14 @@ pub unsafe fn restrict_parent_cells(
         return;
     };
     for (c, &cid) in children.iter().enumerate().take(meta.n_children as usize) {
-        // SAFETY: shared child access is the caller's contract.
-        let child = unsafe { cells.slab(cid.idx()) };
+        // SAFETY: shared child access is the caller's contract;
+        // pack_restrict samples only the child's interior.
+        let child = unsafe { cells.read_slab(cid.idx(), Region::Interior) };
         pack_restrict(geom, child, c, &mut |off, v| staged.push((off, v)));
     }
-    // SAFETY: exclusive parent access is the caller's contract.
-    let slab = unsafe { cells.slab_mut(pid.idx()) };
+    // SAFETY: exclusive parent access is the caller's contract; restriction
+    // lands only in the parent's interior.
+    let slab = unsafe { cells.write_slab(pid.idx(), Region::Interior, None) };
     for &(off, v) in staged.iter() {
         slab[off] = v;
     }
@@ -321,13 +323,15 @@ pub unsafe fn pack_block_cells(
     for &d in dirs {
         match tree.neighbor(id, d) {
             Neighbor::Same(nid) => {
-                // SAFETY: shared neighbor access is the caller's contract.
-                let src = unsafe { cells.slab(nid.idx()) };
+                // SAFETY: shared neighbor access is the caller's contract;
+                // a same-level copy reads only the source interior.
+                let src = unsafe { cells.read_slab(nid.idx(), Region::Interior) };
                 pack_copy_same(geom, src, d, &mut |off, v| staged.push((off, v)));
             }
             Neighbor::Coarser(nid) => {
-                // SAFETY: as above.
-                let src = unsafe { cells.slab(nid.idx()) };
+                // SAFETY: as above; prolongation also samples the coarse
+                // neighbor's guards, so the claim is the full slab.
+                let src = unsafe { cells.read_slab(nid.idx(), Region::Full) };
                 pack_prolong(geom, tree.block(id).key, src, d, &mut |off, v| {
                     staged.push((off, v))
                 });
@@ -352,8 +356,10 @@ pub unsafe fn unpack_block_cells(
     dirs: &[[i32; 3]],
     staged: &[(usize, f64)],
 ) {
-    // SAFETY: exclusive own-slab access is the caller's contract.
-    let slab = unsafe { cells.slab_mut(id.idx()) };
+    // SAFETY: exclusive own-slab access is the caller's contract; the
+    // staged pairs and boundary fills write only guards, reading the
+    // interior for the physical boundary mirrors.
+    let slab = unsafe { cells.write_slab(id.idx(), Region::Guards, Some(Region::Interior)) };
     for &(off, v) in staged {
         slab[off] = v;
     }

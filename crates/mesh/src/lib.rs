@@ -24,6 +24,7 @@
 //!   splitting cached on the tree epoch, parallel block updates, and the
 //!   two-phase parallel guard-cell exchange.
 
+pub mod audit;
 pub mod block;
 pub mod domain;
 pub mod executor;
@@ -43,7 +44,9 @@ pub use domain::Domain;
 pub use geometry::Geometry;
 pub use shadow::ShadowSnapshot;
 pub use stats::MeshStats;
-pub use taskgraph::{GraphBuilder, GraphRankStats, GraphStats, TaskClass, TaskGraph, TaskId};
+pub use taskgraph::{
+    GraphBuilder, GraphRankStats, GraphStats, SlotRes, SyncSlots, TaskClass, TaskGraph, TaskId,
+};
 pub use tree::{BoundaryCondition, MeshConfig, Tree};
-pub use unk::{Layout, UnkCells, UnkStorage};
+pub use unk::{Layout, Region, UnkCells, UnkStorage};
 pub use vars::*;

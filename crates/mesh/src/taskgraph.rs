@@ -24,12 +24,29 @@
 //! guardian verdict) are folded by dedicated tasks in Morton order over
 //! per-block slots, never in completion order.
 
-use std::collections::HashSet;
+//!
+//! Each execution is audited when the access ledger is compiled in (debug
+//! builds or the `race-audit` feature, [`crate::audit`]): instrumented
+//! accessors record what every task body actually touched, and
+//! [`TaskGraph::execute`] cross-checks the recording against the declared
+//! accesses — every actual access must be declared by its task, and every
+//! conflicting pair of actual accesses must be ordered by the declared
+//! edges (a FastTrack-style vector-clock check specialized to the
+//! resource-version model: task ids are a topological order, so a replay in
+//! id order with per-resource last-writer/readers-since state plus ancestor
+//! bitsets decides happens-before exactly). [`TaskGraph::execute_adversarial`]
+//! additionally runs the graph single-threaded in a seeded random
+//! edge-consistent topological order, so undeclared dependencies surface as
+//! bit-level divergence even on a single-core host.
+
+use std::cell::UnsafeCell;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::audit::{self, Access, Mode};
 use crate::executor::{PerRank, RankPool};
 
 /// Index of a task inside one graph.
@@ -58,6 +75,9 @@ pub struct GraphBuilder {
     edge_set: HashSet<u64>,
     last_writer: Vec<Option<TaskId>>,
     readers: Vec<Vec<TaskId>>,
+    /// Declared accesses per task, retained for the race audit (empty in
+    /// builds without the audit layer).
+    decl: Vec<Vec<Access>>,
 }
 
 impl GraphBuilder {
@@ -71,6 +91,7 @@ impl GraphBuilder {
             edge_set: HashSet::new(),
             last_writer: vec![None; num_resources],
             readers: vec![Vec::new(); num_resources],
+            decl: Vec::new(),
         }
     }
 
@@ -82,15 +103,27 @@ impl GraphBuilder {
         self.owners.push(owner as u32);
         self.deps.push(0);
         self.dependents.push(Vec::new());
+        if audit::COMPILED {
+            self.decl.push(Vec::new());
+        }
         id
     }
 
     /// Add an explicit edge `from → to` (deduplicated; self-edges ignored).
+    ///
+    /// Edges must point forward in declaration order — task ids double as a
+    /// topological order, which the executors and the race audit both rely
+    /// on. A backward edge would silently corrupt the dependency counts in
+    /// release builds if this were only a `debug_assert`, so it is a real
+    /// assertion.
     pub fn add_edge(&mut self, from: TaskId, to: TaskId) {
         if from == to {
             return;
         }
-        debug_assert!(from < to, "edges must point forward in declaration order");
+        assert!(
+            from < to,
+            "edges must point forward in declaration order ({from} -> {to})"
+        );
         if self.edge_set.insert(((from as u64) << 32) | to as u64) {
             self.dependents[from as usize].push(to);
             self.deps[to as usize] += 1;
@@ -104,6 +137,12 @@ impl GraphBuilder {
             self.add_edge(w, task);
         }
         self.readers[res].push(task);
+        if audit::COMPILED {
+            self.decl[task as usize].push(Access {
+                res: res as u32,
+                mode: Mode::Read,
+            });
+        }
     }
 
     /// Declare that `task` writes `res`: orders it after the last writer
@@ -118,19 +157,52 @@ impl GraphBuilder {
             self.add_edge(r, task);
         }
         self.last_writer[res] = Some(task);
+        if audit::COMPILED {
+            self.decl[task as usize].push(Access {
+                res: res as u32,
+                mode: Mode::Write,
+            });
+        }
     }
 
-    /// Freeze into an executable graph.
+    /// Freeze into an executable graph. When the audit layer is compiled
+    /// in, this also flattens the edge relation into per-task ancestor
+    /// bitsets (ids are topological, so one forward pass suffices) — the
+    /// happens-before oracle the post-execution race check queries.
     pub fn build(self) -> TaskGraph {
-        let roots = (0..self.kinds.len() as TaskId)
+        let n = self.kinds.len();
+        let roots = (0..n as TaskId)
             .filter(|&t| self.deps[t as usize] == 0)
             .collect();
+        let anc_words = if audit::COMPILED { n.div_ceil(64) } else { 0 };
+        let mut anc = vec![0u64; n * anc_words];
+        if audit::COMPILED {
+            for t in 0..n {
+                for &dep in &self.dependents[t] {
+                    let d = dep as usize;
+                    // add_edge guarantees t < d, so row t is final and
+                    // disjoint from row d.
+                    let (lo, hi) = anc.split_at_mut(d * anc_words);
+                    let src = &lo[t * anc_words..(t + 1) * anc_words];
+                    let dst = &mut hi[..anc_words];
+                    for (dw, sw) in dst.iter_mut().zip(src) {
+                        *dw |= sw;
+                    }
+                    dst[t / 64] |= 1u64 << (t % 64);
+                }
+            }
+        }
         TaskGraph {
             kinds: self.kinds,
             owners: self.owners,
             deps: self.deps,
             dependents: self.dependents,
             roots,
+            decl: self.decl,
+            anc,
+            anc_words,
+            audit_label: None,
+            audit_res: None,
         }
     }
 }
@@ -142,6 +214,15 @@ pub struct TaskGraph {
     deps: Vec<u32>,
     dependents: Vec<Vec<TaskId>>,
     roots: Vec<TaskId>,
+    /// Declared accesses per task (audit builds only).
+    decl: Vec<Vec<Access>>,
+    /// Flattened ancestor bitsets: task `p` happens-before task `t` iff bit
+    /// `p` of row `t` is set (audit builds only).
+    anc: Vec<u64>,
+    anc_words: usize,
+    /// Audit-failure pretty-printers, supplied by the plan owner.
+    audit_label: Option<Box<dyn Fn(TaskId) -> String + Send + Sync>>,
+    audit_res: Option<Box<dyn Fn(usize) -> String + Send + Sync>>,
 }
 
 /// Per-rank counters from one or more graph executions.
@@ -175,6 +256,8 @@ struct LocalStats {
     kind_busy_ns: Vec<u64>,
     overlap_ns: u64,
     compute_ns: u64,
+    /// Recorded (task, accesses) pairs, audit builds only.
+    ledger: Vec<(TaskId, Vec<Access>)>,
 }
 
 impl TaskGraph {
@@ -191,6 +274,136 @@ impl TaskGraph {
     /// Prerequisite count of `task` (for tests and diagnostics).
     pub fn dep_count(&self, task: TaskId) -> u32 {
         self.deps[task as usize]
+    }
+
+    /// The zero-indegree tasks, in declaration order.
+    pub fn roots(&self) -> &[TaskId] {
+        &self.roots
+    }
+
+    /// Direct successors of `task`, in edge-insertion order.
+    pub fn successors(&self, task: TaskId) -> &[TaskId] {
+        &self.dependents[task as usize]
+    }
+
+    /// Install pretty-printers for audit-failure messages: `label` renders
+    /// a task (kind, block, direction), `res` renders a resource id. Purely
+    /// diagnostic — the check itself is independent of them.
+    pub fn set_audit_context(
+        &mut self,
+        label: impl Fn(TaskId) -> String + Send + Sync + 'static,
+        res: impl Fn(usize) -> String + Send + Sync + 'static,
+    ) {
+        self.audit_label = Some(Box::new(label));
+        self.audit_res = Some(Box::new(res));
+    }
+
+    /// Does `from` happen-before `to` under the declared edges? (Audit
+    /// builds only; `false` otherwise.)
+    #[inline]
+    fn reachable(&self, from: TaskId, to: TaskId) -> bool {
+        let (f, t) = (from as usize, to as usize);
+        self.anc_words > 0 && self.anc[t * self.anc_words + f / 64] & (1u64 << (f % 64)) != 0
+    }
+
+    fn describe_task(&self, t: TaskId) -> String {
+        match &self.audit_label {
+            Some(f) => f(t),
+            None => format!("task {t} (kind {})", self.kinds[t as usize]),
+        }
+    }
+
+    fn describe_res(&self, r: usize) -> String {
+        match &self.audit_res {
+            Some(f) => f(r),
+            None => format!("resource {r}"),
+        }
+    }
+
+    /// Cross-check one execution's recorded accesses against the declared
+    /// happens-before relation. Two independent gates:
+    ///
+    /// 1. **Coverage** — every access a task body recorded must have been
+    ///    declared by that task (a read is covered by a declared read or
+    ///    write; a write needs a declared write). This is what catches a
+    ///    dropped `note_read`/`note_write` even when other declarations
+    ///    happen to keep the schedule transitively safe.
+    /// 2. **Ordering** — a FastTrack-style replay of the recorded accesses
+    ///    in task-id order (a topological order by construction): per
+    ///    resource, track the last actual writer and the readers since;
+    ///    every conflicting pair must be ordered by the declared edges.
+    ///    This catches accesses that are declared somewhere but by the
+    ///    wrong task.
+    ///
+    /// Panics with a `race-audit:` message naming the task and resource on
+    /// any violation.
+    fn audit_check(&self, actual: &[Vec<Access>]) {
+        if !audit::COMPILED {
+            return;
+        }
+        let mut violations: Vec<String> = Vec::new();
+        for (ti, accs) in actual.iter().enumerate() {
+            let decl = &self.decl[ti];
+            for a in accs {
+                let covered = match a.mode {
+                    Mode::Read => decl.iter().any(|d| d.res == a.res),
+                    Mode::Write => decl
+                        .iter()
+                        .any(|d| d.res == a.res && d.mode == Mode::Write),
+                };
+                if !covered {
+                    violations.push(format!(
+                        "undeclared {:?} of {} by {}",
+                        a.mode,
+                        self.describe_res(a.res as usize),
+                        self.describe_task(ti as TaskId)
+                    ));
+                }
+            }
+        }
+        // (last actual writer, actual readers since) per resource.
+        let mut state: HashMap<u32, (Option<TaskId>, Vec<TaskId>)> = HashMap::new();
+        for (ti, accs) in actual.iter().enumerate() {
+            let t = ti as TaskId;
+            for a in accs {
+                let entry = state.entry(a.res).or_default();
+                let mut require = |prev: TaskId, what: &str| {
+                    if !self.reachable(prev, t) {
+                        violations.push(format!(
+                            "unordered {what} of {}: {} does not happen-before {}",
+                            self.describe_res(a.res as usize),
+                            self.describe_task(prev),
+                            self.describe_task(t)
+                        ));
+                    }
+                };
+                match a.mode {
+                    Mode::Read => {
+                        if let Some(w) = entry.0 {
+                            require(w, "read-after-write");
+                        }
+                        entry.1.push(t);
+                    }
+                    Mode::Write => {
+                        if let Some(w) = entry.0 {
+                            require(w, "write-after-write");
+                        }
+                        for &r in &entry.1 {
+                            require(r, "write-after-read");
+                        }
+                        entry.0 = Some(t);
+                        entry.1.clear();
+                    }
+                }
+            }
+        }
+        let total = violations.len();
+        violations.truncate(8);
+        assert!(
+            total == 0,
+            "race-audit: {total} declared-vs-actual violation(s):\n  {}",
+            violations.join("\n  ")
+        );
     }
 
     /// Execute the graph on `pool` in a single dispatch. `classes[kind]`
@@ -238,11 +451,13 @@ impl TaskGraph {
             deques[owner].lock().expect("deque lock").push_back(t);
         }
 
+        let audit_on = audit::enabled();
         let out: PerRank<LocalStats> = PerRank::new(nranks, || LocalStats {
             stats: GraphRankStats::default(),
             kind_busy_ns: vec![0; classes.len().max(1)],
             overlap_ns: 0,
             compute_ns: 0,
+            ledger: Vec::new(),
         });
 
         pool.run(&|rank| {
@@ -261,7 +476,14 @@ impl TaskGraph {
                 // analyze::allow(panic): see the seeding loop — poisoned
                 // deque locks only follow a worker panic, which aborts the
                 // execution anyway.
-                if let Some(t) = deques[rank].lock().expect("deque lock").pop_front() {
+                //
+                // The pop is bound to a `let` BEFORE the `if let` so the
+                // own-deque guard drops here: under edition 2021 an
+                // `if let` scrutinee temporary lives through the `else`
+                // block, and holding our own deque while locking a
+                // victim's deadlocks two ranks stealing from each other.
+                let own = deques[rank].lock().expect("deque lock").pop_front();
+                if let Some(t) = own {
                     grabbed = Some((t, false));
                 } else {
                     for i in 1..nranks {
@@ -304,7 +526,16 @@ impl TaskGraph {
                 let overlapped_at_start = class == TaskClass::Compute
                     && exchange_inflight.load(Ordering::Acquire) > 0;
                 let t0 = Instant::now();
+                if audit_on {
+                    audit::task_begin();
+                }
                 let result = catch_unwind(AssertUnwindSafe(|| body(rank, task)));
+                if audit_on {
+                    let accesses = audit::task_end();
+                    if result.is_ok() {
+                        local.ledger.push((task, accesses));
+                    }
+                }
                 let dt = t0.elapsed().as_nanos() as u64;
                 // An exchange in flight at either end of a compute task
                 // means the two intervals intersected (only an exchange
@@ -364,6 +595,11 @@ impl TaskGraph {
         let locals = out.into_inner();
         let idle: Vec<u64> = locals.iter().map(|l| l.stats.idle_ns).collect();
         pool.reattribute_idle(&idle);
+        let mut actual: Vec<Vec<Access>> = if audit_on {
+            vec![Vec::new(); ntasks]
+        } else {
+            Vec::new()
+        };
         for (rank, l) in locals.into_iter().enumerate() {
             stats.per_rank[rank] = l.stats;
             for (k, ns) in l.kind_busy_ns.into_iter().enumerate() {
@@ -371,6 +607,9 @@ impl TaskGraph {
             }
             stats.overlap_ns += l.overlap_ns;
             stats.compute_ns += l.compute_ns;
+            for (task, accesses) in l.ledger {
+                actual[task as usize] = accesses;
+            }
         }
         if panicked.load(Ordering::Acquire) {
             // analyze::allow(panic): propagating the task's own panic.
@@ -380,7 +619,180 @@ impl TaskGraph {
             resume_unwind(payload);
         }
         debug_assert_eq!(remaining.load(Ordering::Acquire), 0);
+        if audit_on {
+            self.audit_check(&actual);
+        }
         stats
+    }
+
+    /// Execute the graph single-threaded on the calling thread, in a seeded
+    /// random edge-consistent topological order — the adversarial
+    /// deterministic scheduler. Same audit as [`TaskGraph::execute`]; the
+    /// caller asserts bit-identity of the resulting state against the
+    /// canonical order, which shakes out undeclared dependencies without
+    /// needing a multi-core host (and without real data races while doing
+    /// so). `body` always runs as rank 0.
+    pub fn execute_adversarial(
+        &self,
+        classes: &[TaskClass],
+        seed: u64,
+        body: &(dyn Fn(usize, TaskId) + Sync),
+    ) -> GraphStats {
+        let ntasks = self.kinds.len();
+        let mut stats = GraphStats {
+            per_rank: vec![GraphRankStats::default(); 1],
+            kind_busy_ns: vec![0; classes.len().max(1)],
+            overlap_ns: 0,
+            compute_ns: 0,
+        };
+        if ntasks == 0 {
+            return stats;
+        }
+        let audit_on = audit::enabled();
+        let mut actual: Vec<Vec<Access>> = if audit_on {
+            vec![Vec::new(); ntasks]
+        } else {
+            Vec::new()
+        };
+        let mut pending: Vec<u32> = self.deps.clone();
+        let mut ready: Vec<TaskId> = self.roots.clone();
+        // xorshift64 over a non-zero state: deterministic for a given seed.
+        let mut rng = seed | 1;
+        let mut ran = 0usize;
+        while !ready.is_empty() {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let pick = (rng as usize) % ready.len();
+            let task = ready.swap_remove(pick);
+            if audit_on {
+                audit::task_begin();
+            }
+            let t0 = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| body(0, task)));
+            let dt = t0.elapsed().as_nanos() as u64;
+            if audit_on {
+                // Keep the panicked task's partial ledger too — the accesses
+                // it recorded before unwinding are exactly the evidence.
+                actual[task as usize] = audit::task_end();
+            }
+            if let Err(payload) = result {
+                // A body panic here is often the *symptom* of an undeclared
+                // dependency: the adversarial order legally ran the task
+                // against stale or unwritten inputs. Audit the partial
+                // execution first so the failure names the race, and only
+                // re-raise the body's own panic if the ledger is clean.
+                if audit_on {
+                    self.audit_check(&actual);
+                }
+                resume_unwind(payload);
+            }
+            let kind = self.kinds[task as usize] as usize;
+            stats.per_rank[0].tasks += 1;
+            stats.per_rank[0].busy_ns += dt;
+            if let Some(slot) = stats.kind_busy_ns.get_mut(kind) {
+                *slot += dt;
+            }
+            if classes.get(kind).copied().unwrap_or(TaskClass::Other) == TaskClass::Compute {
+                stats.compute_ns += dt;
+            }
+            for &d in &self.dependents[task as usize] {
+                pending[d as usize] -= 1;
+                if pending[d as usize] == 0 {
+                    ready.push(d);
+                }
+            }
+            ran += 1;
+        }
+        assert!(
+            ran == ntasks,
+            "adversarial schedule stalled after {ran}/{ntasks} tasks"
+        );
+        if audit_on {
+            self.audit_check(&actual);
+        }
+        stats
+    }
+}
+
+/// Maps a [`SyncSlots`] index to the graph resource it materializes, so
+/// slot accesses land in the audit ledger: `Fixed` slots all alias one
+/// resource (e.g. the dt cell), `PerIndex(base)` slots map index `i` to
+/// resource `base + i` (e.g. per-block stage buffers), and `Unmapped` slots
+/// are ordered by explicit edges only (per-leaf reduction inputs) and
+/// record nothing.
+#[derive(Clone, Copy, Debug)]
+pub enum SlotRes {
+    Unmapped,
+    Fixed(usize),
+    PerIndex(usize),
+}
+
+/// Fixed-size slot array written by graph tasks. Soundness is delegated to
+/// the graph's edges: a slot is only touched by the task(s) the plan
+/// assigns to it, with writers ordered around readers. Accesses through
+/// [`SyncSlots::read_slot`]/[`SyncSlots::write_slot`] are recorded in the
+/// audit ledger per the [`SlotRes`] mapping.
+pub struct SyncSlots<T> {
+    slots: Vec<UnsafeCell<T>>,
+    res: SlotRes,
+}
+
+// SAFETY: access discipline (one task at a time per slot, ordered by graph
+// edges) is documented on `read_slot`/`write_slot` and upheld by the plan
+// builder.
+unsafe impl<T: Send> Sync for SyncSlots<T> {}
+
+impl<T> SyncSlots<T> {
+    /// `n` slots initialized by `init`, audited under the `res` mapping.
+    pub fn new(n: usize, res: SlotRes, mut init: impl FnMut() -> T) -> SyncSlots<T> {
+        SyncSlots {
+            slots: (0..n).map(|_| UnsafeCell::new(init())).collect(),
+            res,
+        }
+    }
+
+    #[inline]
+    fn record(&self, i: usize, write: bool) {
+        let r = match self.res {
+            SlotRes::Unmapped => return,
+            SlotRes::Fixed(r) => r,
+            SlotRes::PerIndex(base) => base + i,
+        };
+        if write {
+            audit::rec_write(r);
+        } else {
+            audit::rec_read(r);
+        }
+    }
+
+    /// Shared view of slot `i`.
+    ///
+    /// # Safety
+    /// No concurrently running task may write slot `i`: the caller's task
+    /// must be ordered (by graph edges) after every writer of the slot and
+    /// before the next one.
+    #[inline]
+    pub unsafe fn read_slot(&self, i: usize) -> &T {
+        self.record(i, false);
+        &*self.slots[i].get()
+    }
+
+    /// Exclusive view of slot `i`, aliasing `&mut`.
+    ///
+    /// # Safety
+    /// The caller must be the only task touching slot `i` right now —
+    /// i.e. graph edges order every other accessor before or after it.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn write_slot(&self, i: usize) -> &mut T {
+        self.record(i, true);
+        &mut *self.slots[i].get()
+    }
+
+    /// Unwrap into the slot values.
+    pub fn into_inner(self) -> Vec<T> {
+        self.slots.into_iter().map(UnsafeCell::into_inner).collect()
     }
 }
 
@@ -574,5 +986,176 @@ mod tests {
             .map(|r| after[r].busy_ns - before[r].busy_ns)
             .sum();
         assert!(total_busy >= 18_000_000, "{after:?}");
+    }
+
+    #[test]
+    fn backward_edges_are_rejected_in_every_build() {
+        let mut b = GraphBuilder::new(0);
+        let t0 = b.add_task(0, 0);
+        let t1 = b.add_task(0, 0);
+        let caught = catch_unwind(AssertUnwindSafe(move || b.add_edge(t1, t0)));
+        assert!(caught.is_err(), "backward edge must be a hard error");
+    }
+
+    #[allow(dead_code)] // only reached in audit-compiled (debug) test builds
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        match payload.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .unwrap_or_default(),
+        }
+    }
+
+    #[test]
+    fn audit_flags_an_undeclared_write() {
+        if !audit::COMPILED {
+            return;
+        }
+        let _g = audit::test_guard();
+        let mut b = GraphBuilder::new(2);
+        let w = b.add_task(0, 0);
+        let r = b.add_task(1, 0);
+        b.note_write(0, w);
+        b.note_read(0, r);
+        let g = b.build();
+        let mut pool = RankPool::new(1);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            g.execute(&mut pool, &[], &|_, t| {
+                if t == w {
+                    audit::rec_write(0);
+                } else {
+                    // Declared a read of 0; actually also writes resource 1.
+                    audit::rec_read(0);
+                    audit::rec_write(1);
+                }
+            });
+        }));
+        let msg = panic_message(caught.expect_err("undeclared write must fail the audit"));
+        assert!(msg.contains("race-audit"), "{msg}");
+        assert!(msg.contains("undeclared Write"), "{msg}");
+    }
+
+    #[test]
+    fn audit_flags_a_read_declared_only_as_weaker_than_actual() {
+        if !audit::COMPILED {
+            return;
+        }
+        let _g = audit::test_guard();
+        let mut b = GraphBuilder::new(1);
+        let r = b.add_task(0, 0);
+        b.note_read(0, r);
+        let g = b.build();
+        let mut pool = RankPool::new(1);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            g.execute(&mut pool, &[], &|_, _| {
+                // Declared read, actual write: must be flagged.
+                audit::rec_write(0);
+            });
+        }));
+        let msg = panic_message(caught.expect_err("read-declared write must fail"));
+        assert!(msg.contains("race-audit"), "{msg}");
+    }
+
+    #[test]
+    fn audit_accepts_a_fully_declared_execution() {
+        if !audit::COMPILED {
+            return;
+        }
+        let _g = audit::test_guard();
+        let mut b = GraphBuilder::new(2);
+        let w = b.add_task(0, 0);
+        let r1 = b.add_task(1, 0);
+        let r2 = b.add_task(1, 1);
+        let w2 = b.add_task(2, 1);
+        b.note_write(0, w);
+        b.note_read(0, r1);
+        b.note_read(0, r2);
+        b.note_write(0, w2);
+        b.note_write(1, w2);
+        let g = b.build();
+        let mut pool = RankPool::new(2);
+        g.execute(&mut pool, &[], &|_, t| {
+            if t == w {
+                audit::rec_write(0);
+            } else if t == w2 {
+                audit::rec_write(0);
+                audit::rec_write(1);
+            } else {
+                audit::rec_read(0);
+            }
+        });
+    }
+
+    #[test]
+    fn adversarial_runs_every_task_once_respecting_edges() {
+        let mut b = GraphBuilder::new(1);
+        // A fan of independent pairs hanging off one root: plenty of
+        // schedule freedom, but each pair is ordered.
+        let root = b.add_task(0, 0);
+        b.note_write(0, root);
+        let mut pairs = Vec::new();
+        for _ in 0..6 {
+            let a = b.add_task(0, 0);
+            let c = b.add_task(0, 0);
+            b.add_edge(root, a);
+            b.add_edge(a, c);
+            pairs.push((a, c));
+        }
+        let g = b.build();
+        let mut orders = Vec::new();
+        for seed in [1u64, 2, 99] {
+            let order = Mutex::new(Vec::new());
+            let stats = g.execute_adversarial(&[], seed, &|rank, t| {
+                assert_eq!(rank, 0);
+                order.lock().unwrap().push(t);
+            });
+            let order = order.into_inner().unwrap();
+            assert_eq!(order.len(), g.len());
+            assert_eq!(stats.per_rank[0].tasks as usize, g.len());
+            let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+            assert_eq!(order[0], root);
+            for &(a, c) in &pairs {
+                assert!(pos(a) < pos(c), "edge {a}->{c} violated: {order:?}");
+            }
+            // Same seed replays the same order.
+            let again = Mutex::new(Vec::new());
+            g.execute_adversarial(&[], seed, &|_, t| {
+                again.lock().unwrap().push(t);
+            });
+            assert_eq!(*again.into_inner().unwrap(), order);
+            orders.push(order);
+        }
+        // Different seeds explore different orders (13 tasks, 6 free pairs:
+        // collision odds are negligible).
+        assert!(orders[0] != orders[1] || orders[1] != orders[2], "{orders:?}");
+    }
+
+    #[test]
+    fn sync_slots_record_against_their_resource_mapping() {
+        if !audit::COMPILED {
+            return;
+        }
+        let _g = audit::test_guard();
+        let fixed: SyncSlots<f64> = SyncSlots::new(2, SlotRes::Fixed(7), || 0.0);
+        let per: SyncSlots<u32> = SyncSlots::new(3, SlotRes::PerIndex(10), || 0);
+        let unmapped: SyncSlots<u8> = SyncSlots::new(1, SlotRes::Unmapped, || 0);
+        audit::task_begin();
+        // SAFETY: single-threaded test, no concurrent slot access.
+        unsafe {
+            *fixed.write_slot(1) = 2.5;
+            let _ = *per.read_slot(2);
+            *unmapped.write_slot(0) = 1;
+        }
+        let accs = audit::task_end();
+        assert_eq!(
+            accs,
+            vec![
+                Access { res: 7, mode: Mode::Write },
+                Access { res: 12, mode: Mode::Read },
+            ]
+        );
+        assert_eq!(fixed.into_inner(), vec![0.0, 2.5]);
     }
 }

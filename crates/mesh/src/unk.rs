@@ -13,9 +13,25 @@
 //! layout), plus [`Layout::VarLast`] (structure-of-arrays within a block)
 //! for the layout-ablation experiment E6.
 
+use crate::audit::{self, ResourceMap};
 use rflash_hugepages::{BackingReport, PageBuffer, Policy};
 use rflash_tlbsim::AccessPattern;
 use serde::{Deserialize, Serialize};
+
+/// Which part of a block slab an instrumented [`UnkCells`] access claims.
+/// The claim is what lands in the race-audit ledger, so it must be honest:
+/// a kernel given `Interior` must not touch guard zones (and vice versa) —
+/// the `graph_confinement` analyzer rule keeps raw slab access out of the
+/// task bodies so every access carries a claim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// The `nxb^ndim` interior zones.
+    Interior,
+    /// The guard band around the interior.
+    Guards,
+    /// The whole slab (interior + guards).
+    Full,
+}
 
 /// Index order within a block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -510,6 +526,99 @@ impl UnkCells {
     pub unsafe fn slab_mut(&self, blk: usize) -> &mut [f64] {
         debug_assert!(blk < self.max_blocks);
         std::slice::from_raw_parts_mut(self.ptr.add(blk * self.per_block), self.per_block)
+    }
+
+    #[inline]
+    fn rmap(&self) -> ResourceMap {
+        ResourceMap {
+            max_blocks: self.max_blocks,
+        }
+    }
+
+    #[inline]
+    fn rec(&self, blk: usize, region: Region, write: bool) {
+        let m = self.rmap();
+        let one = |res: usize| {
+            if write {
+                audit::rec_write(res);
+            } else {
+                audit::rec_read(res);
+            }
+        };
+        match region {
+            Region::Interior => one(m.interior(blk)),
+            Region::Guards => one(m.guards(blk)),
+            Region::Full => {
+                one(m.interior(blk));
+                one(m.guards(blk));
+            }
+        }
+    }
+
+    /// Shared view of block `blk`'s slab, claiming to read only `claims`.
+    /// The claim is recorded in the race-audit ledger; the caller must not
+    /// touch zones outside the claimed region.
+    ///
+    /// # Safety
+    /// As for [`UnkCells::slab`]: no concurrently running task may hold a
+    /// mutable reference to the claimed region of this slab — the caller's
+    /// task must be ordered (by graph edges) after every writer of it and
+    /// before the next one.
+    #[inline]
+    pub unsafe fn read_slab(&self, blk: usize, claims: Region) -> &[f64] {
+        self.rec(blk, claims, false);
+        self.slab(blk)
+    }
+
+    /// Exclusive view of block `blk`'s slab, claiming to write only
+    /// `writes` (and additionally read `reads`, if given). The claims are
+    /// recorded in the race-audit ledger; the caller must not touch zones
+    /// outside the claimed regions.
+    ///
+    /// # Safety
+    /// As for [`UnkCells::slab_mut`]: the caller's task must be the only
+    /// task touching the claimed regions while it runs — graph edges must
+    /// order it after every prior reader and writer of them and before
+    /// every later one.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn write_slab(&self, blk: usize, writes: Region, reads: Option<Region>) -> &mut [f64] {
+        self.rec(blk, writes, true);
+        if let Some(r) = reads {
+            self.rec(blk, r, false);
+        }
+        self.slab_mut(blk)
+    }
+
+    /// Read-modify-write one zone of block `blk`, classifying it as
+    /// interior or guard from `geom` so the recorded claim is exact (the
+    /// fault-injection task uses this to corrupt single cells).
+    ///
+    /// # Safety
+    /// As for [`UnkCells::slab_mut`], restricted to the one zone touched.
+    #[allow(clippy::too_many_arguments)] // one zone address is five indices
+    pub unsafe fn update_cell(
+        &self,
+        geom: &UnkGeom,
+        blk: usize,
+        var: usize,
+        i: usize,
+        j: usize,
+        k: usize,
+        f: impl FnOnce(f64) -> f64,
+    ) {
+        let ir = geom.nguard..geom.nguard + geom.nxb;
+        let interior =
+            ir.contains(&i) && ir.contains(&j) && (geom.ndim < 3 || ir.contains(&k));
+        let region = if interior {
+            Region::Interior
+        } else {
+            Region::Guards
+        };
+        self.rec(blk, region, true);
+        let slab = self.slab_mut(blk);
+        let idx = geom.slab_idx(var, i, j, k);
+        slab[idx] = f(slab[idx]);
     }
 }
 
