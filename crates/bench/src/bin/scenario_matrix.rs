@@ -1,0 +1,179 @@
+//! Run every registered scenario across the full determinism matrix and
+//! reconcile the digests against the committed golden corpus →
+//! `BENCH_scenarios.json`.
+//!
+//! Each scenario runs at smoke scale in all eight cells of
+//! `SweepEngine::{Scalar, Pencil}` × `StepScheduler::{Barrier, TaskGraph}`
+//! × `nranks ∈ {1, 4}`. The repo's determinism invariants say every cell
+//! must produce one digest; this bin checks that first, then compares the
+//! digest against `golden/<scenario>.ron`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rflash-bench --bin scenario_matrix            # verify
+//! cargo run --release -p rflash-bench --bin scenario_matrix -- --bless # rewrite golden/
+//! cargo run --release -p rflash-bench --bin scenario_matrix -- --golden-dir path/to/corpus
+//! ```
+//!
+//! `--bless` only rewrites a record after the internal eight-cell
+//! consistency check passes — a matrix that disagrees with itself is a bug,
+//! never a new golden.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use rflash_core::registry::{self, load_golden, store_golden, GoldenRecord, StateDigest};
+use rflash_core::StepScheduler;
+use rflash_hydro::SweepEngine;
+
+/// One matrix cell's outcome, serialized into `BENCH_scenarios.json`.
+#[derive(Serialize)]
+struct CellRecord {
+    scenario: String,
+    engine: String,
+    scheduler: String,
+    nranks: usize,
+    steps: u64,
+    crc: String,
+    leaves: u64,
+    cells: u64,
+    wall_ms: f64,
+}
+
+/// Per-scenario verdict after the whole matrix ran.
+#[derive(Serialize)]
+struct ScenarioRecord {
+    scenario: String,
+    consistent: bool,
+    golden_status: String,
+    crc: String,
+    cells: Vec<CellRecord>,
+}
+
+fn main() {
+    let mut bless = false;
+    let mut golden_dir = PathBuf::from("golden");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bless" => bless = true,
+            "--golden-dir" => {
+                golden_dir = PathBuf::from(
+                    args.next().expect("--golden-dir needs a path argument"),
+                );
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: scenario_matrix [--bless] [--golden-dir DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut records = Vec::new();
+    let mut ok = true;
+
+    for spec in registry::builtin() {
+        let name = spec.name.clone();
+        println!("== {name}: {}", spec.title);
+        let mut cells = Vec::new();
+        let mut reference: Option<StateDigest> = None;
+        let mut consistent = true;
+
+        for engine in [SweepEngine::Scalar, SweepEngine::Pencil] {
+            for scheduler in [StepScheduler::Barrier, StepScheduler::TaskGraph] {
+                for nranks in [1usize, 4] {
+                    let start = Instant::now();
+                    let sim = registry::run_smoke(&spec, nranks, engine, scheduler)
+                        .unwrap_or_else(|e| panic!("{name}: smoke run failed: {e}"));
+                    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                    let digest = StateDigest::of(&sim);
+                    println!(
+                        "   {engine:?}/{scheduler:?} nranks={nranks}: {digest} ({wall_ms:.0} ms)"
+                    );
+                    match reference {
+                        None => reference = Some(digest),
+                        Some(r) if digest != r => {
+                            consistent = false;
+                            eprintln!(
+                                "   !! matrix cell diverged from its siblings: \
+                                 {engine:?}/{scheduler:?} nranks={nranks}"
+                            );
+                        }
+                        Some(_) => {}
+                    }
+                    cells.push(CellRecord {
+                        scenario: name.clone(),
+                        engine: format!("{engine:?}").to_lowercase(),
+                        scheduler: match scheduler {
+                            StepScheduler::Barrier => "barrier".into(),
+                            StepScheduler::TaskGraph => "task_graph".into(),
+                        },
+                        nranks,
+                        steps: spec.smoke.steps,
+                        crc: format!("crc32:{:08x}", digest.crc),
+                        leaves: digest.leaves,
+                        cells: digest.cells,
+                        wall_ms,
+                    });
+                }
+            }
+        }
+
+        let digest = reference.expect("at least one cell ran");
+        let golden_status = if !consistent {
+            ok = false;
+            "inconsistent-matrix".to_string()
+        } else if bless {
+            let record = GoldenRecord {
+                scenario: name.clone(),
+                steps: spec.smoke.steps,
+                digest,
+            };
+            let path = store_golden(&golden_dir, &record)
+                .unwrap_or_else(|e| panic!("{name}: bless failed: {e}"));
+            println!("   blessed -> {}", path.display());
+            "blessed".to_string()
+        } else {
+            match load_golden(&golden_dir, &name) {
+                Ok(golden) if golden.digest == digest && golden.steps == spec.smoke.steps => {
+                    println!("   golden: match");
+                    "match".to_string()
+                }
+                Ok(golden) => {
+                    ok = false;
+                    eprintln!(
+                        "   !! golden mismatch: got {digest}, committed {}",
+                        golden.digest
+                    );
+                    "mismatch".to_string()
+                }
+                Err(e) => {
+                    ok = false;
+                    eprintln!("   !! no golden: {e}");
+                    "missing".to_string()
+                }
+            }
+        };
+
+        records.push(ScenarioRecord {
+            scenario: name,
+            consistent,
+            golden_status,
+            crc: format!("crc32:{:08x}", digest.crc),
+            cells,
+        });
+    }
+
+    let json = serde_json::to_string_pretty(&records).expect("serialize scenario records");
+    std::fs::write("BENCH_scenarios.json", json).expect("write BENCH_scenarios.json");
+    println!("-> BENCH_scenarios.json");
+
+    if !ok {
+        eprintln!("scenario matrix FAILED: see the cells above");
+        std::process::exit(1);
+    }
+}

@@ -23,6 +23,7 @@ pub mod guardian;
 pub mod instrument;
 pub mod output;
 pub mod params;
+pub mod registry;
 pub mod setups;
 pub mod sim;
 pub mod stepgraph;
@@ -35,5 +36,6 @@ pub use checkpoint::{
 pub use eos_choice::{Composition, EosChoice};
 pub use guardian::{GuardianConfig, StepError};
 pub use params::{RuntimeParams, StepScheduler};
+pub use registry::{GoldenRecord, SetupSpec, SpecError, StateDigest};
 pub use sim::Simulation;
 pub use stepgraph::{GraphExecReport, GraphRankReport};

@@ -1,5 +1,14 @@
-//! The paper's two test problems as FLASH-style setups.
+//! FLASH-style setup modules: the paper's two problems (Sedov, the 2-d
+//! supernova deflagration) plus the Sod verification tube — kept as
+//! hard-coded reference implementations. The declarative scenario registry
+//! ([`crate::registry`], re-exported here) expresses these same problems,
+//! and four more (cellular burning, Kelvin–Helmholtz, Rayleigh–Taylor,
+//! white-dwarf relaxation), as committed spec files; the golden corpus
+//! (`tests/golden_corpus.rs`) pins the spec-built legacy problems
+//! bit-identical to these modules.
 
 pub mod sedov;
 pub mod sod;
 pub mod supernova;
+
+pub use crate::registry;

@@ -535,7 +535,14 @@ pub(crate) fn fill_boundary_slab(
                 };
                 (m as usize, -1.0)
             }
-            BoundaryCondition::Periodic => unreachable!("periodic handled as neighbor"),
+            BoundaryCondition::Periodic => {
+                // A purely periodic face never reaches here — `neighbor`
+                // wraps it. Only mixed corners do (periodic along this
+                // axis, a wall along another): the wrapped neighbor's copy
+                // already filled this guard column in the earlier staging
+                // pass, so read it in place and let the wall axis mirror it.
+                (idx, 1.0)
+            }
         }
     };
 
@@ -731,6 +738,41 @@ mod tests {
         // Left block's -x guards wrap to the right block.
         assert_eq!(unk.get(DENS, ng - 1, ng, 0, left.idx()), 2.0);
         assert_eq!(unk.get(DENS, ng + tree.config().nxb, ng, 0, right.idx()), 1.0);
+    }
+
+    /// Mixed corners — periodic along x, walls along y — must compose: the
+    /// corner guard is the y-mirror of the x-wrapped neighbor's column
+    /// (regression for the Rayleigh–Taylor channel topology).
+    #[test]
+    fn periodic_x_reflecting_y_corners_compose() {
+        let mut cfg = MeshConfig::test_2d();
+        cfg.bc = BoundaryCondition::Periodic;
+        cfg.bc_faces[1] = [
+            Some(BoundaryCondition::Reflecting),
+            Some(BoundaryCondition::Reflecting),
+        ];
+        cfg.nroot = [2, 1, 1];
+        let tree = Tree::new(cfg);
+        let mut unk = tree.make_unk(Policy::None);
+        let left = tree.leaves()[0];
+        let right = tree.leaves()[1];
+        let ng = tree.config().nguard;
+        for j in unk.interior() {
+            for i in unk.interior() {
+                unk.set(DENS, i, j, 0, left.idx(), 1.0);
+                unk.set(VELY, i, j, 0, left.idx(), 5.0);
+                unk.set(DENS, i, j, 0, right.idx(), 2.0);
+                unk.set(VELY, i, j, 0, right.idx(), 7.0);
+            }
+        }
+        fill_guardcells(&tree, &mut unk);
+        // Left block's lower-left corner guard: x wraps to the right block,
+        // y mirrors off the wall. Scalars copy, normal velocity flips.
+        assert_eq!(unk.get(DENS, ng - 1, ng - 1, 0, left.idx()), 2.0);
+        assert_eq!(unk.get(VELY, ng - 1, ng - 1, 0, left.idx()), -7.0);
+        // Face guards stay pure: x face wraps, y face mirrors in place.
+        assert_eq!(unk.get(DENS, ng - 1, ng, 0, left.idx()), 2.0);
+        assert_eq!(unk.get(VELY, ng, ng - 1, 0, left.idx()), -5.0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub enum BoundaryCondition {
 }
 
 /// Mesh construction parameters (PARAMESH's runtime parameters).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MeshConfig {
     pub ndim: usize,
     /// Zones per block side (FLASH: 16).

@@ -1,0 +1,221 @@
+//! The `rflash` scenario launcher.
+//!
+//! A thin, dependency-free front door over the declarative scenario
+//! registry (`rflash::core::registry`, DESIGN.md §15):
+//!
+//! ```text
+//! rflash list-setups
+//! rflash describe <name> [--ron]
+//! rflash run-setup <name> [--full] [--steps N] [--nranks N]
+//!                         [--engine scalar|pencil]
+//!                         [--scheduler barrier|task_graph]
+//!                         [--checkpoint-dir DIR] [--checkpoint-every N]
+//! ```
+//!
+//! `run-setup` defaults to smoke scale — the exact configuration the golden
+//! corpus fingerprints — and prints the state digest so a run can be checked
+//! against `golden/<name>.ron` by eye. `--full` launches the paper-scale
+//! problem instead.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rflash::core::registry::{self, spec::parse_engine, SetupSpec, StateDigest};
+use rflash::core::{CheckpointSeries, StepScheduler};
+use rflash::hydro::SweepEngine;
+
+const USAGE: &str = "usage:
+  rflash list-setups
+  rflash describe <name> [--ron]
+  rflash run-setup <name> [--full] [--steps N] [--nranks N]
+                          [--engine scalar|pencil]
+                          [--scheduler barrier|task_graph]
+                          [--checkpoint-dir DIR] [--checkpoint-every N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list-setups") => list_setups(&args[1..]),
+        Some("describe") => describe(&args[1..]),
+        Some("run-setup") => run_setup(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("rflash: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list_setups(rest: &[String]) -> Result<(), String> {
+    if !rest.is_empty() {
+        return Err(format!("list-setups takes no arguments\n{USAGE}"));
+    }
+    let specs = registry::builtin();
+    let width = specs.iter().map(|s| s.name.len()).max().unwrap_or(0);
+    println!("{} registered scenarios:", specs.len());
+    for spec in &specs {
+        println!(
+            "  {:width$}  {}-d  {:9}  {}",
+            spec.name,
+            spec.mesh.ndim,
+            eos_label(spec),
+            spec.title,
+        );
+    }
+    Ok(())
+}
+
+fn eos_label(spec: &SetupSpec) -> &'static str {
+    match spec.eos {
+        registry::EosSpec::Gamma { .. } => "gamma-law",
+        registry::EosSpec::Helmholtz { .. } => "helmholtz",
+    }
+}
+
+fn describe(rest: &[String]) -> Result<(), String> {
+    let mut name = None;
+    let mut ron = false;
+    for arg in rest {
+        match arg.as_str() {
+            "--ron" => ron = true,
+            other if name.is_none() && !other.starts_with('-') => name = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let name = name.ok_or_else(|| format!("describe needs a scenario name\n{USAGE}"))?;
+    let spec = registry::load(&name).map_err(|e| e.to_string())?;
+    if ron {
+        // The canonical round-trippable form, suitable as a starting point
+        // for a derived spec file.
+        print!("{}", spec.to_value().to_ron(0));
+        println!();
+        return Ok(());
+    }
+    println!("{}: {}", spec.name, spec.title);
+    println!(
+        "  mesh     {}-d, {}^{} zones/block, max_refine {}, max_blocks {}",
+        spec.mesh.ndim, spec.mesh.nxb, spec.mesh.ndim, spec.mesh.max_refine, spec.mesh.max_blocks
+    );
+    println!(
+        "  domain   {:?} .. {:?}",
+        spec.mesh.domain_lo, spec.mesh.domain_hi
+    );
+    println!("  eos      {}", eos_label(&spec));
+    println!("  initial  {} primitives", spec.initial.len());
+    println!(
+        "  smoke    {} steps at max_refine {}",
+        spec.smoke.steps,
+        spec.smoke.max_refine.unwrap_or(spec.mesh.max_refine)
+    );
+    println!();
+    println!("(full spec: rflash describe {} --ron)", spec.name);
+    Ok(())
+}
+
+fn run_setup(rest: &[String]) -> Result<(), String> {
+    let mut name: Option<String> = None;
+    let mut full = false;
+    let mut steps: Option<u64> = None;
+    let mut nranks = 1usize;
+    let mut engine = SweepEngine::Pencil;
+    let mut scheduler = StepScheduler::TaskGraph;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut checkpoint_every = 0u64;
+
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--full" => full = true,
+            "--steps" => {
+                steps = Some(
+                    value("--steps")?
+                        .parse()
+                        .map_err(|e| format!("--steps: {e}"))?,
+                )
+            }
+            "--nranks" => {
+                nranks = value("--nranks")?
+                    .parse()
+                    .map_err(|e| format!("--nranks: {e}"))?
+            }
+            "--engine" => {
+                let s = value("--engine")?;
+                engine = parse_engine(&s)
+                    .ok_or_else(|| format!("--engine: expected scalar|pencil, got `{s}`"))?;
+            }
+            "--scheduler" => {
+                scheduler = match value("--scheduler")?.as_str() {
+                    "barrier" => StepScheduler::Barrier,
+                    "task_graph" => StepScheduler::TaskGraph,
+                    s => {
+                        return Err(format!(
+                            "--scheduler: expected barrier|task_graph, got `{s}`"
+                        ))
+                    }
+                }
+            }
+            "--checkpoint-dir" => checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?)),
+            "--checkpoint-every" => {
+                checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            other if name.is_none() && !other.starts_with('-') => name = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let name = name.ok_or_else(|| format!("run-setup needs a scenario name\n{USAGE}"))?;
+
+    let paper = registry::load(&name).map_err(|e| e.to_string())?;
+    let spec = if full { paper } else { paper.at_smoke_scale() };
+    let steps = steps.unwrap_or(spec.smoke.steps);
+
+    let mut params = registry::smoke_params(&spec, nranks, engine, scheduler);
+    params.checkpoint_every = checkpoint_every;
+
+    println!(
+        "{}: {} ({} scale, {steps} steps, nranks={nranks}, {engine:?}/{scheduler:?})",
+        spec.name,
+        spec.title,
+        if full { "paper" } else { "smoke" },
+    );
+    let mut sim = spec.build(params).map_err(|e| e.to_string())?;
+    println!(
+        "  built: {} leaf blocks at t=0",
+        sim.domain.tree.leaves().len()
+    );
+
+    match checkpoint_dir {
+        Some(dir) if checkpoint_every > 0 => {
+            let series = CheckpointSeries::new(&dir, &name);
+            let written = sim
+                .evolve_checkpointed(steps, &series)
+                .map_err(|e| format!("step failed: {e:?}"))?;
+            println!("  wrote {} checkpoints under {}", written.len(), dir.display());
+        }
+        Some(_) => {
+            return Err("--checkpoint-dir needs --checkpoint-every N (N >= 1)".into());
+        }
+        None => sim.evolve(steps),
+    }
+
+    let digest = StateDigest::of(&sim);
+    println!("  t = {:e} after {} steps", sim.time, sim.step);
+    println!("  digest {digest}");
+    if !full {
+        println!("  compare: golden/{name}.ron");
+    }
+    Ok(())
+}

@@ -1,0 +1,288 @@
+//! The golden-result regression corpus (ISSUE 8, DESIGN.md §15).
+//!
+//! Every registered scenario runs at smoke scale across the full
+//! determinism matrix — `nranks ∈ {1, 4}` × `SweepEngine::{Scalar,
+//! Pencil}` × `StepScheduler::{Barrier, TaskGraph}` — and every cell must
+//! produce the *same* CRC-backed state digest, equal to the record
+//! committed under `golden/`. A digest change means the numerics drifted:
+//! either a bug, or an intentional change that must be re-blessed with
+//!
+//! ```text
+//! cargo run --release -p rflash-bench --bin scenario_matrix -- --bless
+//! ```
+//!
+//! The suite also pins the tentpole's transliteration claim: the three
+//! legacy hard-coded setups and their committed spec files build
+//! bit-identical simulations; and the PR 3/PR 5 recovery story: a
+//! spec-launched run that crashes and recovers from its checkpoint series
+//! resumes to the same golden digest as an uninterrupted run.
+
+use std::path::PathBuf;
+
+use rflash::core::registry::{self, load_golden, GoldenRecord, SetupSpec, StateDigest};
+use rflash::core::setups::sedov::SedovSetup;
+use rflash::core::setups::sod::SodSetup;
+use rflash::core::setups::supernova::SupernovaSetup;
+use rflash::core::{CheckpointSeries, RuntimeParams, Simulation, StepScheduler};
+use rflash::hugepages::Policy;
+use rflash::hydro::SweepEngine;
+
+/// The committed corpus lives at the repo root.
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rflash-golden-it-{}-{name}", std::process::id()))
+}
+
+/// The full determinism matrix for one scenario: every cell must digest
+/// identically, and match the committed golden record.
+fn assert_matrix_matches_golden(name: &str) {
+    let spec = registry::load(name).expect("registered scenario");
+    let golden = load_golden(&golden_dir(), name).unwrap_or_else(|e| {
+        panic!(
+            "no committed golden for `{name}` ({e}); regenerate with \
+             `cargo run --release -p rflash-bench --bin scenario_matrix -- --bless`"
+        )
+    });
+    assert_eq!(golden.scenario, name);
+    assert_eq!(golden.steps, spec.smoke.steps, "golden is stale: steps drifted");
+
+    let mut reference: Option<StateDigest> = None;
+    for engine in [SweepEngine::Scalar, SweepEngine::Pencil] {
+        for scheduler in [StepScheduler::Barrier, StepScheduler::TaskGraph] {
+            for nranks in [1usize, 4] {
+                let sim = registry::run_smoke(&spec, nranks, engine, scheduler)
+                    .expect("smoke run");
+                let digest = StateDigest::of(&sim);
+                let cell = format!("{name} @ nranks={nranks}, {engine:?}, {scheduler:?}");
+                match reference {
+                    None => reference = Some(digest),
+                    Some(r) => assert_eq!(
+                        digest, r,
+                        "matrix cell diverged from its siblings: {cell}"
+                    ),
+                }
+                assert_eq!(
+                    digest, golden.digest,
+                    "digest drifted from the committed golden: {cell}\n  \
+                     got      {digest}\n  expected {}\n  \
+                     if the numerics change is intentional, re-bless with \
+                     `cargo run --release -p rflash-bench --bin scenario_matrix -- --bless`",
+                    golden.digest
+                );
+            }
+        }
+    }
+}
+
+// One test per scenario so the matrix parallelizes across the test
+// harness's threads and a failure names the scenario directly.
+
+#[test]
+fn golden_matrix_sedov() {
+    assert_matrix_matches_golden("sedov");
+}
+
+#[test]
+fn golden_matrix_sod() {
+    assert_matrix_matches_golden("sod");
+}
+
+#[test]
+fn golden_matrix_supernova() {
+    assert_matrix_matches_golden("supernova");
+}
+
+#[test]
+fn golden_matrix_cellular() {
+    assert_matrix_matches_golden("cellular");
+}
+
+#[test]
+fn golden_matrix_kelvin_helmholtz() {
+    assert_matrix_matches_golden("kelvin_helmholtz");
+}
+
+#[test]
+fn golden_matrix_rayleigh_taylor() {
+    assert_matrix_matches_golden("rayleigh_taylor");
+}
+
+#[test]
+fn golden_matrix_wd_relax() {
+    assert_matrix_matches_golden("wd_relax");
+}
+
+// ---------------------------------------------------------------------------
+// Spec-vs-legacy transliteration: bit identity
+// ---------------------------------------------------------------------------
+
+/// Deterministic params mirroring `registry::smoke_params` for a legacy
+/// hard-coded setup.
+fn legacy_params(mesh: rflash::mesh::MeshConfig) -> RuntimeParams {
+    RuntimeParams {
+        policy: Policy::None,
+        use_hw: false,
+        pattern_every: 0,
+        gather_every: 0,
+        ..RuntimeParams::with_mesh(mesh)
+    }
+}
+
+/// Both sims must agree bit-for-bit: at init AND after the smoke steps.
+fn assert_bit_identical(name: &str, spec_sim: &mut Simulation, legacy_sim: &mut Simulation, steps: u64) {
+    assert_eq!(
+        StateDigest::of(spec_sim),
+        StateDigest::of(legacy_sim),
+        "`{name}`: spec-built initial state differs from the hard-coded module"
+    );
+    spec_sim.evolve(steps);
+    legacy_sim.evolve(steps);
+    assert_eq!(
+        StateDigest::of(spec_sim),
+        StateDigest::of(legacy_sim),
+        "`{name}`: spec-built run diverged from the hard-coded module after {steps} steps"
+    );
+}
+
+#[test]
+fn spec_sedov_is_bit_identical_to_the_hardcoded_module() {
+    let spec = registry::load("sedov").unwrap().at_smoke_scale();
+    let steps = spec.smoke.steps;
+    let mut from_spec = spec
+        .build(registry::smoke_params(
+            &spec,
+            1,
+            SweepEngine::Pencil,
+            StepScheduler::TaskGraph,
+        ))
+        .unwrap();
+
+    let legacy = SedovSetup {
+        max_refine: spec.mesh.max_refine,
+        max_blocks: spec.mesh.max_blocks,
+        ..SedovSetup::default()
+    };
+    let mut from_code = legacy.build(legacy_params(legacy.mesh_config()));
+    assert_bit_identical("sedov", &mut from_spec, &mut from_code, steps);
+}
+
+#[test]
+fn spec_sod_is_bit_identical_to_the_hardcoded_module() {
+    let spec = registry::load("sod").unwrap().at_smoke_scale();
+    let steps = spec.smoke.steps;
+    let mut from_spec = spec
+        .build(registry::smoke_params(
+            &spec,
+            1,
+            SweepEngine::Pencil,
+            StepScheduler::TaskGraph,
+        ))
+        .unwrap();
+
+    let legacy = SodSetup {
+        max_refine: spec.mesh.max_refine,
+        max_blocks: spec.mesh.max_blocks,
+        ..SodSetup::default()
+    };
+    let mut from_code = legacy.build(legacy_params(legacy.mesh_config()));
+    assert_bit_identical("sod", &mut from_spec, &mut from_code, steps);
+}
+
+#[test]
+fn spec_supernova_is_bit_identical_to_the_hardcoded_module() {
+    let spec = registry::load("supernova").unwrap().at_smoke_scale();
+    let steps = spec.smoke.steps;
+    let mut from_spec = spec
+        .build(registry::smoke_params(
+            &spec,
+            1,
+            SweepEngine::Pencil,
+            StepScheduler::TaskGraph,
+        ))
+        .unwrap();
+
+    let legacy = SupernovaSetup {
+        max_refine: spec.mesh.max_refine,
+        max_blocks: spec.mesh.max_blocks,
+        coarse_table: true,
+        ..SupernovaSetup::default()
+    };
+    let mut from_code = legacy.build(legacy_params(legacy.mesh_config()));
+    assert_bit_identical("supernova", &mut from_spec, &mut from_code, steps);
+}
+
+/// The default-scale (paper-scale) mesh of every spec'd legacy problem
+/// must equal the hard-coded module's — the cheap structural half of the
+/// transliteration claim (the full-evolution half runs at smoke scale
+/// above).
+#[test]
+fn spec_default_meshes_match_the_hardcoded_modules() {
+    let sedov = registry::load("sedov").unwrap();
+    assert_eq!(
+        sedov.mesh.to_mesh_config(),
+        SedovSetup::default().mesh_config()
+    );
+    let sod = registry::load("sod").unwrap();
+    assert_eq!(sod.mesh.to_mesh_config(), SodSetup::default().mesh_config());
+    let sn = registry::load("supernova").unwrap();
+    assert_eq!(
+        sn.mesh.to_mesh_config(),
+        SupernovaSetup::default().mesh_config()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-series recovery of a spec-launched run
+// ---------------------------------------------------------------------------
+
+/// A spec-launched run that "crashes" mid-way and recovers from its
+/// checkpoint series must resume to exactly the committed golden digest —
+/// the registry riding the PR 3/PR 5 recovery machinery without drift.
+#[test]
+fn spec_launched_recovery_resumes_to_the_golden_digest() {
+    let name = "kelvin_helmholtz";
+    let spec = registry::load(name).unwrap();
+    let golden: GoldenRecord = load_golden(&golden_dir(), name).expect("committed golden");
+    let smoke: SetupSpec = spec.at_smoke_scale();
+    let steps = smoke.smoke.steps;
+    assert!(steps >= 2, "need room for a mid-run checkpoint");
+    let mid = steps / 2;
+
+    let dir = scratch("spec-recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+    let series = CheckpointSeries::new(&dir, "chk");
+
+    // Run half way, checkpointing every step, then "crash".
+    let mut params = registry::smoke_params(
+        &smoke,
+        1,
+        SweepEngine::Pencil,
+        StepScheduler::TaskGraph,
+    );
+    params.checkpoint_every = 1;
+    let mut first = smoke.build(params).unwrap();
+    let written = first.evolve_checkpointed(mid, &series).unwrap();
+    assert_eq!(written.len(), mid as usize);
+    drop(first);
+
+    // Recover — the EOS comes back from the spec, the state from disk.
+    let (mut resumed, skipped) = Simulation::recover(
+        &series,
+        smoke.make_eos(Policy::None),
+        smoke.composition.to_composition(),
+    )
+    .unwrap();
+    assert!(skipped.is_empty(), "no corrupt checkpoints expected");
+    assert_eq!(resumed.step, mid);
+    resumed.evolve(steps - mid);
+
+    assert_eq!(
+        StateDigest::of(&resumed),
+        golden.digest,
+        "recovered run diverged from the committed golden"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
