@@ -21,6 +21,15 @@
 //!    never touch unk cells one at a time: no `get`/`set`/`addr`/
 //!    `slab_idx` identifiers outside test code; cell traffic flows through
 //!    the gather/scatter helpers.
+//! 6. **graph confinement** (`graph_confinement`) — step-graph task bodies
+//!    (`core/src/stepgraph.rs`) reach slabs and slots only through the
+//!    race-audit claiming accessors, so every access lands in the
+//!    declared-vs-actual ledger.
+//! 7. **SIMD confinement** (`simd_confinement`) — architecture intrinsics
+//!    (`_mm*`/`__m*`), `core::arch`/`std::arch` paths, and
+//!    `#[target_feature]` wrappers stay inside `crates/simd`; kernel code
+//!    vectorizes through the portable `Lane` abstraction, keeping the
+//!    bit-identity contract and the unsafe surface in one reviewed place.
 //!
 //! Per-site escape hatch: an `analyze::allow` comment — the rule id in
 //! parentheses, then a colon and a mandatory reason — on or directly above

@@ -8,6 +8,7 @@
 //! | `send_sync`        | `unsafe impl Send/Sync` names its invariant           |
 //! | `pencil_confinement`| no per-cell unk accessors in pencil/batched-EOS modules |
 //! | `graph_confinement`| no raw slab/slot accessors in step-graph task bodies  |
+//! | `simd_confinement` | arch intrinsics / `#[target_feature]` only in `crates/simd` |
 //! | `allow_syntax`     | malformed escape-hatch annotations                    |
 //! | `unused_allow`     | escape hatches that suppress nothing                  |
 //!
@@ -27,6 +28,7 @@ pub const ALLOWABLE_RULES: &[&str] = &[
     "send_sync",
     "pencil_confinement",
     "graph_confinement",
+    "simd_confinement",
 ];
 
 /// Page-level syscall identifiers confined to `crates/hugepages` (rule 2).
@@ -95,6 +97,13 @@ const GRAPH_CONFINED: &[&str] = &["crates/core/src/stepgraph.rs"];
 /// Matched only in method-call position (`.name(`) so locals named `slab`
 /// and prose in comments never trip them.
 const GRAPH_FORBIDDEN: &[&str] = &["get", "set", "addr", "slab_idx", "slab", "slab_mut"];
+
+/// The one crate allowed to contain architecture intrinsics and
+/// `#[target_feature]` wrappers (rule `simd_confinement`). Everything else
+/// must go through the portable `Lane` abstraction — a stray intrinsic in
+/// kernel code silently forks the bit-identity contract per architecture
+/// and reopens an unsafe surface the simd crate exists to confine.
+const SIMD_CONFINED_PREFIX: &str = "crates/simd/";
 
 /// One finding. `line` is 1-based.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -196,6 +205,7 @@ pub fn check_source(rel: &str, src: &str) -> Vec<Violation> {
     rule_panic_freedom(&sf, &mut candidate);
     rule_pencil_confinement(&sf, &mut candidate);
     rule_graph_confinement(&sf, &mut candidate);
+    rule_simd_confinement(&sf, &mut candidate);
 
     for v in candidate {
         if let Some(a) = allows.iter().find(|a| {
@@ -515,6 +525,67 @@ fn rule_graph_confinement(sf: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+fn rule_simd_confinement(sf: &SourceFile, out: &mut Vec<Violation>) {
+    if sf.rel.starts_with(SIMD_CONFINED_PREFIX) {
+        return;
+    }
+    let toks = &sf.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(word) = tok.ident() else { continue };
+        // x86 intrinsic calls and vector types: `_mm*` / `__m*` covers the
+        // whole `core::arch::x86_64` surface (`_mm_add_pd`, `__m256d`, ...).
+        if word.starts_with("_mm") || word.starts_with("__m") {
+            out.push(Violation {
+                rel: sf.rel.clone(),
+                line: tok.line,
+                rule: "simd_confinement",
+                msg: format!(
+                    "architecture intrinsic `{word}` outside crates/simd — vector code \
+                     must go through the portable `Lane` abstraction"
+                ),
+            });
+            continue;
+        }
+        // The `#[target_feature(...)]` attribute (prev token `[`
+        // distinguishes it from a `#[cfg(target_feature = ...)]` probe,
+        // where the word sits behind a `(`).
+        if word == "target_feature"
+            && sf.is_attr[i]
+            && i > 0
+            && toks[i - 1].is_punct('[')
+        {
+            out.push(Violation {
+                rel: sf.rel.clone(),
+                line: tok.line,
+                rule: "simd_confinement",
+                msg: "`#[target_feature]` outside crates/simd — feature-gated codegen \
+                      belongs behind the simd crate's dispatch wrappers"
+                    .to_string(),
+            });
+            continue;
+        }
+        // `core::arch` / `std::arch` module paths (covers
+        // `is_x86_feature_detected!` re-exports and direct module imports).
+        if word == "arch"
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3]
+                .ident()
+                .is_some_and(|w| w == "core" || w == "std")
+        {
+            out.push(Violation {
+                rel: sf.rel.clone(),
+                line: tok.line,
+                rule: "simd_confinement",
+                msg: "`core::arch`/`std::arch` path outside crates/simd — architecture \
+                      access is confined to the simd crate"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 fn collect_allows(sf: &SourceFile) -> Vec<Allow> {
     const NEEDLE: &str = "analyze::allow(";
     let mut allows = Vec::new();
@@ -784,6 +855,30 @@ mod tests {
             "fn f(s: &Slots) {\n    // analyze::allow(graph_confinement): diagnostic probe outside any task body.\n    // SAFETY: quiescent graph.\n    let x = unsafe { s.get(0) };\n}\n",
         );
         assert!(v.iter().all(|v| v.rule != "graph_confinement"), "{v:?}");
+    }
+
+    #[test]
+    fn simd_confinement_flags_intrinsics_and_target_feature_outside_simd() {
+        let src = "#[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn f(a: __m256d) -> __m256d { _mm256_add_pd(a, a) }\n\
+                   use core::arch::x86_64::_mm_add_pd;\n";
+        let v = check("crates/hydro/src/x.rs", src);
+        let simd: Vec<_> = v.iter().filter(|v| v.rule == "simd_confinement").collect();
+        // target_feature + __m256d x2 + _mm256_add_pd + core::arch + _mm_add_pd
+        assert_eq!(simd.len(), 6, "{v:?}");
+        // The same code is fine inside the simd crate (modulo safety_comment).
+        let inside = check("crates/simd/src/x.rs", src);
+        assert!(inside.iter().all(|v| v.rule != "simd_confinement"), "{inside:?}");
+    }
+
+    #[test]
+    fn simd_confinement_ignores_cfg_probes_prose_and_lane_code() {
+        let src = "// the avx2 backend calls _mm256_fmadd_pd via core::arch\n\
+                   #[cfg(target_feature = \"avx2\")]\n\
+                   fn probe() {}\n\
+                   fn f<L: Lane>(a: L, b: L) -> L { a.add(b) }\n";
+        let v = check("crates/hydro/src/x.rs", src);
+        assert!(v.iter().all(|v| v.rule != "simd_confinement"), "{v:?}");
     }
 
     #[test]

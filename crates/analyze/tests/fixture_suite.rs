@@ -22,6 +22,7 @@ const EXPECTED: &[(&str, &[&str])] = &[
     ("hot_path_unwrap.rs", &["panic"]),
     ("pencil_cell_access.rs", &["pencil_confinement"]),
     ("send_sync_unnamed.rs", &["send_sync"]),
+    ("simd_intrinsic_leak.rs", &["simd_confinement"]),
     ("stepgraph_raw_slab.rs", &["graph_confinement"]),
     ("stray_mmap.rs", &["alloc_confinement"]),
     ("unsafe_missing_safety.rs", &["safety_comment"]),

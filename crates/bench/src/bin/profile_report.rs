@@ -29,9 +29,10 @@ fn rank_report(loads: &[rflash_perfmon::RankLoad]) {
 }
 
 /// Pencil/batch counters: how much cell traffic moved through the SoA
-/// gather/scatter path and what fraction of batched-EOS lanes stayed
-/// vectorized (Helmholtz lanes that fail to converge fall back to the
-/// scalar Newton and lower the occupancy).
+/// gather/scatter path, what fraction of lane-kernel zones ran in
+/// full-width SIMD chunks vs. the scalar-lane tail, and how the batched
+/// Helmholtz Newton's active-lane occupancy decayed per iteration
+/// (plateau-accepted lanes are counted apart from clean convergences).
 fn batch_report(sim: &mut rflash_core::Simulation) {
     let hydro = *sim.hydro_session.stats_mut();
     let eos = *sim.eos_session.stats_mut();
@@ -42,10 +43,31 @@ fn batch_report(sim: &mut rflash_core::Simulation) {
         s.scatter_cells as f64 / 1e6
     );
     println!(
-        "  batched EOS: {:.1}M lanes, occupancy {:.3}",
-        s.batch_lanes as f64 / 1e6,
-        s.batch_occupancy()
+        "  simd lane kernels: {:.1}M chunk zones + {:.1}M tail zones, mask occupancy {:.3}",
+        s.simd_chunk_lanes as f64 / 1e6,
+        s.simd_tail_lanes as f64 / 1e6,
+        s.simd_occupancy()
     );
+    println!(
+        "  batched EOS: {:.1}M lanes, occupancy {:.3} ({} plateau-accepted)",
+        s.batch_lanes as f64 / 1e6,
+        s.batch_occupancy(),
+        s.batch_plateau_lanes
+    );
+    // Active lanes entering each Newton iteration of the masked
+    // re-iteration — the decay profile is the vector-efficiency story.
+    let total: u64 = s.newton_iter_hist.iter().sum();
+    if total > 0 {
+        let start = s.newton_iter_hist[0].max(1) as f64;
+        print!("  newton active-lane decay:");
+        for (i, &n) in s.newton_iter_hist.iter().enumerate() {
+            if n == 0 {
+                break;
+            }
+            print!(" {i}:{:.2}", n as f64 / start);
+        }
+        println!();
+    }
 }
 
 fn breakdown(name: &str, sim: &rflash_core::Simulation) {
@@ -114,6 +136,13 @@ fn main() {
     let scale = RunScale::from_args(&args);
     let steps = if scale.steps == 0 { 25 } else { scale.steps };
     let alloc_baseline = rflash_perfmon::AllocSummary::capture();
+
+    // Name the vector backend up front — every number below was produced
+    // with it, and an RFLASH_SIMD override should be visible in the log.
+    println!(
+        "{}",
+        rflash_simd::dispatch_report(rflash_simd::Backend::default())
+    );
 
     let setup = SupernovaSetup {
         max_refine: scale.max_refine,

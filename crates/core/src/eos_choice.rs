@@ -68,6 +68,16 @@ impl EosChoice {
         }
     }
 
+    /// Select the SIMD backend for EOS implementations with an explicit
+    /// lane path (Helmholtz); a no-op for the gamma law, whose lane loops
+    /// the autovectorizer already handles.
+    pub fn set_simd(&mut self, simd: rflash_simd::Resolved) {
+        match self {
+            EosChoice::Gamma(_) => {}
+            EosChoice::Helmholtz(h) => h.set_simd(simd),
+        }
+    }
+
     /// Borrow the underlying EOS as a trait object (the sweep's
     /// [`rflash_hydro::SweepEos::Batch`] mode wants one).
     pub fn as_dyn(&self) -> &dyn Eos {

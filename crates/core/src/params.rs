@@ -57,6 +57,13 @@ pub struct RuntimeParams {
     /// keeps the per-zone reference path).
     #[serde(default)]
     pub sweep_engine: SweepEngine,
+    /// SIMD backend request for the explicit lane kernels (pencil sweep,
+    /// batched Helmholtz). `native` (the default) picks the widest
+    /// instruction set the CPU supports at startup; `scalar`/`v2`/`v4`
+    /// force a portable width. The `RFLASH_SIMD` environment variable
+    /// overrides this for testing. Every backend is bit-identical.
+    #[serde(default)]
+    pub simd_backend: rflash_simd::Backend,
     /// Step-guardian policy (validation floors, retry budget, engine
     /// degradation). Defaulted so pre-guardian checkpoints still load.
     #[serde(default)]
@@ -93,6 +100,7 @@ impl RuntimeParams {
             use_hw: true,
             checkpoint_every: 0,
             sweep_engine: SweepEngine::default(),
+            simd_backend: rflash_simd::Backend::default(),
             guardian: crate::guardian::GuardianConfig::default(),
             step_scheduler: StepScheduler::default(),
             adversary_seed: None,

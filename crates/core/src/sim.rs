@@ -79,10 +79,13 @@ impl Simulation {
     /// granted (verified via smaps).
     pub fn assemble(
         domain: Domain,
-        eos: EosChoice,
+        mut eos: EosChoice,
         comp: Composition,
         params: RuntimeParams,
     ) -> Simulation {
+        // Resolve the SIMD backend once and pin the EOS's lane kernels to
+        // it; the sweeps resolve the same request per step.
+        eos.set_simd(rflash_simd::resolve(params.simd_backend));
         let session_config = SessionConfig {
             sample_every: params.tlb_sample_every,
             // Kernels record one pattern per `pattern_every` pencils/rows;
@@ -179,6 +182,7 @@ impl Simulation {
             eint_floor: self.params.eint_floor,
             pattern_every: self.params.pattern_every,
             engine: self.params.sweep_engine,
+            simd: rflash_simd::resolve(self.params.simd_backend),
             // Pencil scratch rides the same huge-page policy as unk.
             scratch_policy: self.params.policy,
         };

@@ -558,6 +558,7 @@ impl Simulation {
             eint_floor: self.params.eint_floor,
             pattern_every: self.params.pattern_every,
             engine,
+            simd: rflash_simd::resolve(self.params.simd_backend),
             scratch_policy: self.params.policy,
         };
         let geom = self.domain.unk.geom();

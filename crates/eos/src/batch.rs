@@ -14,9 +14,13 @@
 //! `gamc`, `game`, and `eint` where the mode derives it) holds exactly the
 //! value the scalar [`crate::Eos::call`] would have produced for that lane —
 //! batching is a layout optimization, never a physics change. Implementations
-//! with a vectorized fast path (Helmholtz) fall back to the scalar routine
-//! for lanes whose fast-path iteration does not cleanly converge; the
-//! [`BatchReport`] says how many lanes the vector path handled.
+//! with a vectorized fast path (Helmholtz) keep non-converged lanes in the
+//! compacted active set as a masked re-iteration; lanes that exhaust the
+//! iteration budget are accepted on the same residual-plateau criterion the
+//! scalar routine applies. The [`BatchReport`] says how many lanes converged
+//! cleanly (`vector_lanes`), how many were plateau-accepted
+//! (`plateau_lanes`), and how occupancy decayed per Newton iteration
+//! (`iter_hist`).
 //!
 //! On `Err` the output lanes are unspecified (the first failing lane aborts
 //! the batch, matching the scalar path's per-zone abort).
@@ -64,19 +68,34 @@ impl EosBatch<'_> {
     }
 }
 
+/// Bins in [`BatchReport::iter_hist`]: bin `i` counts lanes still active
+/// entering Newton iteration `i`; the last bin accumulates everything past
+/// it.
+pub const NEWTON_HIST_BINS: usize = 16;
+
 /// How a batched EOS call was serviced.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatchReport {
     /// Total lanes processed.
     pub lanes: u64,
-    /// Lanes fully handled by the vectorized fast path (no scalar
-    /// fallback). The default per-zone implementation reports 0.
+    /// Lanes the vectorized fast path converged cleanly (residual below
+    /// the Newton tolerance). The default per-zone implementation
+    /// reports 0.
     pub vector_lanes: u64,
+    /// Lanes that exhausted the iteration budget and were accepted on the
+    /// residual-plateau criterion instead — counted separately so
+    /// `occupancy` stays an honest clean-convergence figure.
+    pub plateau_lanes: u64,
+    /// Active-lane count entering each Newton iteration (masked
+    /// re-iteration occupancy decay). All zeros for non-iterating EOS
+    /// implementations.
+    pub iter_hist: [u64; NEWTON_HIST_BINS],
 }
 
 impl BatchReport {
-    /// Fraction of lanes the vector path handled (the paper-report
-    /// "batch occupancy"); 0 for an empty batch.
+    /// Fraction of lanes the vector path converged cleanly (the
+    /// paper-report "batch occupancy"); 0 for an empty batch. Plateau
+    /// acceptances are excluded.
     pub fn occupancy(&self) -> f64 {
         if self.lanes == 0 {
             0.0
@@ -89,6 +108,10 @@ impl BatchReport {
     pub fn merge(&mut self, other: BatchReport) {
         self.lanes += other.lanes;
         self.vector_lanes += other.vector_lanes;
+        self.plateau_lanes += other.plateau_lanes;
+        for (bin, count) in other.iter_hist.iter().enumerate() {
+            self.iter_hist[bin] += count;
+        }
     }
 }
 
@@ -150,14 +173,24 @@ mod tests {
         let mut a = BatchReport {
             lanes: 8,
             vector_lanes: 6,
+            plateau_lanes: 1,
+            ..Default::default()
         };
+        a.iter_hist[0] = 8;
+        a.iter_hist[3] = 2;
         assert!((a.occupancy() - 0.75).abs() < 1e-15);
-        a.merge(BatchReport {
+        let mut b = BatchReport {
             lanes: 2,
             vector_lanes: 2,
-        });
+            ..Default::default()
+        };
+        b.iter_hist[0] = 2;
+        a.merge(b);
         assert_eq!(a.lanes, 10);
         assert_eq!(a.vector_lanes, 8);
+        assert_eq!(a.plateau_lanes, 1);
+        assert_eq!(a.iter_hist[0], 10);
+        assert_eq!(a.iter_hist[3], 2);
     }
 
     #[test]

@@ -156,6 +156,7 @@ impl Eos for GammaLaw {
         Ok(BatchReport {
             lanes: lanes as u64,
             vector_lanes: lanes as u64,
+            ..Default::default()
         })
     }
 }

@@ -5,12 +5,18 @@ use crate::consts::{A_RAD, H_PLANCK, K_B, N_A};
 use crate::table::{ElecPoint, HelmTable, TableConfig};
 use crate::{BatchReport, Eos, EosBatch, EosError, EosMode, EosState};
 
+use crate::batch::NEWTON_HIST_BINS;
 use rflash_hugepages::Policy;
+use rflash_simd::Resolved;
 use std::cell::RefCell;
 
 /// The white-dwarf-matter EOS of the paper's supernova simulations.
 pub struct Helmholtz {
     table: HelmTable,
+    /// SIMD backend the batched table path dispatches on; set from
+    /// `RuntimeParams::simd_backend` via [`Self::set_simd`], defaults to
+    /// the resolved native backend.
+    simd: Resolved,
     /// Include the photon gas (on in FLASH; switchable for tests).
     pub include_radiation: bool,
     /// Include the ideal ion gas.
@@ -43,6 +49,7 @@ impl Helmholtz {
     pub fn build(config: TableConfig, policy: Policy) -> Result<Helmholtz, EosError> {
         Ok(Helmholtz {
             table: HelmTable::build(config, policy)?,
+            simd: rflash_simd::resolve(rflash_simd::Backend::default()),
             include_radiation: true,
             include_ions: true,
             include_coulomb: false,
@@ -58,6 +65,7 @@ impl Helmholtz {
     ) -> Result<Helmholtz, EosError> {
         Ok(Helmholtz {
             table: HelmTable::build_or_load(config, policy, cache)?,
+            simd: rflash_simd::resolve(rflash_simd::Backend::default()),
             include_radiation: true,
             include_ions: true,
             include_coulomb: false,
@@ -67,6 +75,11 @@ impl Helmholtz {
     /// Access the underlying table (harness: TLB registration, backing audit).
     pub fn table(&self) -> &HelmTable {
         &self.table
+    }
+
+    /// Select the SIMD backend the batched table path dispatches on.
+    pub fn set_simd(&mut self, simd: Resolved) {
+        self.simd = simd;
     }
 
     fn evaluate(&self, dens: f64, temp: f64, abar: f64, zbar: f64) -> Result<Eval, EosError> {
@@ -201,28 +214,33 @@ impl Helmholtz {
         }
     }
 
-    /// Lane-parallel replica of [`Self::invert`]'s in-loop control flow.
+    /// Lane-parallel replica of [`Self::invert`], plateau acceptance
+    /// included.
     ///
     /// Every lane follows *exactly* the scalar iteration (same clamp, same
-    /// bracket updates, same Newton-vs-bisection decision), but the table
-    /// interpolation — the hot part — runs batched over the still-active
-    /// lanes each round via [`HelmTable::interp_lanes`]. A lane that hits
-    /// the clean `|resid| < 1e-10` exit therefore lands on the bit-identical
-    /// (T, Eval) the scalar solve would return. Lanes that leave the loop
-    /// any other way (bracket collapse, 160 iterations) are marked
-    /// [`LANE_FALLBACK`]: the scalar `invert`'s best-point tracking only
-    /// matters for its post-loop plateau acceptance, so those lanes are
-    /// re-solved through the scalar path by the caller, reproducing the
-    /// plateau/`NoConvergence` outcome exactly.
+    /// bracket updates, same best-point tracking, same Newton-vs-bisection
+    /// decision), but the table interpolation — the hot part — runs batched
+    /// over the still-active lanes each round via
+    /// [`HelmTable::interp_lanes`], so non-converged lanes stay in the
+    /// compacted active set as a masked re-iteration instead of dropping to
+    /// a scalar re-solve. A lane that hits the clean `|resid| < 1e-10` exit
+    /// lands on the bit-identical (T, Eval) the scalar solve would return
+    /// ([`LANE_VECTOR`]); a lane that leaves any other way (bracket
+    /// collapse, 160 iterations) is resolved by the scalar path's
+    /// residual-plateau criterion on its bit-identical best point
+    /// ([`LANE_PLATEAU`] or the same `NoConvergence` error). Returns the
+    /// active-lane histogram per iteration (occupancy decay).
+    #[allow(clippy::too_many_arguments)] // one borrowed SoA lane per input
     fn invert_lanes<F>(
         &self,
         sc: &mut BatchScratch,
+        mode: &'static str,
         dens: &[f64],
         abar: &[f64],
         zbar: &[f64],
         temp_guess: &[f64],
         f: F,
-    ) -> Result<(), EosError>
+    ) -> Result<[u64; NEWTON_HIST_BINS], EosError>
     where
         F: Fn(&Eval) -> (f64, f64), // (value, d(value)/dT)
     {
@@ -232,9 +250,13 @@ impl Helmholtz {
         sc.lo.resize(n, 0.0);
         sc.hi.resize(n, 0.0);
         sc.prev.resize(n, 0.0);
-        sc.status.resize(n, LANE_FALLBACK);
+        sc.status.resize(n, LANE_ACTIVE);
         sc.t_sol.resize(n, 0.0);
         sc.ev_sol.resize(n, Eval::default());
+        sc.best_r.resize(n, 0.0);
+        sc.best_t.resize(n, 0.0);
+        sc.best_ev.resize(n, Eval::default());
+        sc.best_set.resize(n, false);
         for (l, &guess) in temp_guess.iter().enumerate() {
             let mut t = guess.clamp(tmin * 1.0001, tmax * 0.9999);
             if !t.is_finite() || t <= 0.0 {
@@ -245,15 +267,18 @@ impl Helmholtz {
             sc.hi[l] = tmax;
             sc.prev[l] = f64::INFINITY;
             sc.status[l] = LANE_ACTIVE;
+            sc.best_set[l] = false;
         }
         sc.active.clear();
         sc.active.extend(0..n);
 
+        let mut hist = [0u64; NEWTON_HIST_BINS];
         for iter in 0..160 {
             let n_active = sc.active.len();
             if n_active == 0 {
                 break;
             }
+            hist[iter.min(NEWTON_HIST_BINS - 1)] += n_active as u64;
             // Compact the active lanes so the interpolation runs over
             // contiguous inputs.
             sc.c_dens.clear();
@@ -274,7 +299,7 @@ impl Helmholtz {
             sc.c_ele.clear();
             sc.c_ele.resize(n_active, ElecPoint::default());
             self.table
-                .interp_lanes(&sc.c_rho, &sc.c_temp, &mut sc.c_ele)?;
+                .interp_lanes(self.simd, &sc.c_rho, &sc.c_temp, &mut sc.c_ele)?;
 
             let mut w = 0;
             for i in 0..n_active {
@@ -289,6 +314,15 @@ impl Helmholtz {
                 let (value, dvdt) = f(&ev);
                 let goal = sc.goal[l];
                 let resid = (value - goal) / goal.abs().max(f64::MIN_POSITIVE);
+                // Best-point tracking BEFORE the clean exit, exactly like
+                // the scalar `is_none_or` (a NaN residual is recorded when
+                // nothing was recorded yet, never displaces a finite one).
+                if !sc.best_set[l] || resid.abs() < sc.best_r[l] {
+                    sc.best_set[l] = true;
+                    sc.best_r[l] = resid.abs();
+                    sc.best_t[l] = sc.t[l];
+                    sc.best_ev[l] = ev;
+                }
                 if resid.abs() < 1e-10 {
                     sc.status[l] = LANE_VECTOR;
                     sc.t_sol[l] = sc.t[l];
@@ -301,7 +335,8 @@ impl Helmholtz {
                     sc.lo[l] = sc.lo[l].max(sc.t[l]);
                 }
                 if sc.hi[l] / sc.lo[l] < 1.0 + 1e-14 {
-                    sc.status[l] = LANE_FALLBACK;
+                    // Bracket collapse: leave the masked set, plateau-check
+                    // below.
                     continue;
                 }
                 let newton = sc.t[l] - (value - goal) / dvdt;
@@ -320,37 +355,34 @@ impl Helmholtz {
             }
             sc.active.truncate(w);
         }
-        // Lanes that exhausted the iteration budget go to the scalar path.
-        for &l in &sc.active {
-            sc.status[l] = LANE_FALLBACK;
-        }
-        Ok(())
-    }
 
-    /// Scalar re-solve for one lane that left the vector iteration without
-    /// a clean exit; writes the lane outputs exactly as the default batch
-    /// fallback would.
-    fn fallback_lane(&self, mode: EosMode, b: &mut EosBatch<'_>, l: usize) -> Result<(), EosError> {
-        let mut s = EosState {
-            dens: b.dens[l],
-            temp: b.temp[l],
-            abar: b.abar[l],
-            zbar: b.zbar[l],
-            pres: b.pres[l],
-            eint: b.eint[l],
-            entr: 0.0,
-            gamc: 0.0,
-            game: 0.0,
-            cs: 0.0,
-            cv: 0.0,
-        };
-        self.call(mode, &mut s)?;
-        b.temp[l] = s.temp;
-        b.pres[l] = s.pres;
-        b.eint[l] = s.eint;
-        b.gamc[l] = s.gamc;
-        b.game[l] = s.game;
-        Ok(())
+        // Post-loop plateau resolution, in lane order so the first failing
+        // lane yields the same error the scalar path's per-zone abort
+        // would. The criterion and the accepted (T, Eval) are bit-identical
+        // to `invert`'s tail because the tracked best point is.
+        for l in 0..n {
+            if sc.status[l] == LANE_VECTOR {
+                continue;
+            }
+            if !sc.best_set[l] {
+                return Err(EosError::NoConvergence {
+                    mode,
+                    residual: f64::INFINITY,
+                });
+            }
+            let edge_pinned = sc.best_t[l] < tmin * 1.01 || sc.best_t[l] > tmax * 0.99;
+            if sc.best_r[l] < 1e-2 || (edge_pinned && sc.best_r[l] < 0.5) {
+                sc.status[l] = LANE_PLATEAU;
+                sc.t_sol[l] = sc.best_t[l];
+                sc.ev_sol[l] = sc.best_ev[l];
+            } else {
+                return Err(EosError::NoConvergence {
+                    mode,
+                    residual: sc.best_r[l],
+                });
+            }
+        }
+        Ok(hist)
     }
 }
 
@@ -358,8 +390,9 @@ impl Helmholtz {
 const LANE_ACTIVE: u8 = 0;
 /// Clean `|resid| < 1e-10` exit — the vector path's solution is used as-is.
 const LANE_VECTOR: u8 = 1;
-/// Bracket collapse or iteration exhaustion — re-solved via scalar `call`.
-const LANE_FALLBACK: u8 = 2;
+/// Bracket collapse or iteration exhaustion, accepted on the scalar path's
+/// residual-plateau criterion at the lane's best-tracked point.
+const LANE_PLATEAU: u8 = 2;
 
 /// Reusable per-thread scratch for the batched solve: grown once to the
 /// widest batch seen on this thread, then reused allocation-free.
@@ -373,6 +406,10 @@ struct BatchScratch {
     status: Vec<u8>,
     t_sol: Vec<f64>,
     ev_sol: Vec<Eval>,
+    best_r: Vec<f64>,
+    best_t: Vec<f64>,
+    best_ev: Vec<Eval>,
+    best_set: Vec<bool>,
     active: Vec<usize>,
     c_dens: Vec<f64>,
     c_temp: Vec<f64>,
@@ -512,11 +549,13 @@ impl Eos for Helmholtz {
         "helmholtz"
     }
 
-    /// Vectorized batch path: table gather + bicubic evaluation run as lane
-    /// loops over the whole batch; `DensEi`/`DensPres` lanes that do not hit
-    /// the clean convergence exit fall back to the scalar solve. Outputs are
-    /// bit-identical to per-zone [`Eos::call`] on every lane (see
-    /// [`crate::batch`] for the contract, `invert_lanes` for why).
+    /// Vectorized batch path: table gather + bicubic evaluation run as
+    /// explicit lane loops over the whole batch; `DensEi`/`DensPres` lanes
+    /// that do not hit the clean convergence exit stay in the compacted
+    /// masked re-iteration and are resolved by the scalar path's
+    /// residual-plateau criterion. Outputs are bit-identical to per-zone
+    /// [`Eos::call`] on every lane (see [`crate::batch`] for the contract,
+    /// `invert_lanes` for why).
     fn eos_batch(&self, mode: EosMode, b: &mut EosBatch<'_>) -> Result<BatchReport, EosError> {
         let lanes = b.lanes();
         if lanes == 0 {
@@ -570,7 +609,8 @@ impl Eos for Helmholtz {
                 }
                 sc.c_ele.clear();
                 sc.c_ele.resize(lanes, ElecPoint::default());
-                self.table.interp_lanes(&sc.c_rho, &*b.temp, &mut sc.c_ele)?;
+                self.table
+                    .interp_lanes(self.simd, &sc.c_rho, &*b.temp, &mut sc.c_ele)?;
                 for l in 0..lanes {
                     let ev = self.assemble(sc.c_ele[l], b.dens[l], b.temp[l], b.abar[l], b.zbar[l]);
                     b.pres[l] = ev.pres;
@@ -584,6 +624,7 @@ impl Eos for Helmholtz {
                 return Ok(BatchReport {
                     lanes: lanes as u64,
                     vector_lanes: lanes as u64,
+                    ..Default::default()
                 });
             }
 
@@ -594,51 +635,60 @@ impl Eos for Helmholtz {
                 // DensTemp returned above — this arm is statically unreachable.
                 EosMode::DensTemp => unreachable!(),
             }
-            {
+            let iter_hist = {
                 // Split the borrow: invert_lanes mutates the solver fields
                 // while reading the batch's input lanes.
                 let (dens, abar, zbar, temp) = (&*b.dens, &*b.abar, &*b.zbar, &*b.temp);
                 match mode {
-                    EosMode::DensEi => {
-                        self.invert_lanes(sc, dens, abar, zbar, temp, |ev| (ev.eint, ev.cv))?
-                    }
-                    _ => self.invert_lanes(sc, dens, abar, zbar, temp, |ev| (ev.pres, ev.dpdt))?,
+                    EosMode::DensEi => self.invert_lanes(sc, "DensEi", dens, abar, zbar, temp, |ev| {
+                        (ev.eint, ev.cv)
+                    })?,
+                    _ => self.invert_lanes(sc, "DensPres", dens, abar, zbar, temp, |ev| {
+                        (ev.pres, ev.dpdt)
+                    })?,
                 }
-            }
+            };
 
+            // Every lane is now LANE_VECTOR or LANE_PLATEAU (a failed
+            // plateau check returned the scalar path's error above); both
+            // share the output tail because the scalar `invert` returns its
+            // plateau best point through the identical `Ok` path.
             let mut vector_lanes = 0u64;
+            let mut plateau_lanes = 0u64;
             for l in 0..lanes {
                 if sc.status[l] == LANE_VECTOR {
                     vector_lanes += 1;
-                    let ev = sc.ev_sol[l];
-                    let t = sc.t_sol[l];
-                    // Replicates `call`'s tail: temp = t, apply(), goal
-                    // restored, finish_derived() — same expressions in the
-                    // same order, so each output is bit-identical.
-                    let chi = ev.dpdr + t * ev.dpdt * ev.dpdt / (b.dens[l] * b.dens[l] * ev.cv);
-                    b.temp[l] = t;
-                    b.gamc[l] = (chi * b.dens[l] / ev.pres).max(1.01);
-                    match mode {
-                        EosMode::DensEi => {
-                            b.pres[l] = ev.pres;
-                            // eint stays the conserved goal.
-                            b.game[l] = 1.0
-                                + ev.pres / (b.dens[l] * sc.goal[l]).max(f64::MIN_POSITIVE);
-                        }
-                        _ => {
-                            b.eint[l] = ev.eint;
-                            // pres stays the goal.
-                            b.game[l] = 1.0
-                                + sc.goal[l] / (b.dens[l] * ev.eint).max(f64::MIN_POSITIVE);
-                        }
-                    }
                 } else {
-                    self.fallback_lane(mode, b, l)?;
+                    plateau_lanes += 1;
+                }
+                let ev = sc.ev_sol[l];
+                let t = sc.t_sol[l];
+                // Replicates `call`'s tail: temp = t, apply(), goal
+                // restored, finish_derived() — same expressions in the
+                // same order, so each output is bit-identical.
+                let chi = ev.dpdr + t * ev.dpdt * ev.dpdt / (b.dens[l] * b.dens[l] * ev.cv);
+                b.temp[l] = t;
+                b.gamc[l] = (chi * b.dens[l] / ev.pres).max(1.01);
+                match mode {
+                    EosMode::DensEi => {
+                        b.pres[l] = ev.pres;
+                        // eint stays the conserved goal.
+                        b.game[l] =
+                            1.0 + ev.pres / (b.dens[l] * sc.goal[l]).max(f64::MIN_POSITIVE);
+                    }
+                    _ => {
+                        b.eint[l] = ev.eint;
+                        // pres stays the goal.
+                        b.game[l] =
+                            1.0 + sc.goal[l] / (b.dens[l] * ev.eint).max(f64::MIN_POSITIVE);
+                    }
                 }
             }
             Ok(BatchReport {
                 lanes: lanes as u64,
                 vector_lanes,
+                plateau_lanes,
+                iter_hist,
             })
         })
     }
@@ -823,8 +873,8 @@ mod tests {
             zbar.push(z);
             // Perturbed goals: convergent lanes, plus non-converging lanes
             // (goal far below the table's representable floor -> the scalar
-            // path only plateaus edge-pinned, i.e. the batch must take its
-            // scalar fallback).
+            // path only plateaus edge-pinned, i.e. the batch must resolve
+            // them through its masked plateau acceptance).
             let scale = match i % 4 {
                 0 => 1.0 + 0.3 * next(),
                 1 => 0.7,
@@ -868,12 +918,25 @@ mod tests {
         match h.eos_batch(EosMode::DensEi, &mut b) {
             Ok(report) => {
                 assert_eq!(report.lanes, n as u64);
-                // The seeded grid must exercise BOTH paths: mostly-clean
-                // Newton lanes and scalar-fallback lanes.
+                // The seeded grid must exercise BOTH exits: mostly clean
+                // Newton lanes and plateau-accepted lanes.
                 assert!(report.vector_lanes > 0, "no lane took the vector path");
                 assert!(
-                    report.vector_lanes < n as u64,
-                    "no lane took the scalar fallback"
+                    report.plateau_lanes > 0,
+                    "no lane exercised the plateau acceptance"
+                );
+                assert_eq!(
+                    report.vector_lanes + report.plateau_lanes,
+                    n as u64,
+                    "every lane is clean-converged or plateau-accepted"
+                );
+                // Occupancy decay: everyone enters iteration 0; some lanes
+                // survive into later iterations.
+                assert_eq!(report.iter_hist[0], n as u64);
+                assert!(report.iter_hist[1] > 0, "no lane iterated twice");
+                assert!(
+                    report.iter_hist[1] <= report.iter_hist[0],
+                    "active-lane count must decay"
                 );
                 for l in 0..n {
                     let s = scalar[l].as_ref().unwrap_or_else(|e| {

@@ -195,6 +195,7 @@ pub trait Eos: Send + Sync {
         Ok(BatchReport {
             lanes: lanes as u64,
             vector_lanes: 0,
+            ..Default::default()
         })
     }
 }

@@ -13,6 +13,7 @@
 //! 12 planes — the access signature the TLB model replays.
 
 use rflash_hugepages::{PageBuffer, Policy};
+use rflash_simd::{Lane, Resolved, WithLanes};
 use serde::{Deserialize, Serialize};
 
 use crate::electron::electron_state_with_guess;
@@ -263,23 +264,31 @@ impl HelmTable {
         Ok(self.interp_located(ir, it, tx, ty))
     }
 
-    /// Interpolate a whole batch of (ρYₑ, T) lanes: the located cell indices
-    /// are gathered first, then the bicubic accumulation runs as one lane
-    /// loop over the shared per-point kernel — the batched table path of the
-    /// vectorized Helmholtz EOS. Lanes are bit-identical to [`Self::interp`];
-    /// the first out-of-domain lane aborts the batch.
+    /// Interpolate a whole batch of (ρYₑ, T) lanes under the given SIMD
+    /// backend: cells are located per lane (scalar, data-dependent), then the
+    /// Hermite basis and the 48-gather bicubic accumulation run as explicit
+    /// `W`-wide lane ops — the batched table path of the vectorized Helmholtz
+    /// EOS. Every backend is bit-identical to [`Self::interp`] (same op
+    /// order, no contractions; the final `10^x` runs per lane through the
+    /// identical scalar `powf`). The first out-of-domain lane aborts the
+    /// batch.
     pub fn interp_lanes(
         &self,
+        simd: Resolved,
         rho_ye: &[f64],
         temp: &[f64],
         out: &mut [ElecPoint],
     ) -> Result<(), EosError> {
         debug_assert!(rho_ye.len() == temp.len() && rho_ye.len() == out.len());
-        for ((&r, &t), o) in rho_ye.iter().zip(temp.iter()).zip(out.iter_mut()) {
-            let (ir, it, tx, ty) = self.locate(r, t)?;
-            *o = self.interp_located(ir, it, tx, ty);
-        }
-        Ok(())
+        rflash_simd::dispatch(
+            simd,
+            InterpLanes {
+                table: self,
+                rho_ye,
+                temp,
+                out,
+            },
+        )
     }
 
     /// The bicubic Hermite kernel at an already-located cell; shared by the
@@ -373,6 +382,169 @@ impl HelmTable {
         }
         Ok(())
     }
+}
+
+/// Widest lane any compiled backend uses; sizes the per-chunk scratch
+/// arrays of the vectorized interpolation.
+const MAX_W: usize = 8;
+
+/// The lane-dispatch visitor behind [`HelmTable::interp_lanes`].
+struct InterpLanes<'a> {
+    table: &'a HelmTable,
+    rho_ye: &'a [f64],
+    temp: &'a [f64],
+    out: &'a mut [ElecPoint],
+}
+
+impl WithLanes for InterpLanes<'_> {
+    type Output = Result<(), EosError>;
+
+    #[inline(always)]
+    fn with_lanes<L: Lane>(self) -> Result<(), EosError> {
+        debug_assert!(L::W <= MAX_W);
+        let t = self.table;
+        let data = t.data.as_slice();
+        let n = self.rho_ye.len();
+        let mut i = 0;
+        while i + L::W <= n {
+            // Locate each lane (scalar: data-dependent index math and the
+            // domain check, in lane order so the first bad lane errors).
+            let mut txs = [0.0; MAX_W];
+            let mut tys = [0.0; MAX_W];
+            let mut corner = [[0usize; MAX_W]; 4];
+            let nr = t.config.n_rho;
+            for k in 0..L::W {
+                let (ir, it, tx, ty) = t.locate(self.rho_ye[i + k], self.temp[i + k])?;
+                txs[k] = tx;
+                tys[k] = ty;
+                corner[0][k] = it * nr + ir;
+                corner[1][k] = it * nr + ir + 1;
+                corner[2][k] = (it + 1) * nr + ir;
+                corner[3][k] = (it + 1) * nr + ir + 1;
+            }
+            let (val, val_dx, val_dy) =
+                interp_cell::<L>(t, data, L::load(&txs), L::load(&tys), &corner);
+            for k in 0..L::W {
+                self.out[i + k] = ElecPoint {
+                    pres: 10f64.powf(val[0].extract(k)),
+                    ener: 10f64.powf(val[1].extract(k)),
+                    entr: 10f64.powf(val[2].extract(k)),
+                    dlnp_dlnr: val_dx[0].extract(k),
+                    dlnp_dlnt: val_dy[0].extract(k),
+                    dlne_dlnr: val_dx[1].extract(k),
+                    dlne_dlnt: val_dy[1].extract(k),
+                };
+            }
+            i += L::W;
+        }
+        // Tail through the scalar reference kernel (bit-identical to the
+        // lane kernel by the crate's contract, enforced by the tests here).
+        while i < n {
+            let (ir, it, tx, ty) = t.locate(self.rho_ye[i], self.temp[i])?;
+            self.out[i] = t.interp_located(ir, it, tx, ty);
+            i += 1;
+        }
+        Ok(())
+    }
+}
+
+/// The bicubic Hermite cell kernel, `W` points at once: a lane-for-lane
+/// replica of [`HelmTable::interp_located`]'s arithmetic (same order, no
+/// contractions) with the 48 scattered coefficient loads expressed as
+/// per-plane gathers. Returns (value, d/dx, d/dy) lanes per quantity, still
+/// in log10 space.
+#[inline(always)]
+fn interp_cell<L: Lane>(
+    t: &HelmTable,
+    data: &[f64],
+    tx: L,
+    ty: L,
+    corner: &[[usize; MAX_W]; 4],
+) -> ([L; N_QUANT], [L; N_QUANT], [L; N_QUANT]) {
+    let hx = hermite_basis_lanes::<L>(tx);
+    let hy = hermite_basis_lanes::<L>(ty);
+    let dhx = hermite_basis_deriv_lanes::<L>(tx);
+    let dhy = hermite_basis_deriv_lanes::<L>(ty);
+    let dx = L::splat(t.dx);
+    let dy = L::splat(t.dy);
+
+    let mut val = [L::splat(0.0); N_QUANT];
+    let mut val_dx = [L::splat(0.0); N_QUANT];
+    let mut val_dy = [L::splat(0.0); N_QUANT];
+    for q in 0..N_QUANT {
+        let mut acc = L::splat(0.0);
+        let mut acc_dx = L::splat(0.0);
+        let mut acc_dy = L::splat(0.0);
+        for (c, nodes) in corner.iter().enumerate() {
+            let cx = c % 2;
+            let cy = c / 2;
+            let v = gather_plane::<L>(t, data, q, 0, nodes);
+            let vx = gather_plane::<L>(t, data, q, 1, nodes).mul(dx);
+            let vy = gather_plane::<L>(t, data, q, 2, nodes).mul(dy);
+            let vxy = gather_plane::<L>(t, data, q, 3, nodes).mul(dx).mul(dy);
+            let (bx_v, bx_d) = (hx[cx * 2], hx[cx * 2 + 1]);
+            let (by_v, by_d) = (hy[cy * 2], hy[cy * 2 + 1]);
+            let (dbx_v, dbx_d) = (dhx[cx * 2], dhx[cx * 2 + 1]);
+            let (dby_v, dby_d) = (dhy[cy * 2], dhy[cy * 2 + 1]);
+            acc = acc.add(
+                v.mul(bx_v)
+                    .mul(by_v)
+                    .add(vx.mul(bx_d).mul(by_v))
+                    .add(vy.mul(bx_v).mul(by_d))
+                    .add(vxy.mul(bx_d).mul(by_d)),
+            );
+            acc_dx = acc_dx.add(
+                v.mul(dbx_v)
+                    .mul(by_v)
+                    .add(vx.mul(dbx_d).mul(by_v))
+                    .add(vy.mul(dbx_v).mul(by_d))
+                    .add(vxy.mul(dbx_d).mul(by_d)),
+            );
+            acc_dy = acc_dy.add(
+                v.mul(bx_v)
+                    .mul(dby_v)
+                    .add(vx.mul(bx_d).mul(dby_v))
+                    .add(vy.mul(bx_v).mul(dby_d))
+                    .add(vxy.mul(bx_d).mul(dby_d)),
+            );
+        }
+        val[q] = acc;
+        val_dx[q] = acc_dx.div(dx);
+        val_dy[q] = acc_dy.div(dy);
+    }
+    (val, val_dx, val_dy)
+}
+
+/// Gather one coefficient plane's value at each lane's corner node.
+#[inline(always)]
+fn gather_plane<L: Lane>(t: &HelmTable, data: &[f64], q: usize, d: usize, nodes: &[usize; MAX_W]) -> L {
+    let base = (q * N_DERIV + d) * t.config.n_temp * t.config.n_rho;
+    L::from_fn(|k| data[base + nodes[k]])
+}
+
+/// Lane twin of [`hermite_basis`], term order preserved.
+#[inline(always)]
+fn hermite_basis_lanes<L: Lane>(t: L) -> [L; 4] {
+    let t2 = t.mul(t);
+    let t3 = t2.mul(t);
+    [
+        L::splat(2.0).mul(t3).sub(L::splat(3.0).mul(t2)).add(L::splat(1.0)),
+        t3.sub(L::splat(2.0).mul(t2)).add(t),
+        L::splat(-2.0).mul(t3).add(L::splat(3.0).mul(t2)),
+        t3.sub(t2),
+    ]
+}
+
+/// Lane twin of [`hermite_basis_deriv`], term order preserved.
+#[inline(always)]
+fn hermite_basis_deriv_lanes<L: Lane>(t: L) -> [L; 4] {
+    let t2 = t.mul(t);
+    [
+        L::splat(6.0).mul(t2).sub(L::splat(6.0).mul(t)),
+        L::splat(3.0).mul(t2).sub(L::splat(4.0).mul(t)).add(L::splat(1.0)),
+        L::splat(-6.0).mul(t2).add(L::splat(6.0).mul(t)),
+        L::splat(3.0).mul(t2).sub(L::splat(2.0).mul(t)),
+    ]
 }
 
 /// Cubic Hermite basis at parameter t: [h00, h10, h01, h11] arranged as
@@ -517,13 +689,14 @@ mod tests {
     }
 
     #[test]
-    fn interp_lanes_is_bit_exact_vs_scalar() {
+    fn interp_lanes_is_bit_exact_vs_scalar_on_every_backend() {
         let table = test_table();
         let n = 37;
         let (x0, x1) = table.config.log_rho_ye;
         let (y0, y1) = table.config.log_temp;
         // Seeded quasi-random lattice across the whole domain (including
-        // both edges via the first/last lanes).
+        // both edges via the first/last lanes). n = 37 is prime, so every
+        // backend width exercises a non-empty tail.
         let rho_ye: Vec<f64> = (0..n)
             .map(|i| 10f64.powf(x0 + (x1 - x0) * (i as f64 / (n - 1) as f64)))
             .collect();
@@ -531,19 +704,37 @@ mod tests {
             .map(|i| 10f64.powf(y0 + (y1 - y0) * (((i * 17) % n) as f64 / (n - 1) as f64)))
             .collect();
         let mut lanes = vec![ElecPoint::default(); n];
-        table.interp_lanes(&rho_ye, &temp, &mut lanes).unwrap();
-        for i in 0..n {
-            let scalar = table.interp(rho_ye[i], temp[i]).unwrap();
-            assert_eq!(lanes[i].pres, scalar.pres, "lane {i} pres");
-            assert_eq!(lanes[i].ener, scalar.ener, "lane {i} ener");
-            assert_eq!(lanes[i].entr, scalar.entr, "lane {i} entr");
-            assert_eq!(lanes[i].dlnp_dlnt, scalar.dlnp_dlnt, "lane {i} dlnp_dlnt");
-            assert_eq!(lanes[i].dlne_dlnt, scalar.dlne_dlnt, "lane {i} dlne_dlnt");
+        for &backend in Resolved::all() {
+            table
+                .interp_lanes(backend, &rho_ye, &temp, &mut lanes)
+                .unwrap();
+            for i in 0..n {
+                let scalar = table.interp(rho_ye[i], temp[i]).unwrap();
+                assert_eq!(lanes[i].pres, scalar.pres, "{backend} lane {i} pres");
+                assert_eq!(lanes[i].ener, scalar.ener, "{backend} lane {i} ener");
+                assert_eq!(lanes[i].entr, scalar.entr, "{backend} lane {i} entr");
+                assert_eq!(
+                    lanes[i].dlnp_dlnr, scalar.dlnp_dlnr,
+                    "{backend} lane {i} dlnp_dlnr"
+                );
+                assert_eq!(
+                    lanes[i].dlnp_dlnt, scalar.dlnp_dlnt,
+                    "{backend} lane {i} dlnp_dlnt"
+                );
+                assert_eq!(
+                    lanes[i].dlne_dlnr, scalar.dlne_dlnr,
+                    "{backend} lane {i} dlne_dlnr"
+                );
+                assert_eq!(
+                    lanes[i].dlne_dlnt, scalar.dlne_dlnt,
+                    "{backend} lane {i} dlne_dlnt"
+                );
+            }
+            // Out-of-domain lane aborts the batch.
+            assert!(table
+                .interp_lanes(backend, &[1e20], &[1e7], &mut lanes[..1])
+                .is_err());
         }
-        // Out-of-domain lane aborts the batch.
-        assert!(table
-            .interp_lanes(&[1e20], &[1e7], &mut lanes[..1])
-            .is_err());
     }
 
     #[test]

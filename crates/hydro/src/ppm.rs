@@ -3,6 +3,17 @@
 //!
 //! Operates on 1-d pencils of zone averages and produces limited left/right
 //! interface states per zone.
+//!
+//! Two forms of each kernel exist: the scalar reference
+//! ([`reconstruct_into`], [`flattening_into`]) used by the scalar sweep
+//! engine and as the parity oracle, and lane-generic twins
+//! ([`reconstruct_lanes`], [`flattening_lanes`]) over [`rflash_simd::Lane`]
+//! used by the pencil engine under runtime dispatch. The twins replicate
+//! the scalar operation order exactly (branches become masked selects on
+//! speculatively computed values; see the bit-identity notes on each) so
+//! every backend produces bit-identical faces.
+
+use rflash_simd::{Lane, LaneMask, ScalarLane};
 
 /// Left/right face values of one zone's parabola.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -37,7 +48,8 @@ fn limited_slope(a: &[f64], i: usize) -> f64 {
 
 /// One zone's limited parabola face values — the per-zone kernel shared by
 /// [`reconstruct`] and [`reconstruct_into`] so both are bit-identical.
-#[inline]
+#[cfg_attr(debug_assertions, inline)]
+#[cfg_attr(not(debug_assertions), inline(always))]
 fn reconstruct_zone(a: &[f64], i: usize, f: f64) -> (f64, f64) {
     let mut am = interface_value(a, i - 1);
     let mut ap = interface_value(a, i);
@@ -149,6 +161,191 @@ pub fn flattening_into(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lane-generic twins (pencil engine hot path)
+// ---------------------------------------------------------------------------
+
+/// [`limited_slope`] on `W` consecutive zones starting at `j0`.
+///
+/// Bit-identity vs the scalar reference: on gated lanes (`dl*dr > 0`) the
+/// slope `d = 0.5*(dl+dr)` is nonzero and non-NaN, so
+/// `d.signum()*d.abs().min(lim)` equals `copysign(min(|d|, lim), d)`; the
+/// operands of `min` are positive and non-NaN there, where the x86 select
+/// `min` agrees with `f64::min`. Ungated lanes select the literal `0.0`.
+#[cfg_attr(debug_assertions, inline)]
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn slope_at<L: Lane>(a: &[f64], j0: usize) -> L {
+    let am1 = L::load(&a[j0 - 1..]);
+    let a0 = L::load(&a[j0..]);
+    let ap1 = L::load(&a[j0 + 1..]);
+    let d = L::splat(0.5).mul(ap1.sub(am1));
+    let dl = a0.sub(am1);
+    let dr = ap1.sub(a0);
+    let gate = dl.mul(dr).gt(L::splat(0.0));
+    let lim = L::splat(2.0).mul(dl.abs().min(dr.abs()));
+    let slope = d.abs().min(lim).copysign(d);
+    L::select(gate, slope, L::splat(0.0))
+}
+
+/// [`reconstruct_zone`] on `W` consecutive zones starting at `i`,
+/// writing `minus[i..i+W]`/`plus[i..i+W]`.
+///
+/// The scalar if/else-if monotonization becomes a select cascade over
+/// values computed from the *original* face pair — legal because the
+/// scalar branches are mutually exclusive and each reads only unmodified
+/// state. NaN discriminants take the scalar else-paths in both forms
+/// (`<=`/`>` compares are false on NaN, as are the lane masks).
+#[cfg_attr(debug_assertions, inline)]
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn reconstruct_at<L: Lane>(a: &[f64], flat: &[f64], minus: &mut [f64], plus: &mut [f64], i: usize) {
+    let s_m = slope_at::<L>(a, i - 1);
+    let s_0 = slope_at::<L>(a, i);
+    let s_p = slope_at::<L>(a, i + 1);
+    let am1 = L::load(&a[i - 1..]);
+    let a0 = L::load(&a[i..]);
+    let ap1 = L::load(&a[i + 1..]);
+    let half = L::splat(0.5);
+    let sixth = L::splat(6.0);
+    // interface_value(a, i-1) and interface_value(a, i).
+    let mut am = half.mul(am1.add(a0)).sub(s_0.sub(s_m).div(sixth));
+    let mut ap = half.mul(a0.add(ap1)).sub(s_p.sub(s_0).div(sixth));
+
+    // Blend toward the cell average where the flattening detector fired.
+    let f = L::load(&flat[i..]);
+    let one_m_f = L::splat(1.0).sub(f);
+    am = f.mul(am).add(one_m_f.mul(a0));
+    ap = f.mul(ap).add(one_m_f.mul(a0));
+
+    // CW84 monotonization (eq. 1.10) as a masked cascade.
+    let m_flat = ap.sub(a0).mul(a0.sub(am)).le(L::splat(0.0));
+    let d = ap.sub(am);
+    let six = sixth.mul(a0.sub(half.mul(am.add(ap))));
+    let m_hi = d.mul(six).gt(d.mul(d));
+    let m_lo = d.mul(d).neg().gt(d.mul(six)).and(m_hi.not());
+    let am_new = L::splat(3.0).mul(a0).sub(L::splat(2.0).mul(ap));
+    let ap_new = L::splat(3.0).mul(a0).sub(L::splat(2.0).mul(am));
+    let out_m = L::select(m_flat, a0, L::select(m_hi, am_new, am));
+    let out_p = L::select(m_flat, a0, L::select(m_lo, ap_new, ap));
+    out_m.store(&mut minus[i..]);
+    out_p.store(&mut plus[i..]);
+}
+
+/// Lane-generic twin of [`reconstruct_into`]: `W`-wide chunks through
+/// [`reconstruct_at`], scalar-lane tail through the *same* kernel at
+/// `W = 1`, so the tail is bit-identical by construction.
+#[cfg_attr(debug_assertions, inline)]
+#[cfg_attr(not(debug_assertions), inline(always))]
+pub fn reconstruct_lanes<L: Lane>(
+    a: &[f64],
+    lo: usize,
+    hi: usize,
+    flat: &[f64],
+    minus: &mut [f64],
+    plus: &mut [f64],
+) {
+    assert!(lo >= 2 && hi + 2 <= a.len());
+    assert!(minus.len() == a.len() && plus.len() == a.len());
+    let mut i = lo;
+    while i + L::W <= hi {
+        reconstruct_at::<L>(a, flat, minus, plus, i);
+        i += L::W;
+    }
+    while i < hi {
+        reconstruct_at::<ScalarLane>(a, flat, minus, plus, i);
+        i += 1;
+    }
+}
+
+/// Pass 1 of the flattening detector on `W` zones starting at `i`
+/// (callers restrict `i` to the guard-safe subrange).
+///
+/// Bit-identity notes: the pencil engine floors pressure lanes to
+/// `f64::MIN_POSITIVE` before calling, so the `min`/`max` chain sees
+/// positive non-NaN operands where select semantics equal `f64::min`/
+/// `f64::max`; `clamp` becomes the select chain `x<0 -> 0, x>1 -> 1, x`
+/// which matches `f64::clamp` including NaN passthrough; the guarded
+/// `dp/dp2` ratio is computed speculatively and discarded by mask; the
+/// running `out[i].min(chi)` keeps `min`'s first-operand-NaN rule on the
+/// `chi` side so a NaN `chi` leaves `out` untouched exactly like
+/// `f64::min`.
+#[cfg_attr(debug_assertions, inline)]
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn flatten_pass1_at<L: Lane>(pres: &[f64], velx: &[f64], out: &mut [f64], i: usize) {
+    const OMEGA1: f64 = 0.75;
+    const OMEGA2: f64 = 10.0;
+    const EPSILON: f64 = 0.33;
+    let dp = L::load(&pres[i + 1..]).sub(L::load(&pres[i - 1..]));
+    let dp2 = L::load(&pres[i + 2..]).sub(L::load(&pres[i - 2..]));
+    let compressive = L::load(&velx[i - 1..]).gt(L::load(&velx[i + 1..]));
+    let denom = L::load(&pres[i + 1..])
+        .min(L::load(&pres[i - 1..]))
+        .max(L::splat(f64::MIN_POSITIVE));
+    let strong = dp.abs().div(denom).gt(L::splat(EPSILON));
+    let gate = compressive.and(strong);
+    let ratio = L::select(dp2.abs().gt(L::splat(1e-300)), dp.div(dp2), L::splat(1.0));
+    let x = L::splat(OMEGA2).mul(ratio.sub(L::splat(OMEGA1)));
+    let clamped = L::select(
+        x.lt(L::splat(0.0)),
+        L::splat(0.0),
+        L::select(x.gt(L::splat(1.0)), L::splat(1.0), x),
+    );
+    let chi = L::splat(1.0).sub(clamped);
+    let cur = L::load(&out[i..]);
+    L::select(gate, chi.min(cur), cur).store(&mut out[i..]);
+}
+
+/// Pass 2 (neighbor-min spread) on `W` zones starting at `i`.
+#[cfg_attr(debug_assertions, inline)]
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn flatten_pass2_at<L: Lane>(snap: &[f64], out: &mut [f64], i: usize) {
+    L::load(&snap[i - 1..])
+        .min(L::load(&snap[i..]))
+        .min(L::load(&snap[i + 1..]))
+        .store(&mut out[i..]);
+}
+
+/// Lane-generic twin of [`flattening_into`]. The scalar loop's per-zone
+/// guards (`i < 2 || i + 2 >= len` ⇒ untouched, `i >= 1 && i + 1 < len`)
+/// become subrange clamps — zones outside keep the pass's incoming value
+/// exactly as the scalar `continue` leaves them.
+#[cfg_attr(debug_assertions, inline)]
+#[cfg_attr(not(debug_assertions), inline(always))]
+pub fn flattening_lanes<L: Lane>(
+    pres: &[f64],
+    velx: &[f64],
+    lo: usize,
+    hi: usize,
+    out: &mut [f64],
+    snap: &mut [f64],
+) {
+    assert_eq!(out.len(), pres.len());
+    assert_eq!(snap.len(), pres.len());
+    out.fill(1.0);
+    let s_lo = lo.max(2);
+    let s_hi = hi.min(pres.len().saturating_sub(2));
+    let mut i = s_lo;
+    while i + L::W <= s_hi {
+        flatten_pass1_at::<L>(pres, velx, out, i);
+        i += L::W;
+    }
+    while i < s_hi {
+        flatten_pass1_at::<ScalarLane>(pres, velx, out, i);
+        i += 1;
+    }
+    snap.copy_from_slice(out);
+    let t_lo = lo.max(1);
+    let t_hi = hi.min(pres.len().saturating_sub(1));
+    let mut i = t_lo;
+    while i + L::W <= t_hi {
+        flatten_pass2_at::<L>(snap, out, i);
+        i += L::W;
+    }
+    while i < t_hi {
+        flatten_pass2_at::<ScalarLane>(snap, out, i);
+        i += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +436,70 @@ mod tests {
         for i in 2..14 {
             assert_eq!(faces[i].minus, minus[i], "zone {i}");
             assert_eq!(faces[i].plus, plus[i], "zone {i}");
+        }
+    }
+
+    struct PpmLanes<'a> {
+        a: &'a [f64],
+        velx: &'a [f64],
+        lo: usize,
+        hi: usize,
+        flat: &'a mut [f64],
+        snap: &'a mut [f64],
+        minus: &'a mut [f64],
+        plus: &'a mut [f64],
+    }
+
+    impl rflash_simd::WithLanes for PpmLanes<'_> {
+        type Output = ();
+        #[cfg_attr(debug_assertions, inline)]
+        #[cfg_attr(not(debug_assertions), inline(always))]
+        fn with_lanes<L: Lane>(self) {
+            flattening_lanes::<L>(self.a, self.velx, self.lo, self.hi, self.flat, self.snap);
+            reconstruct_lanes::<L>(self.a, self.lo, self.hi, self.flat, self.minus, self.plus);
+        }
+    }
+
+    #[test]
+    fn lane_twins_match_scalar_reference_bit_exactly_on_every_backend() {
+        // Positive, shock-bearing data (the pencil engine floors pressure
+        // before flattening; replicate that precondition here).
+        let n = 23; // prime: exercises every chunk/tail split
+        let a: Vec<f64> = (0..n)
+            .map(|i| ((i as f64 * 0.9).sin() * 3.0).exp() + if i > n / 2 { 40.0 } else { 0.0 })
+            .collect();
+        let velx: Vec<f64> = (0..n).map(|i| (11.0 - i as f64) * 0.3).collect();
+
+        let mut flat_ref = vec![0.0; n];
+        let mut snap = vec![0.0; n];
+        flattening_into(&a, &velx, 2, n - 2, &mut flat_ref, &mut snap);
+        let mut minus_ref = vec![0.0; n];
+        let mut plus_ref = vec![0.0; n];
+        reconstruct_into(&a, 2, n - 2, &flat_ref, &mut minus_ref, &mut plus_ref);
+
+        for &backend in rflash_simd::Resolved::all() {
+            let mut flat = vec![0.0; n];
+            let mut snap = vec![0.0; n];
+            let mut minus = vec![0.0; n];
+            let mut plus = vec![0.0; n];
+            rflash_simd::dispatch(
+                backend,
+                PpmLanes {
+                    a: &a,
+                    velx: &velx,
+                    lo: 2,
+                    hi: n - 2,
+                    flat: &mut flat,
+                    snap: &mut snap,
+                    minus: &mut minus,
+                    plus: &mut plus,
+                },
+            );
+            for i in 0..n {
+                assert_eq!(flat[i].to_bits(), flat_ref[i].to_bits(), "{backend} flat {i}");
+                assert_eq!(minus[i].to_bits(), minus_ref[i].to_bits(), "{backend} minus {i}");
+                assert_eq!(plus[i].to_bits(), plus_ref[i].to_bits(), "{backend} plus {i}");
+            }
         }
     }
 

@@ -1,6 +1,10 @@
-//! Primitive and conserved state vectors for one zone.
+//! Primitive and conserved state vectors for one zone, plus the
+//! lane-generic twin [`PrimL`] holding `W` zones' states in packed lanes
+//! for the pencil engine's SIMD path. The twin replicates [`Prim`]'s
+//! operation order exactly so both are bit-identical per lane.
 
 use crate::NFLUX;
+use rflash_simd::Lane;
 
 /// Primitive state in the sweep frame: `vel[0]` is the sweep-normal
 /// velocity, `vel[1..]` are transverse.
@@ -17,13 +21,15 @@ pub struct Prim {
 
 impl Prim {
     /// Adiabatic sound speed.
-    #[inline]
+    #[cfg_attr(debug_assertions, inline)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
     pub fn sound_speed(&self) -> f64 {
         (self.gamc * self.pres / self.dens).max(0.0).sqrt()
     }
 
     /// Conserved vector (ρ, ρu, ρv, ρw, ρE).
-    #[inline]
+    #[cfg_attr(debug_assertions, inline)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
     pub fn to_cons(&self) -> [f64; NFLUX] {
         [
             self.dens,
@@ -35,7 +41,8 @@ impl Prim {
     }
 
     /// Physical flux through a face normal to the sweep direction.
-    #[inline]
+    #[cfg_attr(debug_assertions, inline)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
     pub fn flux(&self) -> [f64; NFLUX] {
         let u = self.vel[0];
         let m = self.to_cons();
@@ -49,7 +56,8 @@ impl Prim {
     }
 
     /// Kinetic specific energy.
-    #[inline]
+    #[cfg_attr(debug_assertions, inline)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
     pub fn ekin(&self) -> f64 {
         0.5 * (self.vel[0] * self.vel[0] + self.vel[1] * self.vel[1] + self.vel[2] * self.vel[2])
     }
@@ -58,12 +66,94 @@ impl Prim {
 /// Recover velocity and specific total energy from a conserved vector;
 /// density floors protect against vacuum states created by strong
 /// rarefactions (FLASH's `smlrho`).
-#[inline]
+#[cfg_attr(debug_assertions, inline)]
+#[cfg_attr(not(debug_assertions), inline(always))]
 pub fn cons_to_vel_ener(u: &[f64; NFLUX], dens_floor: f64) -> (f64, [f64; 3], f64) {
     let dens = u[0].max(dens_floor);
     let inv = 1.0 / dens;
     let vel = [u[1] * inv, u[2] * inv, u[3] * inv];
     let ener = u[4] * inv;
+    (dens, vel, ener)
+}
+
+/// [`Prim`] over `W` packed zones — the lane-generic twin used by the
+/// pencil engine under dispatch. Each method mirrors the scalar method's
+/// operation order; `sound_speed`'s `max(0.0)` uses the lane select-`max`,
+/// which agrees bitwise with `f64::max` here because the argument is a
+/// product/quotient of positive floored quantities (never NaN, and a zero
+/// from underflow is positive).
+#[derive(Clone, Copy, Debug)]
+pub struct PrimL<L: Lane> {
+    pub dens: L,
+    pub vel: [L; 3],
+    pub pres: L,
+    pub ener: L,
+    pub gamc: L,
+}
+
+impl<L: Lane> PrimL<L> {
+    /// Adiabatic sound speed (twin of [`Prim::sound_speed`]).
+    #[cfg_attr(debug_assertions, inline)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    pub fn sound_speed(&self) -> L {
+        self.gamc
+            .mul(self.pres)
+            .div(self.dens)
+            .max(L::splat(0.0))
+            .sqrt()
+    }
+
+    /// Conserved vector (twin of [`Prim::to_cons`]).
+    #[cfg_attr(debug_assertions, inline)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    pub fn to_cons(&self) -> [L; NFLUX] {
+        [
+            self.dens,
+            self.dens.mul(self.vel[0]),
+            self.dens.mul(self.vel[1]),
+            self.dens.mul(self.vel[2]),
+            self.dens.mul(self.ener),
+        ]
+    }
+
+    /// Physical flux (twin of [`Prim::flux`]).
+    #[cfg_attr(debug_assertions, inline)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    pub fn flux(&self) -> [L; NFLUX] {
+        let u = self.vel[0];
+        let m = self.to_cons();
+        [
+            m[0].mul(u),
+            m[1].mul(u).add(self.pres),
+            m[2].mul(u),
+            m[3].mul(u),
+            m[4].add(self.pres).mul(u),
+        ]
+    }
+
+    /// Kinetic specific energy (twin of [`Prim::ekin`]).
+    #[cfg_attr(debug_assertions, inline)]
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    pub fn ekin(&self) -> L {
+        L::splat(0.5).mul(
+            self.vel[0]
+                .mul(self.vel[0])
+                .add(self.vel[1].mul(self.vel[1]))
+                .add(self.vel[2].mul(self.vel[2])),
+        )
+    }
+}
+
+/// Twin of [`cons_to_vel_ener`]. The density floor's `max` sees a positive
+/// floor constant, where the lane select-`max` equals `f64::max` bitwise
+/// (NaN/−0 in the first operand both yield the floor in either form).
+#[cfg_attr(debug_assertions, inline)]
+#[cfg_attr(not(debug_assertions), inline(always))]
+pub fn cons_to_vel_ener_lanes<L: Lane>(u: &[L; NFLUX], dens_floor: L) -> (L, [L; 3], L) {
+    let dens = u[0].max(dens_floor);
+    let inv = L::splat(1.0).div(dens);
+    let vel = [u[1].mul(inv), u[2].mul(inv), u[3].mul(inv)];
+    let ener = u[4].mul(inv);
     (dens, vel, ener)
 }
 

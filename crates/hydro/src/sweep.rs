@@ -84,6 +84,9 @@ pub struct SweepConfig {
     /// Huge-page policy for the per-rank pencil scratch arena (same
     /// degradation chain as `unk` itself).
     pub scratch_policy: Policy,
+    /// Resolved SIMD backend the pencil engine's lane kernels run on
+    /// (see `rflash_simd::resolve`; every backend is bit-identical).
+    pub simd: rflash_simd::Resolved,
 }
 
 impl Default for SweepConfig {
@@ -95,6 +98,7 @@ impl Default for SweepConfig {
             pattern_every: 0,
             engine: SweepEngine::default(),
             scratch_policy: Policy::None,
+            simd: rflash_simd::resolve(rflash_simd::Backend::default()),
         }
     }
 }

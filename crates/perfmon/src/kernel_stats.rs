@@ -39,6 +39,25 @@ pub struct KernelStats {
     /// fallback (batch occupancy = batch_vector_lanes / batch_lanes).
     #[serde(default)]
     pub batch_vector_lanes: u64,
+    /// Zones that exhausted the batched Newton iteration budget and were
+    /// accepted on the residual-plateau criterion instead. Counted apart
+    /// from `batch_vector_lanes` so occupancy numbers stay honest.
+    #[serde(default)]
+    pub batch_plateau_lanes: u64,
+    /// Zones processed in full-width SIMD chunks by the explicit lane
+    /// kernels (PPM / HLLC / update under dispatch).
+    #[serde(default)]
+    pub simd_chunk_lanes: u64,
+    /// Zones processed by the scalar-lane tail of those kernels
+    /// (mask occupancy = simd_chunk_lanes / (simd_chunk_lanes + simd_tail_lanes)).
+    #[serde(default)]
+    pub simd_tail_lanes: u64,
+    /// Active-lane histogram per batched-EOS Newton iteration: bin `i`
+    /// counts lanes still unconverged entering iteration `i` (last bin
+    /// accumulates everything past it). Shows how occupancy decays as the
+    /// masked re-iteration drains.
+    #[serde(default)]
+    pub newton_iter_hist: [u64; 16],
 }
 
 impl KernelStats {
@@ -99,6 +118,18 @@ impl KernelStats {
             self.batch_vector_lanes as f64 / self.batch_lanes as f64
         }
     }
+
+    /// Fraction of lane-kernel zones processed in full-width SIMD chunks
+    /// (the rest ran through the scalar-lane tail); 0 when the explicit
+    /// path never ran.
+    pub fn simd_occupancy(&self) -> f64 {
+        let total = self.simd_chunk_lanes + self.simd_tail_lanes;
+        if total == 0 {
+            0.0
+        } else {
+            self.simd_chunk_lanes as f64 / total as f64
+        }
+    }
 }
 
 impl Add for KernelStats {
@@ -115,6 +146,16 @@ impl Add for KernelStats {
             scatter_cells: self.scatter_cells + r.scatter_cells,
             batch_lanes: self.batch_lanes + r.batch_lanes,
             batch_vector_lanes: self.batch_vector_lanes + r.batch_vector_lanes,
+            batch_plateau_lanes: self.batch_plateau_lanes + r.batch_plateau_lanes,
+            simd_chunk_lanes: self.simd_chunk_lanes + r.simd_chunk_lanes,
+            simd_tail_lanes: self.simd_tail_lanes + r.simd_tail_lanes,
+            newton_iter_hist: {
+                let mut h = [0u64; 16];
+                for (i, slot) in h.iter_mut().enumerate() {
+                    *slot = self.newton_iter_hist[i] + r.newton_iter_hist[i];
+                }
+                h
+            },
         }
     }
 }
@@ -163,6 +204,16 @@ mod tests {
             scatter_cells: 8,
             batch_lanes: 9,
             batch_vector_lanes: 10,
+            batch_plateau_lanes: 11,
+            simd_chunk_lanes: 12,
+            simd_tail_lanes: 13,
+            newton_iter_hist: {
+                let mut h = [0u64; 16];
+                for (i, slot) in h.iter_mut().enumerate() {
+                    *slot = i as u64;
+                }
+                h
+            },
         };
         let sum = a + a;
         assert_eq!(sum.eos_calls, 12);
@@ -171,9 +222,22 @@ mod tests {
         assert_eq!(sum.scatter_cells, 16);
         assert_eq!(sum.batch_lanes, 18);
         assert_eq!(sum.batch_vector_lanes, 20);
+        assert_eq!(sum.batch_plateau_lanes, 22);
+        assert_eq!(sum.simd_chunk_lanes, 24);
+        assert_eq!(sum.simd_tail_lanes, 26);
+        assert_eq!(sum.newton_iter_hist[15], 30);
         let mut acc = KernelStats::default();
         acc += a;
         assert_eq!(acc, a);
+    }
+
+    #[test]
+    fn simd_occupancy_ratio() {
+        let mut s = KernelStats::default();
+        assert_eq!(s.simd_occupancy(), 0.0);
+        s.simd_chunk_lanes = 12;
+        s.simd_tail_lanes = 4;
+        assert!((s.simd_occupancy() - 0.75).abs() < 1e-15);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`hugepages`] | `rflash-hugepages` | THP/hugetlbfs regions, policies, `/proc` verification |
 //! | [`tlbsim`] | `rflash-tlbsim` | set-associative multi-page-size TLB model |
 //! | [`perfmon`] | `rflash-perfmon` | PAPI-like sessions, FLASH timers, hardware counters |
+//! | [`simd`] | `rflash-simd` | portable lane abstraction + runtime SIMD dispatch |
 //! | [`eos`] | `rflash-eos` | gamma-law + Helmholtz-style tabulated EOS |
 //! | [`mesh`] | `rflash-mesh` | PARAMESH-like AMR, `unk` container, flux registers |
 //! | [`hydro`] | `rflash-hydro` | split PPM + HLLC, Sedov analytic solution |
@@ -49,4 +50,5 @@ pub use rflash_hugepages as hugepages;
 pub use rflash_hydro as hydro;
 pub use rflash_mesh as mesh;
 pub use rflash_perfmon as perfmon;
+pub use rflash_simd as simd;
 pub use rflash_tlbsim as tlbsim;

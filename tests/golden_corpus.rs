@@ -115,6 +115,52 @@ fn golden_matrix_wd_relax() {
     assert_matrix_matches_golden("wd_relax");
 }
 
+/// The SIMD backend axis: pinning `simd_backend` to every explicit lane
+/// width must reproduce the committed golden digest bit-for-bit. This is
+/// the end-to-end form of the bit-identity contract (DESIGN.md §16) — the
+/// kernel-level parity tests in `crates/hydro` and `crates/simd` prove the
+/// lanes agree, this proves nothing upstream (dispatch, pencil carving,
+/// batched EOS plumbing) lets the choice of backend leak into the physics.
+fn assert_backend_axis_matches_golden(name: &str) {
+    let spec = registry::load(name).expect("registered scenario");
+    let golden = load_golden(&golden_dir(), name).expect("committed golden record");
+    let smoke = spec.at_smoke_scale();
+    for backend in [
+        rflash::simd::Backend::Scalar,
+        rflash::simd::Backend::V2,
+        rflash::simd::Backend::V4,
+        rflash::simd::Backend::Native,
+    ] {
+        let mut params =
+            registry::smoke_params(&smoke, 1, SweepEngine::Pencil, StepScheduler::TaskGraph);
+        params.simd_backend = backend;
+        let mut sim = smoke.build(params).expect("spec builds");
+        sim.evolve(smoke.smoke.steps);
+        let digest = StateDigest::of(&sim);
+        assert_eq!(
+            digest,
+            golden.digest,
+            "{name} with simd_backend={} drifted from the committed golden \
+             (resolved to {})",
+            backend.name(),
+            rflash::simd::resolve(backend).name()
+        );
+    }
+}
+
+#[test]
+fn golden_backend_axis_sedov() {
+    // Gamma-law scenario: exercises the pencil hydro lane kernels.
+    assert_backend_axis_matches_golden("sedov");
+}
+
+#[test]
+fn golden_backend_axis_supernova() {
+    // Helmholtz scenario: additionally exercises the batched bicubic table
+    // evaluation and the masked-re-iteration Newton inversion.
+    assert_backend_axis_matches_golden("supernova");
+}
+
 // ---------------------------------------------------------------------------
 // Spec-vs-legacy transliteration: bit identity
 // ---------------------------------------------------------------------------
