@@ -1,0 +1,272 @@
+//! Measure what fleet fault recovery *costs*, for CI's fleet-drill job.
+//!
+//! Three smoke-scale supervised runs of the same scenario:
+//!
+//! * clean — no faults; the fleet baseline.
+//! * kill — `worker-kill=nth:2` on the last rank; detection is immediate
+//!   (EOF on the pipe), so `s_kill − s_clean` is respawn + replay: the
+//!   restart latency.
+//! * silent — `heartbeat-drop=nth:2`; the worker stays alive but mute, so
+//!   recovery must wait out the heartbeat deadline and the probe ladder.
+//!   `s_silent − s_kill` isolates the detection latency.
+//!
+//! Every run must land on the committed golden digest — a benchmark of a
+//! recovery that produced the wrong answer is worse than no benchmark.
+//! Results append to `BENCH_fleet.json` (run from the repo root).
+//!
+//! Exit codes: 0 = recorded, 1 = contract violated, 2 = usage error.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rflash_core::registry::load_golden;
+use rflash_core::{run_fleet, FleetConfig, FleetReport};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct FleetRecord {
+    git_rev: String,
+    host: String,
+    scenario: String,
+    steps: u64,
+    workers: usize,
+    /// Clean supervised run (spawn + step loop + digest barrier).
+    s_clean: f64,
+    /// With one worker killed at a step boundary (EOF detection).
+    s_kill: f64,
+    /// With one worker silenced at a step boundary (timeout detection).
+    s_silent: f64,
+    /// `(s_kill − s_clean) / s_clean` — respawn + replay, as a fraction.
+    recovery_overhead: f64,
+    /// `s_kill − s_clean` in seconds — the restart latency.
+    restart_latency_s: f64,
+    /// `s_silent − s_kill` in seconds — heartbeat + probe-ladder cost.
+    detect_latency_s: f64,
+    /// Counters from the kill run (respawns, rollbacks, frames, bytes…).
+    kill_counters: serde_json::Value,
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rflash-fleet-bench-{}-{tag}", std::process::id()))
+}
+
+fn config(worker_bin: &Path, scenario: &str, steps: u64, workers: usize, tag: &str) -> FleetConfig {
+    let dir = scratch(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = FleetConfig::new(worker_bin.to_path_buf(), scenario, steps, dir);
+    cfg.workers = workers;
+    cfg.checkpoint_every = 1;
+    cfg.heartbeat_ms = 20;
+    cfg.heartbeat_timeout_ms = 400;
+    cfg.max_wall_ms = 300_000;
+    cfg
+}
+
+fn timed(cfg: FleetConfig, what: &str, golden_crc: u32) -> Result<(f64, FleetReport), String> {
+    let dir = cfg.series_dir.clone();
+    let t = Instant::now();
+    let report = run_fleet(cfg).map_err(|e| format!("{what} run failed: {e}"))?;
+    let s = t.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    if report.digest.crc != golden_crc {
+        return Err(format!(
+            "{what} run diverged from golden: {:08x} != {golden_crc:08x}",
+            report.digest.crc
+        ));
+    }
+    Ok((s, report))
+}
+
+fn bench(worker_bin: PathBuf, scenario: &str, steps: u64, workers: usize) -> i32 {
+    let golden = match load_golden(&PathBuf::from("golden"), scenario) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("FAIL: no golden record for {scenario}: {e}");
+            return 1;
+        }
+    };
+
+    // Warm-up: pay first-exec costs (binary page-in, allocator) outside
+    // the timed region.
+    if let Err(e) = timed(
+        config(&worker_bin, scenario, steps, workers, "warm"),
+        "warm-up",
+        golden.digest.crc,
+    ) {
+        eprintln!("FAIL: {e}");
+        return 1;
+    }
+
+    let (s_clean, clean) = match timed(
+        config(&worker_bin, scenario, steps, workers, "clean"),
+        "clean",
+        golden.digest.crc,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            return 1;
+        }
+    };
+    if clean.rollbacks != 0 {
+        eprintln!("FAIL: clean run rolled back {} time(s)", clean.rollbacks);
+        return 1;
+    }
+
+    let victim = workers - 1;
+    let mut kill_cfg = config(&worker_bin, scenario, steps, workers, "kill");
+    kill_cfg.worker_faults = vec![(victim, "worker-kill=nth:2".into())];
+    let (s_kill, kill) = match timed(kill_cfg, "kill", golden.digest.crc) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            return 1;
+        }
+    };
+    if kill.counters.respawns == 0 {
+        eprintln!("FAIL: kill run never respawned — the fault did not fire");
+        return 1;
+    }
+
+    let mut silent_cfg = config(&worker_bin, scenario, steps, workers, "silent");
+    silent_cfg.worker_faults = vec![(victim, "heartbeat-drop=nth:2".into())];
+    let (s_silent, silent) = match timed(silent_cfg, "silent", golden.digest.crc) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            return 1;
+        }
+    };
+    if silent.counters.heartbeat_misses == 0 {
+        eprintln!("FAIL: silent run never missed a heartbeat — the fault did not fire");
+        return 1;
+    }
+
+    let restart_latency_s = s_kill - s_clean;
+    let detect_latency_s = s_silent - s_kill;
+    let recovery_overhead = restart_latency_s / s_clean;
+    println!(
+        "{scenario} x{workers}, {steps} steps: clean {s_clean:.3} s, \
+         kill {s_kill:.3} s, silent {s_silent:.3} s"
+    );
+    println!(
+        "  restart latency {restart_latency_s:.3} s ({:.1}% of clean), \
+         detection latency {detect_latency_s:.3} s",
+        recovery_overhead * 100.0
+    );
+
+    let rec = FleetRecord {
+        git_rev: std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .unwrap_or_default(),
+        host: std::env::var("HOSTNAME").unwrap_or_default(),
+        scenario: scenario.to_string(),
+        steps,
+        workers,
+        s_clean,
+        s_kill,
+        s_silent,
+        recovery_overhead,
+        restart_latency_s,
+        detect_latency_s,
+        kill_counters: match serde_json::to_value(&kill.counters) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("FAIL: cannot serialize counters: {e}");
+                return 1;
+            }
+        },
+    };
+    let path = "BENCH_fleet.json";
+    let mut records: Vec<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    match serde_json::to_value(&rec) {
+        Ok(v) => records.push(v),
+        Err(e) => {
+            eprintln!("FAIL: cannot serialize record: {e}");
+            return 1;
+        }
+    }
+    match serde_json::to_string_pretty(&records) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("FAIL: cannot write {path}: {e}");
+                return 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: cannot serialize records: {e}");
+            return 1;
+        }
+    }
+    println!("appended to {path}");
+    0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario = "sedov".to_string();
+    let mut steps: u64 = 3;
+    let mut workers: usize = 2;
+    let mut worker_bin: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scenario" => match it.next() {
+                Some(v) => scenario = v.clone(),
+                None => {
+                    eprintln!("usage: --scenario <name>");
+                    std::process::exit(2);
+                }
+            },
+            "--steps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => steps = n,
+                None => {
+                    eprintln!("usage: --steps <N>");
+                    std::process::exit(2);
+                }
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 2 => workers = n,
+                _ => {
+                    eprintln!("usage: --workers <N >= 2>");
+                    std::process::exit(2);
+                }
+            },
+            "--worker-bin" => match it.next() {
+                Some(v) => worker_bin = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("usage: --worker-bin <path to rflash>");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument {other}; expected --scenario NAME, --steps N, \
+                     --workers N, or --worker-bin PATH"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // Default: the `rflash` binary sitting next to this one in target/.
+    let worker_bin = worker_bin.unwrap_or_else(|| {
+        std::env::current_exe()
+            .map(|p| p.with_file_name("rflash"))
+            .unwrap_or_else(|_| PathBuf::from("target/release/rflash"))
+    });
+    if !worker_bin.is_file() {
+        eprintln!(
+            "worker binary {} not found; build it first (cargo build --release) \
+             or pass --worker-bin",
+            worker_bin.display()
+        );
+        std::process::exit(2);
+    }
+    std::process::exit(bench(worker_bin, &scenario, steps, workers));
+}

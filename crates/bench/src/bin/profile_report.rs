@@ -187,11 +187,36 @@ fn main() {
         nranks: 2,
         ..RuntimeParams::with_mesh(setup.mesh_config())
     });
-    sim.evolve(steps.min(30));
+    // Drive the Sedov run step by step under a retention-bounded
+    // checkpoint series, so the report also shows what the `keep_last`
+    // policy actually did to the on-disk footprint.
+    let ckpt_dir =
+        std::env::temp_dir().join(format!("rflash-profile-series-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let series = rflash_core::CheckpointSeries::new(&ckpt_dir, "profile").keep_last(4);
+    let sedov_steps = steps.min(30);
+    let mut ckpt_written = 0u64;
+    for _ in 0..sedov_steps {
+        sim.evolve(1);
+        match series.write(&sim) {
+            Ok(_) => ckpt_written += 1,
+            Err(e) => {
+                println!("  checkpoint series write failed: {e}");
+                break;
+            }
+        }
+    }
     breakdown("3-d Sedov (hydro-dominated)", &sim);
     batch_report(&mut sim);
     rank_report(&sim.rank_loads());
     graph_report(&sim);
+    let retained = series.scan().map(|v| v.len()).unwrap_or(0);
+    println!(
+        "\ncheckpoint retention: {ckpt_written} written, {retained} retained \
+         (keep_last 4), {} pruned",
+        series.pruned_count()
+    );
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
 
     // Guardian interventions: a run that rolled back, halved dt, or fell
     // back to the scalar engine is not comparable to a clean run, and the

@@ -75,6 +75,10 @@ pub enum CheckpointError {
     },
     /// The file's slab geometry does not match the mesh it describes.
     SlabSizeMismatch { file: usize, mesh: usize },
+    /// The header declares more payload than the file holds — a torn
+    /// write, caught *before* any slab allocation or mesh rebuild trusts
+    /// the declared sizes.
+    PayloadBeyondEof { declared: u64, actual: u64 },
     /// A series scan found no restorable checkpoint.
     NoUsableCheckpoint { scanned: usize },
 }
@@ -107,6 +111,10 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::SlabSizeMismatch { file, mesh } => write!(
                 f,
                 "slab size mismatch: file says {file} doubles per block, mesh has {mesh}"
+            ),
+            CheckpointError::PayloadBeyondEof { declared, actual } => write!(
+                f,
+                "header declares {declared} bytes of payload but the file holds {actual}"
             ),
             CheckpointError::NoUsableCheckpoint { scanned } => write!(
                 f,
@@ -293,21 +301,25 @@ fn read_exact_or_truncated(
     })
 }
 
-/// Restore a checkpoint: verify the container CRCs, rebuild the tree
-/// topology (re-refining from the roots to match the stored leaf set), and
-/// load every leaf slab.
-pub fn read_checkpoint(path: &Path) -> Result<RestoredState, CheckpointError> {
-    let mut r = BufReader::new(std::fs::File::open(path)?);
+/// Read + validate the container header: length bound, CRC, format magic,
+/// internal consistency, and — *before* anything downstream trusts the
+/// declared sizes — that the payload the header promises actually fits in
+/// `file_size` bytes. Shared by [`read_checkpoint`] and
+/// [`verify_checkpoint`].
+fn read_validated_header(
+    r: &mut impl Read,
+    file_size: u64,
+) -> Result<CheckpointHeader, CheckpointError> {
     let mut len_bytes = [0u8; 8];
-    read_exact_or_truncated(&mut r, &mut len_bytes, || "header length".into())?;
-    let header_len = u64::from_le_bytes(len_bytes) as usize;
+    read_exact_or_truncated(r, &mut len_bytes, || "header length".into())?;
+    let header_len = u64::from_le_bytes(len_bytes);
     if header_len > 1 << 30 {
         return Err(CheckpointError::Format("unreasonable header length".into()));
     }
-    let mut header_json = vec![0u8; header_len];
-    read_exact_or_truncated(&mut r, &mut header_json, || "header".into())?;
+    let mut header_json = vec![0u8; header_len as usize];
+    read_exact_or_truncated(r, &mut header_json, || "header".into())?;
     let mut crc_bytes = [0u8; 4];
-    read_exact_or_truncated(&mut r, &mut crc_bytes, || "header CRC".into())?;
+    read_exact_or_truncated(r, &mut crc_bytes, || "header CRC".into())?;
     let stored = u32::from_le_bytes(crc_bytes);
     let computed = crc32(&header_json);
     if stored != computed {
@@ -327,6 +339,57 @@ pub fn read_checkpoint(path: &Path) -> Result<RestoredState, CheckpointError> {
             header.leaves.len()
         )));
     }
+    // Torn-write guard: a header that survived its CRC can still promise
+    // slabs a truncated file does not hold. Checked multiplication — a
+    // doctored header must not be able to overflow us into accepting.
+    let slab_bytes = (header.leaves.len() as u64)
+        .checked_mul(header.per_block as u64)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or_else(|| CheckpointError::Format("slab payload size overflows".into()))?;
+    let declared = 8 + header_len + 4 + slab_bytes;
+    if declared > file_size {
+        return Err(CheckpointError::PayloadBeyondEof {
+            declared,
+            actual: file_size,
+        });
+    }
+    Ok(header)
+}
+
+/// Light validation of a checkpoint file without rebuilding a mesh: header
+/// CRC + format + declared-payload-vs-file-size bound, then a streaming
+/// pass over every slab verifying its CRC. This is what the fleet
+/// supervisor uses to pick a rollback target — it must not pay for (or
+/// trust) a full [`Domain`] build just to learn whether a file is sound.
+pub fn verify_checkpoint(path: &Path) -> Result<CheckpointHeader, CheckpointError> {
+    let file = std::fs::File::open(path)?;
+    let file_size = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+    let header = read_validated_header(&mut r, file_size)?;
+    let mut slab = vec![0u8; header.per_block * 8];
+    for (index, key) in header.leaves.iter().enumerate() {
+        read_exact_or_truncated(&mut r, &mut slab, || format!("slab {index} ({key:?})"))?;
+        let computed = crc32(&slab);
+        let stored = header.slab_crcs[index];
+        if stored != computed {
+            return Err(CheckpointError::SlabCrc {
+                index,
+                stored,
+                computed,
+            });
+        }
+    }
+    Ok(header)
+}
+
+/// Restore a checkpoint: verify the container CRCs, rebuild the tree
+/// topology (re-refining from the roots to match the stored leaf set), and
+/// load every leaf slab.
+pub fn read_checkpoint(path: &Path) -> Result<RestoredState, CheckpointError> {
+    let file = std::fs::File::open(path)?;
+    let file_size = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+    let header = read_validated_header(&mut r, file_size)?;
 
     let mut domain = Domain::new(header.params.mesh, header.params.policy);
     if domain.unk.per_block() != header.per_block {
@@ -423,11 +486,20 @@ fn rebuild_topology(domain: &mut Domain, leaves: &[MortonKey]) -> Result<(), Che
 
 /// A numbered family of checkpoints in one directory
 /// (`<prefix>_NNNNNN.ckpt`), with newest-first recovery that skips
-/// truncated or corrupt files.
+/// truncated or corrupt files, and an optional [`keep_last`] retention
+/// policy so long drills don't accumulate unbounded files.
+///
+/// [`keep_last`]: CheckpointSeries::keep_last
 #[derive(Clone, Debug)]
 pub struct CheckpointSeries {
     dir: PathBuf,
     prefix: String,
+    /// `Some(n)`: after each successful write, unlink all but the newest
+    /// `n` checkpoints. `None`: keep everything.
+    retention: Option<usize>,
+    /// Total files pruned, shared across clones so drivers holding a copy
+    /// (the guardian, the fleet supervisor) see one running count.
+    pruned: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl CheckpointSeries {
@@ -436,7 +508,23 @@ impl CheckpointSeries {
         CheckpointSeries {
             dir: dir.into(),
             prefix: prefix.into(),
+            retention: None,
+            pruned: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
+    }
+
+    /// Keep only the newest `n` checkpoints, pruning older ones after each
+    /// successful write. `n` is clamped to at least 1 — a retention policy
+    /// must never delete the only recovery point.
+    pub fn keep_last(mut self, n: usize) -> Self {
+        self.retention = Some(n.max(1));
+        self
+    }
+
+    /// Files removed by the retention policy since this series (or any
+    /// clone of it) was created.
+    pub fn pruned_count(&self) -> u64 {
+        self.pruned.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The path a checkpoint at `step` lives at.
@@ -444,12 +532,47 @@ impl CheckpointSeries {
         self.dir.join(format!("{}_{:06}.ckpt", self.prefix, step))
     }
 
-    /// Write `sim`'s state as this series' checkpoint for its current step.
+    /// Write `sim`'s state as this series' checkpoint for its current step,
+    /// then apply the retention policy (if any).
     pub fn write(&self, sim: &crate::Simulation) -> Result<PathBuf, CheckpointError> {
         std::fs::create_dir_all(&self.dir)?;
         let path = self.path_for(sim.step);
         sim.checkpoint(&path)?;
+        self.prune()?;
         Ok(path)
+    }
+
+    /// Unlink everything but the newest `retention` files. The unlinks are
+    /// made durable with a directory fsync — same contract as the rename
+    /// in [`write_checkpoint`]: after a crash, the set of files present is
+    /// one this code actually produced, not an arbitrary interleaving.
+    fn prune(&self) -> Result<(), CheckpointError> {
+        let Some(keep) = self.retention else {
+            return Ok(());
+        };
+        let found = self.scan()?;
+        if found.len() <= keep {
+            return Ok(());
+        }
+        let excess = found.len() - keep;
+        let mut removed = 0u64;
+        for (_, path) in &found[..excess] {
+            match std::fs::remove_file(path) {
+                Ok(()) => removed += 1,
+                // Already gone (a concurrent clone pruned it): not a loss.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if removed > 0 {
+            // Best-effort directory fsync, matching write_checkpoint.
+            if let Ok(d) = std::fs::File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+            self.pruned
+                .fetch_add(removed, std::sync::atomic::Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Every checkpoint file in the series, sorted by step ascending.
@@ -717,9 +840,31 @@ mod tests {
         sim.checkpoint(&path).unwrap();
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 100]).unwrap();
+        // The up-front declared-payload bound catches this before any slab
+        // read — still typed, never a panic.
+        match read_checkpoint(&path) {
+            Err(CheckpointError::PayloadBeyondEof { declared, actual }) => {
+                assert_eq!(declared as usize, full.len());
+                assert_eq!(actual as usize, full.len() - 100);
+            }
+            Err(other) => panic!("expected truncation error, got {other}"),
+            Ok(_) => panic!("expected truncation error, got Ok"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_header_is_a_typed_truncation() {
+        let sim = toy_sim();
+        let path = scratch("truncated-header");
+        sim.checkpoint(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Cut inside the header JSON itself — before the payload bound can
+        // even be computed.
+        std::fs::write(&path, &full[..20]).unwrap();
         match read_checkpoint(&path) {
             Err(CheckpointError::Truncated { what }) => {
-                assert!(what.contains("slab"), "unexpected context: {what}")
+                assert!(what.contains("header"), "unexpected context: {what}")
             }
             Err(other) => panic!("expected truncation error, got {other}"),
             Ok(_) => panic!("expected truncation error, got Ok"),
@@ -800,6 +945,91 @@ mod tests {
             skipped[0].1,
             CheckpointError::SlabCrc { .. } | CheckpointError::HeaderCrc { .. }
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn declared_payload_beyond_eof_is_typed_not_panic() {
+        // A valid header that promises more slabs than the file holds —
+        // the torn-write shape satellite 2 targets. The reader must reject
+        // it up front with a typed error, before trusting declared sizes.
+        let sim = toy_sim();
+        let path = scratch("beyond-eof");
+        sim.checkpoint(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let header_len = u64::from_le_bytes(full[..8].try_into().unwrap()) as usize;
+        let body_start = 8 + header_len + 4;
+        let per_block = sim.domain.unk.per_block() * 8;
+        // Cut exactly at a slab boundary: header intact, last slab gone.
+        let cut = full.len() - per_block;
+        assert!(cut >= body_start);
+        std::fs::write(&path, &full[..cut]).unwrap();
+        match read_checkpoint(&path) {
+            Err(CheckpointError::PayloadBeyondEof { declared, actual }) => {
+                assert_eq!(declared as usize, full.len());
+                assert_eq!(actual as usize, cut);
+            }
+            Err(other) => panic!("expected PayloadBeyondEof, got {other}"),
+            Ok(_) => panic!("expected PayloadBeyondEof, got Ok"),
+        }
+        match verify_checkpoint(&path) {
+            Err(CheckpointError::PayloadBeyondEof { .. }) => {}
+            other => panic!("verify must agree with read, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn verify_checkpoint_validates_without_mesh_build() {
+        let sim = toy_sim();
+        let path = scratch("verify");
+        sim.checkpoint(&path).unwrap();
+        let header = verify_checkpoint(&path).unwrap();
+        assert_eq!(header.step, 17);
+        assert_eq!(header.leaves.len(), sim.domain.tree.leaves().len());
+        // Flip a bit inside the last slab: verify must catch it too.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        match verify_checkpoint(&path) {
+            Err(CheckpointError::SlabCrc { .. }) => {}
+            other => panic!("expected SlabCrc, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn retention_prunes_oldest_and_fsyncs_survivors() {
+        let dir = scratch("series-retention");
+        let _ = std::fs::remove_dir_all(&dir);
+        let series = CheckpointSeries::new(&dir, "chk").keep_last(2);
+        let mut sim = toy_sim();
+        for step in [17u64, 18, 19, 20] {
+            sim.step = step;
+            series.write(&sim).unwrap();
+        }
+        let steps: Vec<u64> = series.scan().unwrap().iter().map(|(s, _)| *s).collect();
+        assert_eq!(steps, vec![19, 20], "only the newest two survive");
+        assert_eq!(series.pruned_count(), 2);
+        // Clones share the counter — a driver holding a copy sees the
+        // same running total.
+        assert_eq!(series.clone().pruned_count(), 2);
+        // Recovery still lands on the newest survivor.
+        let (state, skipped) = series.recover_latest().unwrap();
+        assert_eq!(state.step, 20);
+        assert!(skipped.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keep_last_zero_still_keeps_one() {
+        let dir = scratch("series-keep-one");
+        let _ = std::fs::remove_dir_all(&dir);
+        let series = CheckpointSeries::new(&dir, "chk").keep_last(0);
+        let sim = toy_sim();
+        series.write(&sim).unwrap();
+        assert_eq!(series.scan().unwrap().len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,317 @@
+//! The fleet wire protocol: length-prefixed, CRC-framed messages.
+//!
+//! Every message between the supervisor and a worker travels as one frame
+//! over a pipe:
+//!
+//! ```text
+//! u32 LE   magic ("RFLF")
+//! u32 LE   payload length
+//! u32 LE   CRC-32 of the payload
+//! bytes    payload:  u32 LE header length | header JSON | slab bytes
+//! ```
+//!
+//! The slab bytes reuse the v2 checkpoint slab convention — f64 LE, one
+//! run per block, with a per-slab CRC-32 carried in the JSON header
+//! ([`WireMsg::Slabs`] / [`WireMsg::SlabsAll`]) — so the guardcell
+//! exchange, checkpoint files, and shard migration all speak the same
+//! format. A frame is written atomically (one buffer, one `write_all`
+//! under the sender's writer lock), which is what makes the injected
+//! `msg-truncate` fault meaningful: cutting a frame short is exactly what
+//! a crashed peer leaves on the pipe, and [`read_frame`] reports it as a
+//! typed [`FrameError::Truncated`], never a panic.
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::crc32::crc32;
+
+/// Frame magic: "RFLF" little-endian.
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"RFLF");
+
+/// Upper bound on a frame payload (256 MiB) — a corrupt length prefix must
+/// not drive a giant allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 28;
+
+/// One protocol message. Worker→supervisor messages carry the worker's
+/// `epoch` — bumped on every fleet rollback — so frames that were in
+/// flight when a failure hit are recognizably stale and dropped instead of
+/// colliding with their replayed counterparts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WireMsg {
+    // ---- supervisor → worker ----
+    /// (Re)assign a worker its shard: sent at startup and after every
+    /// rollback. `ckpt` names the checkpoint to replay from (`None`:
+    /// rebuild from the spec at step 0). Paths travel as UTF-8 strings —
+    /// the supervisor creates them, so they are never foreign bytes.
+    Assign {
+        epoch: u64,
+        nshards: usize,
+        shard_index: usize,
+        ckpt: Option<String>,
+    },
+    /// The fleet-wide minimum wavetime for `step` (bits of an f64).
+    DtGlobal { epoch: u64, step: u64, min_bits: u64 },
+    /// All shards' interiors for exchange `seq`, concatenated in shard
+    /// order (= global Morton order); payload follows.
+    SlabsAll {
+        epoch: u64,
+        seq: u64,
+        per_slab: usize,
+        crcs: Vec<u32>,
+    },
+    /// Liveness probe; the worker's reader thread answers inline.
+    Ping { nonce: u64 },
+    /// Orderly stop.
+    Shutdown,
+
+    // ---- worker → supervisor ----
+    /// First message after exec: the worker is listening for its Assign.
+    Ready { rank: usize },
+    /// This shard's minimum wavetime for `step` (bits of an f64).
+    DtLocal { epoch: u64, step: u64, min_bits: u64 },
+    /// This shard's packed interiors for exchange `seq`; payload follows.
+    /// `start` is the shard's first leaf ordinal in global Morton order.
+    Slabs {
+        epoch: u64,
+        seq: u64,
+        start: usize,
+        per_slab: usize,
+        crcs: Vec<u32>,
+    },
+    /// The worker finished (and committed) a step.
+    StepDone { epoch: u64, step: u64, time_bits: u64 },
+    /// Shard 0 wrote a series checkpoint the fleet can roll back to.
+    CheckpointDone { epoch: u64, step: u64, path: String },
+    /// Final state digest (mirrors `StateDigest`, field for field).
+    Digest {
+        epoch: u64,
+        crc: u32,
+        step: u64,
+        time_bits: u64,
+        leaves: u64,
+        cells: u64,
+    },
+    /// Periodic liveness signal from the worker's heartbeat thread.
+    Heartbeat { epoch: u64 },
+    /// Probe answer.
+    Pong { nonce: u64 },
+    /// Orderly goodbye; EOF after this is a clean exit, not a loss.
+    Bye { epoch: u64 },
+}
+
+/// Typed framing errors. `Eof` is a clean end-of-stream (zero bytes where
+/// a frame would start); everything else is a damaged or hostile stream.
+#[derive(Debug)]
+pub enum FrameError {
+    Io(std::io::Error),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The stream ended inside a frame — the `msg-truncate` shape.
+    Truncated { what: &'static str },
+    BadMagic { found: u32 },
+    TooLarge { len: u32 },
+    Crc { stored: u32, computed: u32 },
+    /// Header JSON malformed.
+    Header(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O: {e}"),
+            FrameError::Eof => write!(f, "end of stream"),
+            FrameError::Truncated { what } => write!(f, "stream ended inside {what}"),
+            FrameError::BadMagic { found } => write!(f, "bad frame magic {found:#010x}"),
+            FrameError::TooLarge { len } => write!(f, "frame payload of {len} bytes too large"),
+            FrameError::Crc { stored, computed } => write!(
+                f,
+                "frame CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            FrameError::Header(m) => write!(f, "frame header: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Serialize one frame (prelude + payload) into a single buffer, ready for
+/// an atomic `write_all`.
+pub fn encode_frame(msg: &WireMsg, slabs: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let header = serde_json::to_string(msg)
+        .map_err(|e| FrameError::Header(e.to_string()))?
+        .into_bytes();
+    let payload_len = 4 + header.len() + slabs.len();
+    if payload_len > MAX_PAYLOAD as usize {
+        return Err(FrameError::TooLarge {
+            len: payload_len as u32,
+        });
+    }
+    let mut payload = Vec::with_capacity(payload_len);
+    payload.extend_from_slice(&(header.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&header);
+    payload.extend_from_slice(slabs);
+    let mut frame = Vec::with_capacity(12 + payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+/// Write one frame atomically (single buffer, single `write_all`) and
+/// flush.
+pub fn write_frame(w: &mut impl Write, msg: &WireMsg, slabs: &[u8]) -> Result<(), FrameError> {
+    let frame = encode_frame(msg, slabs)?;
+    w.write_all(&frame).map_err(FrameError::Io)?;
+    w.flush().map_err(FrameError::Io)
+}
+
+/// Fill `buf`, distinguishing a clean EOF before the first byte
+/// (`Eof`, only when `at_boundary`) from a tear mid-structure.
+fn read_exact_frame(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    at_boundary: bool,
+    what: &'static str,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    FrameError::Eof
+                } else {
+                    FrameError::Truncated { what }
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame: verify magic, length bound, and payload CRC, then split
+/// the payload into its message and slab bytes.
+pub fn read_frame(r: &mut impl Read) -> Result<(WireMsg, Vec<u8>), FrameError> {
+    let mut prelude = [0u8; 12];
+    read_exact_frame(r, &mut prelude, true, "frame prelude")?;
+    let magic = u32::from_le_bytes(prelude[0..4].try_into().unwrap());
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    let payload_len = u32::from_le_bytes(prelude[4..8].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD {
+        return Err(FrameError::TooLarge { len: payload_len });
+    }
+    let stored = u32::from_le_bytes(prelude[8..12].try_into().unwrap());
+    let mut payload = vec![0u8; payload_len as usize];
+    read_exact_frame(r, &mut payload, false, "frame payload")?;
+    let computed = crc32(&payload);
+    if stored != computed {
+        return Err(FrameError::Crc { stored, computed });
+    }
+    if payload.len() < 4 {
+        return Err(FrameError::Header("payload shorter than header length".into()));
+    }
+    let header_len = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+    if 4 + header_len > payload.len() {
+        return Err(FrameError::Header(format!(
+            "header length {header_len} exceeds payload"
+        )));
+    }
+    let msg: WireMsg = serde_json::from_slice(&payload[4..4 + header_len])
+        .map_err(|e| FrameError::Header(e.to_string()))?;
+    let slabs = payload[4 + header_len..].to_vec();
+    Ok((msg, slabs))
+}
+
+/// Encode a run of f64s as the wire/checkpoint slab byte format (LE).
+pub fn doubles_to_bytes(vals: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Per-slab CRC-32s over `count` equal chunks of `per_slab` doubles —
+/// the same per-slab integrity convention the v2 checkpoint container
+/// uses.
+pub fn slab_crcs(bytes: &[u8], per_slab: usize, count: usize) -> Vec<u32> {
+    debug_assert_eq!(bytes.len(), count * per_slab * 8);
+    (0..count)
+        .map(|i| crc32(&bytes[i * per_slab * 8..(i + 1) * per_slab * 8]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_with_slab_payload() {
+        let msg = WireMsg::Slabs {
+            epoch: 3,
+            seq: 41,
+            start: 7,
+            per_slab: 2,
+            crcs: vec![1, 2],
+        };
+        let slabs = doubles_to_bytes(&[1.5, -2.25, 3.0, f64::MIN_POSITIVE]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg, &slabs).unwrap();
+        let (back, payload) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(payload, slabs);
+        // A second read at the boundary is a clean EOF.
+        let mut rest = &buf[buf.len()..];
+        assert!(matches!(read_frame(&mut rest), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn torn_frame_is_typed_truncation_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireMsg::Shutdown, &[]).unwrap();
+        for cut in [1, 6, buf.len() - 1] {
+            let mut r = &buf[..cut];
+            match read_frame(&mut r) {
+                Err(FrameError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_crc_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireMsg::Heartbeat { epoch: 9 }, &[]).unwrap();
+        let n = buf.len();
+        buf[n - 1] ^= 0x10;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::Crc { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireMsg::Shutdown, &[]).unwrap();
+        buf[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn slab_crcs_match_checkpoint_convention() {
+        let bytes = doubles_to_bytes(&[1.0, 2.0, 3.0, 4.0]);
+        let crcs = slab_crcs(&bytes, 2, 2);
+        assert_eq!(crcs[0], crate::crc32::crc32(&bytes[..16]));
+        assert_eq!(crcs[1], crate::crc32::crc32(&bytes[16..]));
+    }
+}

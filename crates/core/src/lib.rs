@@ -18,6 +18,7 @@
 
 pub mod checkpoint;
 pub mod crc32;
+pub mod dist;
 pub mod eos_choice;
 pub mod guardian;
 pub mod instrument;
@@ -30,8 +31,12 @@ pub mod stepgraph;
 pub mod wd;
 
 pub use checkpoint::{
-    read_checkpoint, write_checkpoint, CheckpointError, CheckpointSeries, RestoredState,
-    CHECKPOINT_FORMAT,
+    read_checkpoint, verify_checkpoint, write_checkpoint, CheckpointError, CheckpointSeries,
+    RestoredState, CHECKPOINT_FORMAT,
+};
+pub use dist::{
+    run_fleet, shard_range, worker_main, FleetConfig, FleetError, FleetEvent, FleetReport,
+    LossCause, WorkerArgs,
 };
 pub use eos_choice::{Composition, EosChoice};
 pub use guardian::{GuardianConfig, StepError};

@@ -170,13 +170,12 @@ impl Simulation {
         dt
     }
 
-    /// The physics of one step at a fixed `dt`: split sweeps (each followed
-    /// by the instrumented EOS pass), flame, gravity. Does *not* advance
-    /// `step`/`time` or regrid — [`commit_step`](Self::commit_step) does,
-    /// so the guardian can validate (and roll back) in between.
-    fn advance_physics(&mut self, dt: f64) {
-        let ndim = self.domain.tree.config().ndim;
-        let sweep_cfg = SweepConfig {
+    /// The sweep configuration this run's parameters resolve to — shared
+    /// by [`advance_physics`](Self::advance_physics) and the fleet
+    /// worker's distributed step loop, which must sweep with bit-identical
+    /// settings.
+    pub(crate) fn sweep_config(&self) -> SweepConfig {
+        SweepConfig {
             nranks: self.params.nranks,
             dens_floor: self.params.dens_floor,
             eint_floor: self.params.eint_floor,
@@ -185,7 +184,16 @@ impl Simulation {
             simd: rflash_simd::resolve(self.params.simd_backend),
             // Pencil scratch rides the same huge-page policy as unk.
             scratch_policy: self.params.policy,
-        };
+        }
+    }
+
+    /// The physics of one step at a fixed `dt`: split sweeps (each followed
+    /// by the instrumented EOS pass), flame, gravity. Does *not* advance
+    /// `step`/`time` or regrid — [`commit_step`](Self::commit_step) does,
+    /// so the guardian can validate (and roll back) in between.
+    fn advance_physics(&mut self, dt: f64) {
+        let ndim = self.domain.tree.config().ndim;
+        let sweep_cfg = self.sweep_config();
         // The sweep defers thermodynamics to the instrumented EOS pass.
         let defer_eos = SweepEos::Defer;
 

@@ -29,6 +29,7 @@
 //! site   = 'hugetlb-mmap' | 'anon-mmap' | 'madvise'
 //!        | 'ckpt-write'   | 'ckpt-rename'
 //!        | 'step-nan'     | 'flux-corrupt' | 'dt-zero'
+//!        | 'worker-kill'  | 'heartbeat-drop' | 'msg-truncate' | 'spawn-fail'
 //! kind   = 'always'            [':' errno]     -- every call fails
 //!        | 'first' [':' N]    [':' errno]     -- calls 1..=N fail (N defaults
 //!                                                to 1; transient exhaustion:
@@ -37,19 +38,32 @@
 //!        | 'nth'   ':' N      [':' errno]     -- exactly call N fails
 //!        | 'prob'  ':' PERMILLE [':' errno]   -- seeded coin per call
 //!        | 'short' ':' BYTES                  -- I/O sites: write BYTES then
-//!                                                fail (a kill mid-write)
+//!                                                fail (a kill mid-write;
+//!                                                ckpt-write / msg-truncate)
 //! errno  = 'ENOMEM' | 'EAGAIN' | 'EINVAL' | 'EACCES' | 'EPERM'
 //!        | 'EIO' | 'ENOSPC' | decimal
 //! ```
 //!
-//! The last three sites are *state-corruption* sites consumed by the step
-//! guardian (`rflash-core::guardian`): `step-nan` poisons one evolved zone
-//! with a NaN after the sweeps, `flux-corrupt` drives one density negative
-//! inside a directional sweep (a stand-in for a bad HLLC flux), and
-//! `dt-zero` zeroes the computed CFL step. They carry no errno — the hook
-//! only asks *whether* the rule fires ([`fires`]) — and make the whole
-//! validate → rollback → retry → degrade chain testable bit-exactly
-//! without real corruption.
+//! The `step-nan` / `flux-corrupt` / `dt-zero` sites are *state-corruption*
+//! sites consumed by the step guardian (`rflash-core::guardian`): `step-nan`
+//! poisons one evolved zone with a NaN after the sweeps, `flux-corrupt`
+//! drives one density negative inside a directional sweep (a stand-in for a
+//! bad HLLC flux), and `dt-zero` zeroes the computed CFL step. They carry no
+//! errno — the hook only asks *whether* the rule fires ([`fires`]) — and
+//! make the whole validate → rollback → retry → degrade chain testable
+//! bit-exactly without real corruption.
+//!
+//! The last four are *process-level* sites consumed by the fleet layer
+//! (`rflash-core::dist`, DESIGN.md §17). The first three are consulted by a
+//! worker process once per step boundary: `worker-kill` makes the worker
+//! exit abruptly (SIGKILL-shaped: no farewell frame), `heartbeat-drop`
+//! makes it go fully silent — heartbeats stop and liveness probes go
+//! unanswered, simulating a hang or network partition — and `msg-truncate`
+//! makes the worker's next protocol frame arrive cut short (a crash
+//! mid-send; `short:BYTES` bounds the bytes that get out). `spawn-fail` is
+//! consulted by the *supervisor* each time it spawns or respawns a worker,
+//! so the respawn → backoff → migrate degradation ladder is drillable
+//! without exhausting real PIDs.
 //!
 //! Example: `RFLASH_FAULTS="hugetlb-mmap=always:ENOMEM;madvise=first:2"`.
 //!
@@ -87,10 +101,21 @@ pub enum FaultSite {
     FluxCorrupt,
     /// Step guardian: zero the computed CFL time step.
     DtZero,
+    /// Fleet: a worker process exits abruptly at a step boundary (no
+    /// farewell frame — the shape of a SIGKILL or OOM kill).
+    WorkerKill,
+    /// Fleet: a worker goes fully silent at a step boundary — heartbeats
+    /// stop and liveness probes go unanswered (a hang / partition).
+    HeartbeatDrop,
+    /// Fleet: the worker's next protocol frame is cut short mid-send
+    /// (supports `short:BYTES`), then the worker dies.
+    MsgTruncate,
+    /// Fleet: the supervisor's attempt to spawn/respawn a worker fails.
+    SpawnFail,
 }
 
 /// Number of distinct sites (sizes the per-site call counters).
-const NSITES: usize = 8;
+const NSITES: usize = 12;
 
 impl FaultSite {
     /// All sites, in counter-index order.
@@ -103,6 +128,10 @@ impl FaultSite {
         FaultSite::StepNan,
         FaultSite::FluxCorrupt,
         FaultSite::DtZero,
+        FaultSite::WorkerKill,
+        FaultSite::HeartbeatDrop,
+        FaultSite::MsgTruncate,
+        FaultSite::SpawnFail,
     ];
 
     fn index(self) -> usize {
@@ -115,6 +144,10 @@ impl FaultSite {
             FaultSite::StepNan => 5,
             FaultSite::FluxCorrupt => 6,
             FaultSite::DtZero => 7,
+            FaultSite::WorkerKill => 8,
+            FaultSite::HeartbeatDrop => 9,
+            FaultSite::MsgTruncate => 10,
+            FaultSite::SpawnFail => 11,
         }
     }
 
@@ -129,6 +162,10 @@ impl FaultSite {
             FaultSite::StepNan => "step-nan",
             FaultSite::FluxCorrupt => "flux-corrupt",
             FaultSite::DtZero => "dt-zero",
+            FaultSite::WorkerKill => "worker-kill",
+            FaultSite::HeartbeatDrop => "heartbeat-drop",
+            FaultSite::MsgTruncate => "msg-truncate",
+            FaultSite::SpawnFail => "spawn-fail",
         }
     }
 
@@ -146,6 +183,12 @@ impl FaultSite {
             FaultSite::Madvise => libc::EINVAL,
             FaultSite::CkptWrite | FaultSite::CkptRename => libc::EIO,
             FaultSite::StepNan | FaultSite::FluxCorrupt | FaultSite::DtZero => libc::EINVAL,
+            // Process-level sites: the kill/drop hooks only ask whether the
+            // rule fires; a truncated frame reads as a broken pipe, a
+            // failed spawn as transient resource exhaustion.
+            FaultSite::WorkerKill | FaultSite::HeartbeatDrop => libc::EINVAL,
+            FaultSite::MsgTruncate => libc::EPIPE,
+            FaultSite::SpawnFail => libc::EAGAIN,
         }
     }
 }
@@ -304,6 +347,7 @@ fn parse_errno(s: &str) -> std::result::Result<i32, String> {
         "EPERM" => Ok(libc::EPERM),
         "EIO" => Ok(libc::EIO),
         "ENOSPC" => Ok(libc::ENOSPC),
+        "EPIPE" => Ok(libc::EPIPE),
         other => other
             .parse()
             .map_err(|_| format!("unknown errno {other:?}")),
@@ -353,8 +397,10 @@ fn parse_kind(site: FaultSite, s: &str) -> std::result::Result<FaultKind, String
             })
         }
         "short" => {
-            if !matches!(site, FaultSite::CkptWrite) {
-                return Err(format!("'short' only applies to ckpt-write, not {site}"));
+            if !matches!(site, FaultSite::CkptWrite | FaultSite::MsgTruncate) {
+                return Err(format!(
+                    "'short' only applies to ckpt-write or msg-truncate, not {site}"
+                ));
             }
             Ok(FaultKind::ShortWrite {
                 bytes: num_arg(0, "byte count")? as usize,
@@ -672,6 +718,56 @@ mod tests {
                 errno: libc::EINVAL,
             }
         );
+    }
+
+    #[test]
+    fn process_sites_parse_with_fleet_semantics() {
+        // The drill grammar the fleet CI matrix uses: a kill at the Nth
+        // step boundary, a silent hang at the first, a frame truncated
+        // after 64 bytes, and every respawn attempt failing.
+        let plan = FaultPlan::parse(
+            "worker-kill=nth:2; heartbeat-drop=first; msg-truncate=short:64; spawn-fail=always",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.rules()[0],
+            FaultRule {
+                site: FaultSite::WorkerKill,
+                kind: FaultKind::Nth {
+                    n: 2,
+                    errno: libc::EINVAL,
+                },
+            }
+        );
+        assert_eq!(plan.rules()[1].site, FaultSite::HeartbeatDrop);
+        assert_eq!(
+            plan.rules()[2],
+            FaultRule {
+                site: FaultSite::MsgTruncate,
+                kind: FaultKind::ShortWrite { bytes: 64 },
+            }
+        );
+        assert_eq!(
+            plan.rules()[3].kind,
+            FaultKind::Always { errno: libc::EAGAIN },
+        );
+        // `short` stays confined to the two streaming I/O sites.
+        assert!(FaultPlan::parse("spawn-fail=short:8").is_err());
+    }
+
+    #[test]
+    fn worker_kill_counts_step_boundaries_deterministically() {
+        let _g = FaultPlan::new(0)
+            .with(
+                FaultSite::WorkerKill,
+                FaultKind::Nth {
+                    n: 3,
+                    errno: libc::EINVAL,
+                },
+            )
+            .activate();
+        let boundaries: Vec<bool> = (0..5).map(|_| fires(FaultSite::WorkerKill)).collect();
+        assert_eq!(boundaries, [false, false, true, false, false]);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! rows formatted like the paper's Tables I/II.
 
 pub mod alloc;
+pub mod fleet;
 pub mod guardian;
 pub mod hw;
 pub mod kernel_stats;
@@ -27,6 +28,7 @@ pub mod session;
 pub mod timers;
 
 pub use alloc::AllocSummary;
+pub use fleet::FleetCounters;
 pub use guardian::{GuardianEvent, GuardianStats};
 pub use hw::HwCounters;
 pub use kernel_stats::KernelStats;

@@ -21,7 +21,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rflash::core::registry::{self, spec::parse_engine, SetupSpec, StateDigest};
-use rflash::core::{CheckpointSeries, StepScheduler};
+use rflash::core::{
+    run_fleet, worker_main, CheckpointSeries, FleetConfig, StepScheduler, WorkerArgs,
+};
 use rflash::hydro::SweepEngine;
 
 const USAGE: &str = "usage:
@@ -30,7 +32,16 @@ const USAGE: &str = "usage:
   rflash run-setup <name> [--full] [--steps N] [--nranks N]
                           [--engine scalar|pencil]
                           [--scheduler barrier|task_graph]
-                          [--checkpoint-dir DIR] [--checkpoint-every N]";
+                          [--checkpoint-dir DIR] [--checkpoint-every N]
+  rflash run-fleet <name> [--workers N] [--steps N] [--series-dir DIR]
+                          [--checkpoint-every N] [--keep-last N]
+                          [--fault RANK:SPEC]... [--supervisor-fault SPEC]
+                          [--heartbeat-ms N] [--heartbeat-timeout-ms N]
+                          [--max-respawns N] [--coalesce-ms N] [--events]
+
+run-fleet drives N supervised worker processes over Morton shards of the
+smoke-scale scenario; RFLASH_WORKERS / RFLASH_HEARTBEAT_MS /
+RFLASH_HEARTBEAT_TIMEOUT_MS / RFLASH_PROBE_RETRIES set the defaults.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +49,9 @@ fn main() -> ExitCode {
         Some("list-setups") => list_setups(&args[1..]),
         Some("describe") => describe(&args[1..]),
         Some("run-setup") => run_setup(&args[1..]),
+        Some("run-fleet") => run_fleet_cmd(&args[1..]),
+        // Hidden: the entry point run-fleet execs for each worker process.
+        Some("fleet-worker") => fleet_worker(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -218,4 +232,219 @@ fn run_setup(rest: &[String]) -> Result<(), String> {
         println!("  compare: golden/{name}.ron");
     }
     Ok(())
+}
+
+fn run_fleet_cmd(rest: &[String]) -> Result<(), String> {
+    let mut name: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut steps: Option<u64> = None;
+    let mut series_dir: Option<PathBuf> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut keep_last: Option<usize> = None;
+    let mut worker_faults: Vec<(usize, String)> = Vec::new();
+    let mut supervisor_fault: Option<String> = None;
+    let mut heartbeat_ms: Option<u64> = None;
+    let mut heartbeat_timeout_ms: Option<u64> = None;
+    let mut max_respawns: Option<u32> = None;
+    let mut coalesce_ms: Option<u64> = None;
+    let mut show_events = false;
+
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
+            }
+            "--steps" => {
+                steps = Some(
+                    value("--steps")?
+                        .parse()
+                        .map_err(|e| format!("--steps: {e}"))?,
+                )
+            }
+            "--series-dir" => series_dir = Some(PathBuf::from(value("--series-dir")?)),
+            "--checkpoint-every" => {
+                checkpoint_every = Some(
+                    value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-every: {e}"))?,
+                )
+            }
+            "--keep-last" => {
+                keep_last = Some(
+                    value("--keep-last")?
+                        .parse()
+                        .map_err(|e| format!("--keep-last: {e}"))?,
+                )
+            }
+            "--fault" => {
+                let v = value("--fault")?;
+                let (rank, spec) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--fault: expected RANK:SPEC, got `{v}`"))?;
+                let rank: usize = rank
+                    .parse()
+                    .map_err(|e| format!("--fault rank `{rank}`: {e}"))?;
+                worker_faults.push((rank, spec.to_string()));
+            }
+            "--supervisor-fault" => supervisor_fault = Some(value("--supervisor-fault")?),
+            "--heartbeat-ms" => {
+                heartbeat_ms = Some(
+                    value("--heartbeat-ms")?
+                        .parse()
+                        .map_err(|e| format!("--heartbeat-ms: {e}"))?,
+                )
+            }
+            "--heartbeat-timeout-ms" => {
+                heartbeat_timeout_ms = Some(
+                    value("--heartbeat-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--heartbeat-timeout-ms: {e}"))?,
+                )
+            }
+            "--max-respawns" => {
+                max_respawns = Some(
+                    value("--max-respawns")?
+                        .parse()
+                        .map_err(|e| format!("--max-respawns: {e}"))?,
+                )
+            }
+            "--coalesce-ms" => {
+                coalesce_ms = Some(
+                    value("--coalesce-ms")?
+                        .parse()
+                        .map_err(|e| format!("--coalesce-ms: {e}"))?,
+                )
+            }
+            "--events" => show_events = true,
+            other if name.is_none() && !other.starts_with('-') => name = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let name = name.ok_or_else(|| format!("run-fleet needs a scenario name\n{USAGE}"))?;
+    let spec = registry::load(&name).map_err(|e| e.to_string())?;
+    let steps = steps.unwrap_or(spec.smoke.steps);
+
+    let worker_bin =
+        std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let series_dir = match series_dir {
+        Some(d) => d,
+        None => std::env::temp_dir().join(format!("rflash-fleet-{}-{}", name, std::process::id())),
+    };
+    let mut cfg = FleetConfig::new(worker_bin, &name, steps, &series_dir);
+    if let Some(w) = workers {
+        cfg.workers = w;
+    }
+    if let Some(n) = checkpoint_every {
+        cfg.checkpoint_every = n;
+    }
+    if let Some(n) = keep_last {
+        cfg.keep_last = n;
+    }
+    if let Some(n) = heartbeat_ms {
+        cfg.heartbeat_ms = n;
+    }
+    if let Some(n) = heartbeat_timeout_ms {
+        cfg.heartbeat_timeout_ms = n;
+    }
+    if let Some(n) = max_respawns {
+        cfg.max_respawns = n;
+    }
+    if let Some(n) = coalesce_ms {
+        cfg.coalesce_ms = n;
+    }
+    cfg.worker_faults = worker_faults;
+    cfg.supervisor_faults = supervisor_fault;
+
+    println!(
+        "{name}: fleet of {} workers, {steps} steps, series under {}",
+        cfg.workers,
+        series_dir.display()
+    );
+    let report = run_fleet(cfg).map_err(|e| e.to_string())?;
+    println!(
+        "  digest {:08x} at step {} ({} workers at finish, {} rollbacks, {} respawns, {} migrations)",
+        report.digest.crc,
+        report.digest.step,
+        report.workers_final,
+        report.rollbacks,
+        report.counters.respawns,
+        report.counters.migrations,
+    );
+    if show_events {
+        for ev in &report.events {
+            println!("  event {ev:?}");
+        }
+    }
+    println!("  compare: golden/{name}.ron");
+    Ok(())
+}
+
+fn fleet_worker(rest: &[String]) -> Result<(), String> {
+    let mut rank: Option<usize> = None;
+    let mut setup: Option<String> = None;
+    let mut steps: Option<u64> = None;
+    let mut checkpoint_every = 0u64;
+    let mut keep_last = 0usize;
+    let mut series_dir: Option<PathBuf> = None;
+    let mut series_prefix = "fleet".to_string();
+    let mut heartbeat_ms = 25u64;
+
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--rank" => rank = Some(value("--rank")?.parse().map_err(|e| format!("--rank: {e}"))?),
+            "--setup" => setup = Some(value("--setup")?),
+            "--steps" => {
+                steps = Some(
+                    value("--steps")?
+                        .parse()
+                        .map_err(|e| format!("--steps: {e}"))?,
+                )
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--keep-last" => {
+                keep_last = value("--keep-last")?
+                    .parse()
+                    .map_err(|e| format!("--keep-last: {e}"))?
+            }
+            "--series-dir" => series_dir = Some(PathBuf::from(value("--series-dir")?)),
+            "--series-prefix" => series_prefix = value("--series-prefix")?,
+            "--heartbeat-ms" => {
+                heartbeat_ms = value("--heartbeat-ms")?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-ms: {e}"))?
+            }
+            other => return Err(format!("fleet-worker: unexpected argument `{other}`")),
+        }
+    }
+    let args = WorkerArgs {
+        rank: rank.ok_or("fleet-worker needs --rank")?,
+        setup: setup.ok_or("fleet-worker needs --setup")?,
+        steps: steps.ok_or("fleet-worker needs --steps")?,
+        checkpoint_every,
+        keep_last,
+        series_dir: series_dir.ok_or("fleet-worker needs --series-dir")?,
+        series_prefix,
+        heartbeat_ms,
+    };
+    worker_main(args).map_err(|e| format!("worker {}: {e}", rest.join(" ")))
 }

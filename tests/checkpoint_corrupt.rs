@@ -7,7 +7,9 @@
 
 use std::path::PathBuf;
 
-use rflash::core::checkpoint::{read_checkpoint, CheckpointError, CHECKPOINT_FORMAT};
+use rflash::core::checkpoint::{
+    read_checkpoint, verify_checkpoint, CheckpointError, CHECKPOINT_FORMAT,
+};
 use rflash::core::RuntimeParams;
 use rflash::hugepages::Policy;
 use rflash::mesh::{Domain, MeshConfig};
@@ -82,11 +84,15 @@ fn truncated_header_is_typed() {
 #[test]
 fn truncated_slab_is_typed() {
     let (bytes, _) = golden();
-    // Cut inside the last slab.
+    // Cut inside the last slab: the declared-payload-vs-file-size bound
+    // catches the tear before any slab read trusts the declared sizes.
     match read_bytes("trunc-slab", &bytes[..bytes.len() - 17]) {
-        Err(CheckpointError::Truncated { what }) => assert!(what.contains("slab"), "{what}"),
-        Err(other) => panic!("expected Truncated, got {other}"),
-        Ok(()) => panic!("expected Truncated, got Ok"),
+        Err(CheckpointError::PayloadBeyondEof { declared, actual }) => {
+            assert_eq!(declared as usize, bytes.len());
+            assert_eq!(actual as usize, bytes.len() - 17);
+        }
+        Err(other) => panic!("expected PayloadBeyondEof, got {other}"),
+        Ok(()) => panic!("expected PayloadBeyondEof, got Ok"),
     }
 }
 
@@ -116,6 +122,83 @@ fn corrupt_slab_bytes_fail_that_slab_crc() {
     }
 }
 
+/// Pull `per_block` (doubles per slab) out of the golden header JSON.
+fn golden_per_block(bytes: &[u8], header_len: usize) -> usize {
+    let header: serde_json::Value = serde_json::from_slice(&bytes[8..8 + header_len]).unwrap();
+    let serde_json::Value::Object(fields) = header else {
+        panic!("header must be a JSON object");
+    };
+    let (_, per_block) = fields.iter().find(|(k, _)| k == "per_block").unwrap();
+    let serde_json::Value::U64(per_block) = per_block else {
+        panic!("per_block must be an integer");
+    };
+    *per_block as usize
+}
+
+#[test]
+fn torn_write_at_a_slab_boundary_is_payload_beyond_eof() {
+    // A crash can tear the write at *exactly* a slab boundary: every byte
+    // on disk is internally consistent (the header parses, every present
+    // slab passes its CRC) and only the declared-payload-vs-file-size
+    // bound can tell the file is short. Both the full restore path and the
+    // cheap `verify_checkpoint` scan the fleet supervisor uses to pick a
+    // rollback target must reject it — typed, never a panic.
+    let (bytes, header_len) = golden();
+    let per_slab = golden_per_block(&bytes, header_len) * 8;
+    let payload_start = 8 + header_len + 4;
+    let nslabs = (bytes.len() - payload_start) / per_slab;
+    assert!(nslabs >= 2, "the golden file must hold at least two slabs");
+    for keep in 0..nslabs {
+        let cut = payload_start + keep * per_slab;
+        let name = format!("torn-at-slab-{keep}");
+        match read_bytes(&name, &bytes[..cut]) {
+            Err(CheckpointError::PayloadBeyondEof { declared, actual }) => {
+                assert_eq!(declared as usize, bytes.len());
+                assert_eq!(actual as usize, cut);
+            }
+            Err(other) => panic!("{name}: expected PayloadBeyondEof, got {other}"),
+            Ok(()) => panic!("{name}: expected PayloadBeyondEof, got Ok"),
+        }
+        // verify_checkpoint must agree — it is the rollback-target gate.
+        let path = scratch(&name);
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        match verify_checkpoint(&path) {
+            Err(CheckpointError::PayloadBeyondEof { .. }) => {}
+            other => panic!("{name}: verify must reject the torn file, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn header_declaring_phantom_slabs_is_payload_beyond_eof() {
+    // The dual corruption: the file is whole, but the header claims more
+    // payload than the file holds (a torn rewrite that preserved a longer
+    // header, or bit-rot in the leaf list). Caught by the same bound,
+    // before any slab allocation trusts the declared sizes.
+    let bytes = with_doctored_header(|fields| {
+        let slot = fields.iter_mut().find(|(k, _)| k == "leaves").unwrap();
+        let serde_json::Value::Array(ref mut leaves) = slot.1 else {
+            panic!("leaves must be an array");
+        };
+        let last = leaves.last().unwrap().clone();
+        leaves.push(last);
+        let slot = fields.iter_mut().find(|(k, _)| k == "slab_crcs").unwrap();
+        let serde_json::Value::Array(ref mut crcs) = slot.1 else {
+            panic!("slab_crcs must be an array");
+        };
+        let last = crcs.last().unwrap().clone();
+        crcs.push(last);
+    });
+    match read_bytes("phantom-slab", &bytes) {
+        Err(CheckpointError::PayloadBeyondEof { declared, actual }) => {
+            assert!(declared > actual, "declared {declared} vs actual {actual}")
+        }
+        Err(other) => panic!("expected PayloadBeyondEof, got {other}"),
+        Ok(()) => panic!("expected PayloadBeyondEof, got Ok"),
+    }
+}
+
 /// Re-serialize the golden header with one JSON field doctored, fixing up
 /// the length prefix and header CRC so only the *semantic* corruption
 /// remains.
@@ -138,14 +221,30 @@ fn with_doctored_header(doctor: impl Fn(&mut Vec<(String, serde_json::Value)>)) 
 
 #[test]
 fn wrong_per_block_is_a_size_mismatch() {
+    // A *small* per_block keeps the declared payload inside the file (the
+    // EOF bound stays quiet) so the mesh-geometry check must catch it.
+    let bytes = with_doctored_header(|fields| {
+        let slot = fields.iter_mut().find(|(k, _)| k == "per_block").unwrap();
+        slot.1 = serde_json::Value::U64(16);
+    });
+    match read_bytes("wrong-per-block", &bytes) {
+        Err(CheckpointError::SlabSizeMismatch { file, .. }) => assert_eq!(file, 16),
+        Err(other) => panic!("expected SlabSizeMismatch, got {other}"),
+        Ok(()) => panic!("expected SlabSizeMismatch, got Ok"),
+    }
+
+    // An *oversized* per_block pushes the declared payload past EOF and
+    // must be caught by the size bound before any allocation trusts it.
     let bytes = with_doctored_header(|fields| {
         let slot = fields.iter_mut().find(|(k, _)| k == "per_block").unwrap();
         slot.1 = serde_json::Value::U64(12345);
     });
-    match read_bytes("wrong-per-block", &bytes) {
-        Err(CheckpointError::SlabSizeMismatch { file, .. }) => assert_eq!(file, 12345),
-        Err(other) => panic!("expected SlabSizeMismatch, got {other}"),
-        Ok(()) => panic!("expected SlabSizeMismatch, got Ok"),
+    match read_bytes("huge-per-block", &bytes) {
+        Err(CheckpointError::PayloadBeyondEof { declared, actual }) => {
+            assert!(declared > actual)
+        }
+        Err(other) => panic!("expected PayloadBeyondEof, got {other}"),
+        Ok(()) => panic!("expected PayloadBeyondEof, got Ok"),
     }
 }
 

@@ -39,6 +39,7 @@ pub const ENOMEM: c_int = 12;
 pub const EACCES: c_int = 13;
 pub const EINVAL: c_int = 22;
 pub const ENOSPC: c_int = 28;
+pub const EPIPE: c_int = 32;
 /// x86_64 syscall number.
 pub const SYS_perf_event_open: c_long = 298;
 
